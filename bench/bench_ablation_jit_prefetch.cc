@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: the paper's proposed JIT ISA hook (§VII-A1 / Conclusion).
+ * When the runtime announces freshly jitted pages to the hardware,
+ * the prefetcher pulls the new code into the cache hierarchy, the
+ * I-TLB is pre-installed, and BTB state transplants to relocated
+ * branches — eliminating the cold starts that otherwise follow every
+ * (re)compilation.
+ *
+ * Runs the ASP.NET subset with the hint off (baseline hardware) and
+ * on, and reports the I-side and branch improvements.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/report.hh"
+
+using namespace netchar;
+
+int
+main()
+{
+    std::fprintf(stderr, "Ablation: JIT ISA hint\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto profiles = bench::tableIvAspnet();
+    for (auto &p : profiles)
+        p.tierUpCallThreshold = 40; // keep re-JITs flowing
+
+    std::printf("Ablation: JIT page metadata hint (proposed ISA "
+                "hook) off vs on, ASP.NET subset\n\n");
+    TextTable table({"Benchmark", "L1i MPKI off", "L1i MPKI on",
+                     "LLC off", "LLC on", "CPI off", "CPI on"});
+    std::vector<double> cpi_gains;
+    for (const auto &p : profiles) {
+        RunOptions off = bench::standardOptions();
+        off.maxHeapBytes = 512ULL << 20; // isolate JIT effects
+        RunOptions on = off;
+        on.jitHint = true;
+        const auto r_off = ch.run(p, off);
+        const auto r_on = ch.run(p, on);
+        auto metric = [](const RunResult &r, MetricId id) {
+            return r.metrics[static_cast<std::size_t>(id)];
+        };
+        table.addRow(
+            {p.name, fmtFixed(metric(r_off, MetricId::L1iMpki), 2),
+             fmtFixed(metric(r_on, MetricId::L1iMpki), 2),
+             fmtFixed(metric(r_off, MetricId::LlcMpki), 3),
+             fmtFixed(metric(r_on, MetricId::LlcMpki), 3),
+             fmtFixed(metric(r_off, MetricId::Cpi), 3),
+             fmtFixed(metric(r_on, MetricId::Cpi), 3)});
+        cpi_gains.push_back(metric(r_off, MetricId::Cpi) /
+                            metric(r_on, MetricId::Cpi));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Geomean speedup from the hint: %sx\n",
+                fmtFixed(bench::geomeanFloored(cpi_gains), 3).c_str());
+    std::printf("Expected: CPI improves a little (fresh code pages "
+                "no longer stall fetch on cold DRAM fills); L1i MPKI "
+                "barely moves because it is dominated by capacity "
+                "misses the hint cannot fix, and LLC MPKI can tick "
+                "up slightly as the hint's L2 insertions displace "
+                "other resident lines — matching the paper's framing "
+                "that the hook targets cold-start latency "
+                "specifically.\n");
+    return 0;
+}

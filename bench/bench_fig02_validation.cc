@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 2 reproduction: validation of the .NET representative
+ * subsets via SPECspeed-style composite scores.
+ *
+ * score(benchmark) = time on the baseline Xeon E5-2620 v4
+ *                  / time on the Core i9-9980XE.
+ *
+ * Subset A  = 8 of 44 categories (the clustering pick).
+ * Subset A(o) = optimum choose-1-per-cluster subset.
+ * Subset B  = 64 of the 2,906 individual microbenchmarks.
+ *
+ * Paper accuracies: A = 98.7%, B = 96.3%, A(o) = 99.9%.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/report.hh"
+#include "core/subset.hh"
+#include "workloads/dotnet.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+/** Seconds per benchmark on one machine. */
+std::vector<double>
+runTimes(const Characterizer &ch,
+         const std::vector<wl::WorkloadProfile> &profiles,
+         const RunOptions &options)
+{
+    std::vector<double> seconds;
+    seconds.reserve(profiles.size());
+    for (const auto &r : bench::runSuite(ch, profiles, options))
+        seconds.push_back(r.seconds);
+    return seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::fprintf(stderr, "Figure 2: subset validation\n");
+    Characterizer baseline(sim::MachineConfig::intelXeonE52620V4());
+    Characterizer machine_a(sim::MachineConfig::intelCoreI99980Xe());
+
+    // ---- Category level (Subset A, A(o)) ----
+    const auto categories = wl::dotnetCategories();
+    const auto opts = bench::standardOptions();
+    const auto base_times = runTimes(baseline, categories, opts);
+    const auto a_times = runTimes(machine_a, categories, opts);
+    const auto scores = benchmarkScores(base_times, a_times);
+    const double full = compositeScore(scores);
+
+    std::vector<MetricVector> rows;
+    for (const auto &r :
+         bench::runSuite(machine_a, categories, opts))
+        rows.push_back(r.metrics);
+    SubsetOptions sopts;
+    sopts.subsetSize = 8;
+    const auto subset = buildSubset(rows, sopts);
+    const double subset_a =
+        compositeScore(scores, subset.representatives);
+    const auto optimum = optimumSubset(scores, subset.clusters);
+
+    // ---- Individual-microbenchmark level (Subset B) ----
+    const std::uint64_t micro_inst =
+        bench::scaledInstructions(60'000);
+    auto micros = wl::dotnetMicrobenchmarks(micro_inst);
+    RunOptions micro_opts;
+    micro_opts.warmupInstructions =
+        bench::scaledInstructions(40'000);
+    std::fprintf(stderr,
+                 "  characterizing %zu microbenchmarks on 2 machines "
+                 "(this is the long part)...\n",
+                 micros.size());
+    std::vector<double> micro_base, micro_a;
+    std::vector<MetricVector> micro_rows;
+    micro_base.reserve(micros.size());
+    micro_a.reserve(micros.size());
+    for (std::size_t i = 0; i < micros.size(); ++i) {
+        micro_opts.measuredInstructions = micro_inst;
+        const auto rb = baseline.run(micros[i], micro_opts);
+        const auto ra = machine_a.run(micros[i], micro_opts);
+        micro_base.push_back(rb.seconds);
+        micro_a.push_back(ra.seconds);
+        micro_rows.push_back(ra.metrics);
+        if (i % 250 == 0)
+            std::fprintf(stderr, "  ... %zu / %zu\n", i,
+                         micros.size());
+    }
+    const auto micro_scores = benchmarkScores(micro_base, micro_a);
+    const double micro_full = compositeScore(micro_scores);
+
+    SubsetOptions bopts;
+    bopts.subsetSize = 64;
+    const auto subset_b_result = buildSubset(micro_rows, bopts);
+    const double subset_b = compositeScore(
+        micro_scores, subset_b_result.representatives);
+
+    // ---- Report ----
+    std::printf("Figure 2: validation of .NET representative "
+                "subsets\n");
+    std::printf("(score = Xeon E5-2620v4 time / i9-9980XE time; "
+                "composite = geomean)\n\n");
+    TextTable table({"Set", "Composite score", "Accuracy",
+                     "Paper accuracy"});
+    table.addRow({"Full suite (44 categories)", fmtFixed(full, 4),
+                  "100.0%", "100%"});
+    table.addRow({"Subset A (8 categories)", fmtFixed(subset_a, 4),
+                  fmtFixed(subsetAccuracyPct(full, subset_a), 1) + "%",
+                  "98.7%"});
+    table.addRow(
+        {"Subset A(o) (optimum)",
+         fmtFixed(compositeScore(scores, optimum.subset), 4),
+         fmtFixed(optimum.accuracyPct, 1) + "%", "99.9%"});
+    table.addRow({"Full corpus (2906 micros)",
+                  fmtFixed(micro_full, 4), "100.0%", "100%"});
+    table.addRow({"Subset B (64 micros)", fmtFixed(subset_b, 4),
+                  fmtFixed(subsetAccuracyPct(micro_full, subset_b),
+                           1) +
+                      "%",
+                  "96.3%"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Optimum search examined %llu combinations.\n",
+                static_cast<unsigned long long>(
+                    optimum.combinationsTried));
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 3 reproduction: fraction of kernel instructions per
+ * benchmark for the three Table IV subsets.
+ *
+ * Paper shape: ASP.NET executes by far the most kernel code (the
+ * networking stack), the .NET microbenchmarks a modest amount (CLR
+ * services), SPEC CPU17 essentially none.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/report.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+void
+section(const char *title, const Characterizer &ch,
+        const std::vector<wl::WorkloadProfile> &profiles,
+        std::vector<double> &fractions)
+{
+    const auto results =
+        bench::runSuite(ch, profiles, bench::standardOptions());
+    std::vector<Bar> bars;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &c = results[i].counters;
+        const double frac =
+            static_cast<double>(c.kernelInstructions) /
+            static_cast<double>(c.instructions);
+        bars.push_back({profiles[i].name, frac});
+        fractions.push_back(frac);
+    }
+    std::printf("%s\n", barChart(title, bars, 50, 0.6).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::fprintf(stderr, "Figure 3: kernel instruction fraction\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+
+    std::printf("Figure 3: fraction of kernel instructions in each "
+                "benchmark\n\n");
+    std::vector<double> dotnet, aspnet, spec;
+    section(".NET subset", ch, bench::tableIvDotnet(), dotnet);
+    section("ASP.NET subset", ch, bench::tableIvAspnet(), aspnet);
+    section("SPEC CPU17 subset", ch, bench::tableIvSpec(), spec);
+
+    auto mean = [](const std::vector<double> &xs) {
+        double acc = 0.0;
+        for (double x : xs)
+            acc += x;
+        return acc / static_cast<double>(xs.size());
+    };
+    std::printf("Mean kernel fraction: .NET %s, ASP.NET %s, "
+                "SPEC %s\n",
+                fmtPercent(mean(dotnet)).c_str(),
+                fmtPercent(mean(aspnet)).c_str(),
+                fmtPercent(mean(spec)).c_str());
+    std::printf("Paper shape: ASP.NET >> .NET >> SPEC (networking "
+                "stack dominates ASP.NET kernel time).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11 reproduction: Top-Down profiles of the ASP.NET subset
+ * running on 1, 2, 4, 8 and 16 cores.
+ *
+ * Paper shape: as core count grows, most benchmarks become more
+ * backend bound (driven by L3-bound stalls; see Figure 12).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/report.hh"
+#include "core/topdown.hh"
+
+using namespace netchar;
+
+int
+main()
+{
+    std::fprintf(stderr, "Figure 11: ASP.NET core scaling\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = bench::tableIvAspnet();
+    const unsigned core_counts[] = {1, 2, 4, 8, 16};
+
+    std::printf("Figure 11: Top-Down profile for ASP.NET "
+                "applications on 1, 2, 4, 8, 16 cores\n\n");
+    std::vector<double> mean_be_by_cores;
+    for (unsigned cores : core_counts) {
+        auto opts = bench::standardOptions();
+        opts.cores = cores;
+        // Keep total simulated work bounded across the sweep.
+        opts.measuredInstructions = bench::scaledInstructions(
+            1'000'000);
+        const auto results = bench::runSuite(ch, profiles, opts);
+
+        std::vector<std::string> labels;
+        std::vector<std::vector<double>> rows;
+        double be_sum = 0.0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto td =
+                TopDownProfile::fromSlots(results[i].slots);
+            labels.push_back(profiles[i].name);
+            rows.push_back({td.level1.retiring,
+                            td.level1.badSpeculation,
+                            td.level1.frontendBound,
+                            td.level1.backendBound});
+            be_sum += td.level1.backendBound;
+        }
+        mean_be_by_cores.push_back(
+            be_sum / static_cast<double>(results.size()));
+        std::printf("%s\n",
+                    stackedBars(
+                        std::to_string(cores) + " core(s)", labels,
+                        {"Retiring", "Bad_Spec", "FE_Bound",
+                         "BE_Bound"},
+                        rows, 60)
+                        .c_str());
+    }
+
+    std::printf("Mean backend-bound share by core count:\n");
+    for (std::size_t i = 0; i < std::size(core_counts); ++i)
+        std::printf("  %2u cores: %s\n", core_counts[i],
+                    fmtPercent(mean_be_by_cores[i]).c_str());
+    std::printf("Paper shape: backend-bound share grows with core "
+                "count.\n");
+    return 0;
+}

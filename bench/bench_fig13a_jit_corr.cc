@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 13a reproduction: Pearson correlation of JIT-start events
+ * with performance counters over interval samples of the ASP.NET
+ * subset, run with the heap maximized to suppress GC (§VII-A).
+ *
+ * Paper shape: positive correlations with branch MPKI, LLC MPKI and
+ * page faults (5-20% increases after JIT bursts), a small positive
+ * one with L1 I-cache MPKI, and a NEGATIVE correlation with useless
+ * prefetches (jitted pages are prefetchable - prefetchers just stop
+ * at the page boundary).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common.hh"
+#include "core/correlation.hh"
+#include "core/report.hh"
+
+using namespace netchar;
+
+int
+main()
+{
+    std::fprintf(stderr, "Figure 13a: JIT-event correlations\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = bench::tableIvAspnet();
+
+    RunOptions opts = bench::standardOptions();
+    // Maximize the heap so GC events do not pollute the JIT signal.
+    opts.maxHeapBytes = 512ULL << 20;
+    const double interval_cycles =
+        static_cast<double>(bench::scaledInstructions(60'000));
+    const std::size_t samples = 60;
+
+    std::map<std::string, std::vector<double>> by_counter;
+    for (const auto &p : profiles) {
+        std::fprintf(stderr, "  sampling %s ...\n", p.name.c_str());
+        auto profile = p;
+        // Keep tier-up re-JITs flowing through the sampled window.
+        profile.tierUpCallThreshold = 40;
+        const auto series =
+            ch.sampleCycles(profile, opts, interval_cycles, samples);
+        for (const auto &row : correlateEvents(
+                 series, rt::RuntimeEventType::JitStarted))
+            by_counter[row.name].push_back(row.r);
+    }
+
+    std::printf("Figure 13a: correlation of JIT-start events with "
+                "performance counters (ASP.NET subset, max heap)\n\n");
+    TextTable table({"Counter", "Mean r", "Min r", "Max r",
+                     "Paper direction"});
+    const std::map<std::string, std::string> expectations{
+        {"branch MPKI", "positive"},
+        {"LLC MPKI", "positive"},
+        {"page faults PKI", "positive"},
+        {"L1 I-cache MPKI", "slightly positive"},
+        {"useless prefetch ratio", "negative"},
+        {"instructions", "-"},
+        {"IPC", "-"},
+        {"L2 MPKI", "-"},
+    };
+    for (const auto &[name, rs] : by_counter) {
+        double mean = 0.0, lo = rs.front(), hi = rs.front();
+        for (double r : rs) {
+            mean += r;
+            lo = std::min(lo, r);
+            hi = std::max(hi, r);
+        }
+        mean /= static_cast<double>(rs.size());
+        auto it = expectations.find(name);
+        table.addRow({name, fmtFixed(mean, 3), fmtFixed(lo, 3),
+                      fmtFixed(hi, 3),
+                      it != expectations.end() ? it->second : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Note: the useless-prefetch correlation comes out "
+                "positive here because the simulator charges a "
+                "useless prefetch at EVICTION time, and JIT bursts "
+                "evict older unused prefetches; the paper's PMU "
+                "counts at issue/use time and sees the negative "
+                "(jitted pages are prefetchable) signal.\n");
+    return 0;
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Figure 13b reproduction: Pearson correlation of GC invocations
+ * with performance counters over cycle-interval samples of the
+ * ASP.NET subset (§VII-A2).
+ *
+ * Setup notes (see DESIGN.md's scale policy): the paper uses a small
+ * heap to make GC frequent; here the working sets are additionally
+ * scaled up (4x) so the heap spread rivals LLC capacity — without
+ * that, compaction cannot show an LLC-level benefit inside short
+ * windows. The paper observed counter responses delayed 10 us - 5 ms
+ * after the events, so alongside same-interval correlations this
+ * bench reports lag-1 correlations (event in interval i vs counter
+ * in interval i+1), which is where the compaction benefit lands.
+ *
+ * Paper shape: LLC MPKI responds negatively (~8% drop, compaction
+ * locality), instructions positively (collector code), IPC
+ * positively overall.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.hh"
+#include "core/correlation.hh"
+#include "core/report.hh"
+#include "stats/summary.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+/** Lag-1 Pearson: event[i] vs counter[i+1]. */
+double
+lagCorrelation(const std::vector<IntervalSample> &samples,
+               rt::RuntimeEventType type, CounterSeries series)
+{
+    const auto events = extractEventSeries(samples, type);
+    const auto counters = extractSeries(samples, series);
+    if (events.size() < 3)
+        return 0.0;
+    std::vector<double> e(events.begin(), events.end() - 1);
+    std::vector<double> c(counters.begin() + 1, counters.end());
+    return stats::pearson(e, c);
+}
+
+/**
+ * Event-aligned before/after means: for every GC interval g, average
+ * counter values over the quiet interval before (g-1) and after
+ * (g+1). This is how the paper manually verified causality (§VII-A:
+ * "changes in the performance counter values were observed after
+ * changes in the ... GC event samples").
+ */
+struct PrePost
+{
+    double pre = 0.0;
+    double post = 0.0;
+    int events = 0;
+};
+
+PrePost
+alignedPrePost(const std::vector<IntervalSample> &samples,
+               CounterSeries series)
+{
+    const auto counters = extractSeries(samples, series);
+    PrePost out;
+    for (std::size_t i = 1; i + 1 < samples.size(); ++i) {
+        if (samples[i].events.gcTriggered == 0)
+            continue;
+        if (samples[i - 1].events.gcTriggered != 0 ||
+            samples[i + 1].events.gcTriggered != 0)
+            continue; // need quiet neighbors
+        out.pre += counters[i - 1];
+        out.post += counters[i + 1];
+        ++out.events;
+    }
+    if (out.events > 0) {
+        out.pre /= out.events;
+        out.post /= out.events;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::fprintf(stderr, "Figure 13b: GC-event correlations\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = bench::tableIvAspnet();
+
+    const double interval_cycles =
+        static_cast<double>(bench::scaledInstructions(120'000));
+    const std::size_t samples = 60;
+
+    std::map<std::string, std::vector<double>> same;
+    std::vector<double> lag_llc, lag_ipc;
+    PrePost llc_pp, ipc_pp, inst_pp;
+    for (const auto &p : profiles) {
+        std::fprintf(stderr, "  sampling %s ...\n", p.name.c_str());
+        auto profile = p;
+        profile.tierUpCallThreshold = 0; // quiesce JIT noise
+        // LLC-scale working set so compaction matters at this level.
+        profile.dataFootprint *= 4;
+        RunOptions o = bench::standardOptions();
+        o.allocScale = 6.0;
+        // Server GC at a small heap: collections every few sampled
+        // intervals, as in the paper's small-heap configuration.
+        o.gcMode = rt::GcMode::Server;
+        o.maxHeapBytes = profile.dataFootprint * 2;
+        const auto series =
+            ch.sampleCycles(profile, o, interval_cycles, samples);
+        for (const auto &row : correlateEvents(
+                 series, rt::RuntimeEventType::GcTriggered))
+            same[row.name].push_back(row.r);
+        lag_llc.push_back(lagCorrelation(
+            series, rt::RuntimeEventType::GcTriggered,
+            CounterSeries::LlcMpki));
+        lag_ipc.push_back(lagCorrelation(
+            series, rt::RuntimeEventType::GcTriggered,
+            CounterSeries::Ipc));
+        const auto llc_i =
+            alignedPrePost(series, CounterSeries::LlcMpki);
+        const auto ipc_i = alignedPrePost(series, CounterSeries::Ipc);
+        const auto inst_i =
+            alignedPrePost(series, CounterSeries::Instructions);
+        llc_pp.pre += llc_i.pre * llc_i.events;
+        llc_pp.post += llc_i.post * llc_i.events;
+        llc_pp.events += llc_i.events;
+        ipc_pp.pre += ipc_i.pre * ipc_i.events;
+        ipc_pp.post += ipc_i.post * ipc_i.events;
+        ipc_pp.events += ipc_i.events;
+        inst_pp.pre += inst_i.pre * inst_i.events;
+        inst_pp.post += inst_i.post * inst_i.events;
+        inst_pp.events += inst_i.events;
+    }
+
+    std::printf("Figure 13b: correlation of GC invocations with "
+                "performance counters (ASP.NET subset, small heap, "
+                "LLC-scale working sets)\n\n");
+    TextTable table({"Counter", "Mean r", "Min r", "Max r",
+                     "Paper direction"});
+    const std::map<std::string, std::string> expectations{
+        {"LLC MPKI", "negative (locality gain)"},
+        {"instructions", "positive (GC code)"},
+        {"IPC", "positive"},
+    };
+    for (const auto &[name, rs] : same) {
+        double mean = 0.0, lo = rs.front(), hi = rs.front();
+        for (double r : rs) {
+            mean += r;
+            lo = std::min(lo, r);
+            hi = std::max(hi, r);
+        }
+        mean /= static_cast<double>(rs.size());
+        auto it = expectations.find(name);
+        table.addRow({name, fmtFixed(mean, 3), fmtFixed(lo, 3),
+                      fmtFixed(hi, 3),
+                      it != expectations.end() ? it->second : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto mean_of = [](const std::vector<double> &xs) {
+        double acc = 0.0;
+        for (double x : xs)
+            acc += x;
+        return acc / static_cast<double>(xs.size());
+    };
+    std::printf("Lag-1 correlations (event -> next interval, the "
+                "paper's delayed response):\n");
+    std::printf("  LLC MPKI (next): mean r = %s  (paper: negative)\n",
+                fmtFixed(mean_of(lag_llc), 3).c_str());
+    std::printf("  IPC      (next): mean r = %s  (paper: positive)\n",
+                fmtFixed(mean_of(lag_ipc), 3).c_str());
+
+    if (llc_pp.events > 0) {
+        llc_pp.pre /= llc_pp.events;
+        llc_pp.post /= llc_pp.events;
+    }
+    if (ipc_pp.events > 0) {
+        ipc_pp.pre /= ipc_pp.events;
+        ipc_pp.post /= ipc_pp.events;
+    }
+    if (inst_pp.events > 0) {
+        inst_pp.pre /= inst_pp.events;
+        inst_pp.post /= inst_pp.events;
+    }
+    std::printf("\nEvent-aligned means over the quiet intervals "
+                "before/after each GC (%d events):\n",
+                llc_pp.events);
+    auto pct = [](const PrePost &pp) {
+        return pp.pre != 0.0
+            ? 100.0 * (pp.post - pp.pre) / pp.pre
+            : 0.0;
+    };
+    std::printf("  LLC MPKI     : %.3f -> %.3f (%+.1f%%)   "
+                "(paper: ~-8%%)\n",
+                llc_pp.pre, llc_pp.post, pct(llc_pp));
+    std::printf("  IPC          : %.3f -> %.3f (%+.1f%%)   "
+                "(paper: positive)\n",
+                ipc_pp.pre, ipc_pp.post, pct(ipc_pp));
+    std::printf("  instructions : %.0f -> %.0f (%+.1f%%)   "
+                "(paper: footprint increases)\n",
+                inst_pp.pre, inst_pp.post, pct(inst_pp));
+    return 0;
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Figure 14 reproduction: workstation vs server GC across three
+ * maximum heap sizes for the .NET subset, reporting GC/Triggered,
+ * LLC MPKI and execution time, all normalized to workstation GC at
+ * the smallest heap.
+ *
+ * Heap mapping: the paper sweeps {200 MiB, 2,000 MiB, 20,000 MiB} on
+ * real hardware; at this repository's simulation scale those map to
+ * {12 MiB, 48 MiB, 192 MiB} so that heap-to-live-set ratios stay in
+ * the regimes that drive the paper's observations. Allocation
+ * pressure is amplified 8x to keep collection counts measurable in
+ * short windows (documented in DESIGN.md).
+ *
+ * Paper reference: server GC triggers 6.18x more often, cuts LLC
+ * MPKI to 0.59x, and runs 1.14x faster on average; compute-only
+ * categories like System.MathBenchmarks regress under server GC.
+ * The paper also reports OOM failures at the smallest heap
+ * (System.Collections under both GCs; System.Text, System.Tests
+ * under server GC); those cells depend on real allocator segment
+ * sizing and are marked, not simulated.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "core/report.hh"
+#include "workloads/registry.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+struct HeapPoint
+{
+    const char *label;
+    std::uint64_t bytes;
+};
+
+bool
+paperReportedOom(const std::string &bench, rt::GcMode mode,
+                 std::uint64_t heap_bytes)
+{
+    if (heap_bytes > 12 * MiB)
+        return false;
+    if (bench == "System.Collections")
+        return true; // fails under both GCs at 200 MiB
+    if (mode == rt::GcMode::Server &&
+        (bench == "System.Text" || bench == "System.Tests"))
+        return true;
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::fprintf(stderr, "Figure 14: GC mode x heap size sweep\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+
+    // The Table IV subset plus the categories the paper calls out.
+    auto profiles = bench::tableIvDotnet();
+    for (const char *extra :
+         {"System.Collections", "System.Text", "System.Tests"}) {
+        auto p = wl::findProfile(extra);
+        profiles.push_back(*p);
+    }
+
+    const HeapPoint heaps[] = {{"200MiB", 12 * MiB},
+                               {"2000MiB", 48 * MiB},
+                               {"20000MiB", 192 * MiB}};
+    const struct
+    {
+        rt::GcMode mode;
+        const char *label;
+    } modes[] = {{rt::GcMode::Workstation, "ws"},
+                 {rt::GcMode::Server, "srv"}};
+
+    struct Cell
+    {
+        bool oom = false;
+        bool ran = false;
+        double gcPki = 0.0;
+        double llcMpki = 0.0;
+        double seconds = 0.0;
+    };
+    std::vector<std::vector<Cell>> cells(
+        profiles.size(), std::vector<Cell>(6));
+
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        for (std::size_t h = 0; h < 3; ++h) {
+            for (std::size_t m = 0; m < 2; ++m) {
+                const std::size_t col = h * 2 + m;
+                Cell &cell = cells[b][col];
+                if (paperReportedOom(profiles[b].name, modes[m].mode,
+                                     heaps[h].bytes)) {
+                    cell.oom = true;
+                    continue;
+                }
+                auto profile = profiles[b];
+                // LLC-scale working sets (DESIGN.md scale policy):
+                // without them, heap effects stay invisible to the
+                // 24.75 MiB LLC inside short windows.
+                profile.dataFootprint *= 4;
+                RunOptions opts = bench::standardOptions();
+                opts.gcMode = modes[m].mode;
+                opts.maxHeapBytes = std::max<std::uint64_t>(
+                    heaps[h].bytes, profile.dataFootprint * 3 / 2);
+                opts.allocScale = 8.0;
+                opts.measuredInstructions =
+                    bench::scaledInstructions(1'500'000);
+                std::fprintf(stderr, "  %s %s@%s ...\n",
+                             profiles[b].name.c_str(),
+                             modes[m].label, heaps[h].label);
+                const auto r = ch.run(profile, opts);
+                cell.ran = true;
+                cell.gcPki = r.metrics[static_cast<std::size_t>(
+                    MetricId::GcTriggeredPki)];
+                cell.llcMpki = r.metrics[static_cast<std::size_t>(
+                    MetricId::LlcMpki)];
+                cell.seconds = r.seconds;
+            }
+        }
+    }
+
+    std::printf("Figure 14: comparison between different GCs "
+                "(normalized to workstation gc @ 200MiB-equivalent "
+                "heap)\n\n");
+
+    auto print_metric = [&](const char *title, auto getter,
+                            int places) {
+        std::vector<std::string> header{"Benchmark"};
+        for (const auto &heap : heaps) {
+            header.push_back(std::string("ws@") + heap.label);
+            header.push_back(std::string("srv@") + heap.label);
+        }
+        TextTable table(header);
+        for (std::size_t b = 0; b < profiles.size(); ++b) {
+            // Normalize against the first runnable cell of the row
+            // (ws@200MiB when it exists, as in the paper).
+            const Cell *base = nullptr;
+            for (const auto &cell : cells[b]) {
+                if (cell.ran && getter(cell) != 0.0) {
+                    base = &cell;
+                    break;
+                }
+            }
+            std::vector<std::string> row{profiles[b].name};
+            for (std::size_t col = 0; col < 6; ++col) {
+                const std::size_t h = col / 2, m = col % 2;
+                const Cell &cell = cells[b][h * 2 + m];
+                if (cell.oom) {
+                    row.push_back("OOM");
+                } else if (base == nullptr) {
+                    row.push_back(fmtFixed(getter(cell), places));
+                } else {
+                    row.push_back(fmtFixed(
+                        getter(cell) / getter(*base), places));
+                }
+            }
+            table.addRow(std::move(row));
+        }
+        std::printf("%s\n%s\n", title, table.render().c_str());
+    };
+
+    print_metric("GC/Triggered (normalized)",
+                 [](const Cell &c) { return c.gcPki; }, 2);
+    print_metric("LLC MPKI (normalized)",
+                 [](const Cell &c) { return c.llcMpki; }, 2);
+    print_metric("Execution time (normalized)",
+                 [](const Cell &c) { return c.seconds; }, 2);
+
+    // Aggregate server/workstation ratios across all runnable cells.
+    std::vector<double> trig_ratios, llc_ratios, time_ratios;
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        for (std::size_t h = 0; h < 3; ++h) {
+            const Cell &ws = cells[b][h * 2 + 0];
+            const Cell &srv = cells[b][h * 2 + 1];
+            if (!ws.ran || !srv.ran)
+                continue;
+            if (ws.gcPki > 0.0 && srv.gcPki > 0.0)
+                trig_ratios.push_back(srv.gcPki / ws.gcPki);
+            if (ws.llcMpki > 0.0 && srv.llcMpki > 0.0)
+                llc_ratios.push_back(srv.llcMpki / ws.llcMpki);
+            if (ws.seconds > 0.0)
+                time_ratios.push_back(ws.seconds / srv.seconds);
+        }
+    }
+    std::printf("Aggregate server-vs-workstation ratios "
+                "(geomean over runnable cells):\n");
+    std::printf("  GC/Triggered srv/ws : %s   (paper: 6.18x)\n",
+                fmtFixed(bench::geomeanFloored(trig_ratios), 2)
+                    .c_str());
+    std::printf("  LLC MPKI    srv/ws : %s   (paper: 0.59x)\n",
+                fmtFixed(bench::geomeanFloored(llc_ratios), 2)
+                    .c_str());
+    std::printf("  Speedup     ws/srv : %s   (paper: 1.14x)\n",
+                fmtFixed(bench::geomeanFloored(time_ratios), 2)
+                    .c_str());
+    return 0;
+}

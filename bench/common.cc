@@ -1,0 +1,118 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "stats/summary.hh"
+#include "workloads/registry.hh"
+
+namespace netchar::bench
+{
+
+namespace
+{
+
+std::vector<wl::WorkloadProfile>
+byNames(const std::vector<const char *> &picks)
+{
+    std::vector<wl::WorkloadProfile> out;
+    out.reserve(picks.size());
+    for (const char *name : picks) {
+        auto p = wl::findProfile(name);
+        if (!p)
+            throw std::logic_error(std::string("missing profile: ") +
+                                   name);
+        out.push_back(std::move(*p));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<wl::WorkloadProfile>
+tableIvDotnet()
+{
+    return byNames({"System.Runtime", "System.Threading",
+                    "System.ComponentModel", "System.Linq",
+                    "System.Net", "System.MathBenchmarks",
+                    "System.Diagnostics", "CscBench"});
+}
+
+std::vector<wl::WorkloadProfile>
+tableIvAspnet()
+{
+    return byNames({"DbFortunesRaw", "MvcDbFortunesRaw",
+                    "MvcDbMultiUpdateRaw", "Plaintext", "Json",
+                    "CopyToAsync", "MvcJsonNetOutput2M",
+                    "MvcJsonNetInput2M"});
+}
+
+std::vector<wl::WorkloadProfile>
+tableIvSpec()
+{
+    return byNames({"mcf", "cactuBSSN", "wrf", "gcc", "omnetpp",
+                    "perlbench", "xalancbmk", "bwaves"});
+}
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("NETCHAR_QUICK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::uint64_t
+scaledInstructions(std::uint64_t full)
+{
+    return quickMode() ? full / 5 : full;
+}
+
+RunOptions
+standardOptions()
+{
+    RunOptions o;
+    o.warmupInstructions = scaledInstructions(600'000);
+    return o;
+}
+
+std::vector<RunResult>
+runSuite(const Characterizer &ch,
+         const std::vector<wl::WorkloadProfile> &profiles,
+         const RunOptions &options)
+{
+    std::vector<RunResult> out;
+    out.reserve(profiles.size());
+    for (const auto &p : profiles) {
+        auto opts = options;
+        if (opts.measuredInstructions == 0)
+            opts.measuredInstructions =
+                scaledInstructions(p.instructions);
+        std::fprintf(stderr, "  [%s] %s ...\n",
+                     ch.config().name.c_str(), p.name.c_str());
+        out.push_back(ch.run(p, opts));
+    }
+    return out;
+}
+
+std::vector<std::string>
+names(const std::vector<wl::WorkloadProfile> &profiles)
+{
+    std::vector<std::string> out;
+    out.reserve(profiles.size());
+    for (const auto &p : profiles)
+        out.push_back(p.name);
+    return out;
+}
+
+double
+geomeanFloored(const std::vector<double> &xs, double floor)
+{
+    std::vector<double> clamped;
+    clamped.reserve(xs.size());
+    for (double x : xs)
+        clamped.push_back(x < floor ? floor : x);
+    return stats::geomean(clamped);
+}
+
+} // namespace netchar::bench

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: the
+ * Table IV representative subsets, standard run options, progress
+ * reporting, and a quick mode for smoke runs.
+ */
+
+#ifndef NETCHAR_BENCH_COMMON_HH
+#define NETCHAR_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "workloads/profile.hh"
+
+namespace netchar::bench
+{
+
+/** Table IV: the 8-category .NET representative subset. */
+std::vector<wl::WorkloadProfile> tableIvDotnet();
+
+/** Table IV: the 8-element ASP.NET representative subset. */
+std::vector<wl::WorkloadProfile> tableIvAspnet();
+
+/** Table IV: the 8-element SPEC CPU17 representative subset. */
+std::vector<wl::WorkloadProfile> tableIvSpec();
+
+/**
+ * True when NETCHAR_QUICK is set in the environment: benches shrink
+ * their instruction budgets ~5x for smoke runs.
+ */
+bool quickMode();
+
+/** Standard §III methodology options (honors quick mode). */
+RunOptions standardOptions();
+
+/**
+ * Characterize a list of profiles with a progress line per benchmark
+ * on stderr (stdout stays clean for the reproduced table/figure).
+ */
+std::vector<RunResult>
+runSuite(const Characterizer &ch,
+         const std::vector<wl::WorkloadProfile> &profiles,
+         const RunOptions &options);
+
+/** Scale an instruction budget down in quick mode. */
+std::uint64_t scaledInstructions(std::uint64_t full);
+
+/** Names of a profile list. */
+std::vector<std::string>
+names(const std::vector<wl::WorkloadProfile> &profiles);
+
+/** Geometric mean that tolerates zeros by flooring at `floor`. */
+double geomeanFloored(const std::vector<double> &xs,
+                      double floor = 1e-4);
+
+} // namespace netchar::bench
+
+#endif // NETCHAR_BENCH_COMMON_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scenario: choosing a GC configuration for a .NET service — the
+ * §VII-B study turned into a tuning tool. Sweeps workstation vs
+ * server GC across heap limits for one service profile and reports
+ * throughput, GC rate and cache behavior so the best configuration
+ * can be picked per deployment size.
+ */
+
+#include <cstdio>
+
+#include "core/characterize.hh"
+#include "core/report.hh"
+#include "workloads/registry.hh"
+
+using namespace netchar;
+
+int
+main()
+{
+    constexpr std::uint64_t MiB = 1024 * 1024;
+    // The service under study: JSON serialization under allocation
+    // pressure (swap in your own profile here).
+    auto service = *wl::findProfile("Json");
+    service.instructions = 1'200'000;
+
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+
+    std::printf("GC tuning study for '%s'\n\n", service.name.c_str());
+    TextTable table({"Config", "GC/Triggered PKI", "LLC MPKI",
+                     "CPI", "Relative throughput"});
+
+    double baseline_ips = 0.0;
+    for (const auto mode :
+         {rt::GcMode::Workstation, rt::GcMode::Server}) {
+        for (const std::uint64_t heap :
+             {24 * MiB, 96 * MiB, 384 * MiB}) {
+            RunOptions opts;
+            opts.warmupInstructions = 500'000;
+            opts.gcMode = mode;
+            opts.maxHeapBytes = heap;
+            opts.allocScale = 6.0; // service under allocation load
+            const auto r = ch.run(service, opts);
+            if (baseline_ips == 0.0)
+                baseline_ips = r.instructionsPerSecond;
+            const std::string label =
+                std::string(mode == rt::GcMode::Server
+                                ? "server"
+                                : "workstation") +
+                " @ " + std::to_string(heap / MiB) + " MiB";
+            table.addRow(
+                {label,
+                 fmtFixed(r.metrics[static_cast<std::size_t>(
+                              MetricId::GcTriggeredPki)],
+                          4),
+                 fmtFixed(r.metrics[static_cast<std::size_t>(
+                              MetricId::LlcMpki)],
+                          3),
+                 fmtFixed(r.counters.cpi(), 3),
+                 fmtFixed(r.instructionsPerSecond / baseline_ips,
+                          3)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Reading the table: server GC collects more often "
+                "but keeps the heap compact (lower LLC MPKI); for "
+                "allocation-heavy services that usually wins unless "
+                "the working set barely touches the caches "
+                "(§VII-B).\n");
+    return 0;
+}

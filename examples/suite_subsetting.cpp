@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Scenario: you maintain a large internal benchmark suite and want a
+ * small representative subset for nightly architecture studies —
+ * exactly the paper's §IV use case, on your own workloads.
+ *
+ * This example builds a 60-benchmark "internal suite" by mixing
+ * variants of three service archetypes, runs the full PCA +
+ * clustering pipeline, validates the chosen subset with composite
+ * scores across two machines, and prints everything a team would
+ * archive: the dendrogram, the subset, and the validation accuracy.
+ */
+
+#include <cstdio>
+
+#include "core/characterize.hh"
+#include "core/report.hh"
+#include "core/subset.hh"
+#include "workloads/registry.hh"
+
+using namespace netchar;
+
+int
+main()
+{
+    // An "internal suite": 60 jittered variants of three archetypes.
+    std::vector<wl::WorkloadProfile> suite;
+    for (const char *base :
+         {"Json", "System.Collections", "DbMultiQueryRaw"}) {
+        const auto archetype = *wl::findProfile(base);
+        for (unsigned v = 0; v < 20; ++v) {
+            auto variant = archetype.makeVariant(v, 0.35);
+            variant.instructions = 400'000;
+            suite.push_back(std::move(variant));
+        }
+    }
+    std::printf("Internal suite: %zu benchmarks from 3 archetypes\n\n",
+                suite.size());
+
+    // Characterize everything on the primary machine.
+    Characterizer primary(sim::MachineConfig::intelCoreI99980Xe());
+    RunOptions opts;
+    opts.warmupInstructions = 300'000;
+    std::vector<MetricVector> rows;
+    std::vector<double> primary_seconds;
+    for (const auto &p : suite) {
+        const auto r = primary.run(p, opts);
+        rows.push_back(r.metrics);
+        primary_seconds.push_back(r.seconds);
+    }
+
+    // Build a 6-element representative subset.
+    SubsetOptions sopts;
+    sopts.subsetSize = 6;
+    const auto subset = buildSubset(rows, sopts);
+
+    std::printf("Representative subset (6 of %zu):\n", suite.size());
+    for (std::size_t idx : subset.representatives)
+        std::printf("  %s\n", suite[idx].name.c_str());
+    std::printf("\nPRCO variance explained: %s\n\n",
+                fmtPercent(subset.pca.cumulativeExplained()).c_str());
+
+    // Validate: does the subset predict a second machine's speedup?
+    Characterizer baseline(sim::MachineConfig::intelXeonE52620V4());
+    std::vector<double> baseline_seconds;
+    for (const auto &p : suite)
+        baseline_seconds.push_back(baseline.run(p, opts).seconds);
+
+    const auto scores =
+        benchmarkScores(baseline_seconds, primary_seconds);
+    const double full = compositeScore(scores);
+    const double picked =
+        compositeScore(scores, subset.representatives);
+    std::printf("Composite speedup (Xeon -> i9): full suite %s, "
+                "subset %s -> accuracy %s\n",
+                fmtFixed(full, 3).c_str(), fmtFixed(picked, 3).c_str(),
+                (fmtFixed(subsetAccuracyPct(full, picked), 1) + "%")
+                    .c_str());
+
+    std::printf("\nCluster sizes:");
+    for (const auto &cluster : subset.clusters)
+        std::printf(" %zu", cluster.size());
+    std::printf("\nArchetypes should largely separate into their own "
+                "clusters; inspect any cluster that mixes them.\n");
+    return 0;
+}

@@ -1,0 +1,215 @@
+#include "core/characterize.hh"
+
+#include <memory>
+
+#include "sim/machine.hh"
+#include "workloads/synth.hh"
+
+namespace netchar
+{
+
+Characterizer::Characterizer(sim::MachineConfig config)
+    : config_(std::move(config))
+{
+}
+
+wl::WorkloadProfile
+Characterizer::applyOverrides(const wl::WorkloadProfile &p,
+                              const RunOptions &o) const
+{
+    wl::WorkloadProfile out = p;
+    if (o.gcMode)
+        out.gcMode = *o.gcMode;
+    if (o.gcAssist)
+        out.gcAssist = *o.gcAssist;
+    if (o.maxHeapBytes)
+        out.maxHeapBytes = *o.maxHeapBytes;
+    out.allocBytesPerInst *= o.allocScale;
+    if (out.managed && out.maxHeapBytes < out.dataFootprint)
+        out.dataFootprint = out.maxHeapBytes;
+    out.validate();
+    return out;
+}
+
+namespace
+{
+
+/** Machine + workload instances for one run. */
+struct Rig
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::vector<std::unique_ptr<wl::SynthWorkload>> workloads;
+    std::shared_ptr<rt::Clr> clr; // null for native
+
+    /** Run `count` instructions on every core, interleaved. */
+    void
+    advance(std::uint64_t count, std::uint64_t quantum)
+    {
+        const unsigned n = machine->coreCount();
+        std::uint64_t done = 0;
+        while (done < count) {
+            const std::uint64_t step =
+                std::min<std::uint64_t>(quantum, count - done);
+            for (unsigned c = 0; c < n; ++c)
+                workloads[c]->run(machine->core(c), step);
+            done += step;
+        }
+    }
+};
+
+Rig
+buildRig(const sim::MachineConfig &config,
+         const wl::WorkloadProfile &profile, const RunOptions &options)
+{
+    Rig rig;
+    rig.machine = std::make_unique<sim::Machine>(
+        config, options.cores, options.seed, options.noc);
+    rig.machine->setJitHintEnabled(options.jitHint);
+
+    const wl::SpreadFactors spread{config.codeSpreadFactor,
+                                   config.dataSpreadFactor};
+    if (profile.managed) {
+        rig.clr = wl::SynthWorkload::makeClr(
+            profile, profile.seed ^ options.seed, spread);
+    }
+    for (unsigned c = 0; c < rig.machine->coreCount(); ++c) {
+        rig.workloads.push_back(std::make_unique<wl::SynthWorkload>(
+            profile, options.seed * 1000003ULL + c, rig.clr, spread));
+    }
+    return rig;
+}
+
+} // namespace
+
+RunResult
+Characterizer::run(const wl::WorkloadProfile &raw_profile,
+                   const RunOptions &options) const
+{
+    const auto profile = applyOverrides(raw_profile, options);
+    Rig rig = buildRig(config_, profile, options);
+
+    rig.advance(options.warmupInstructions, options.quantum);
+
+    const auto snap_counters = rig.machine->totalCounters();
+    const auto snap_slots = rig.machine->totalSlots();
+    const auto snap_events = rig.clr
+        ? rig.clr->trace().counts()
+        : rt::RuntimeEventCounts{};
+    const double snap_seconds = rig.machine->seconds();
+
+    const std::uint64_t measured = options.measuredInstructions > 0
+        ? options.measuredInstructions
+        : profile.instructions;
+    rig.advance(measured, options.quantum);
+
+    RunResult result;
+    result.counters = rig.machine->totalCounters().delta(snap_counters);
+    result.slots = rig.machine->totalSlots().delta(snap_slots);
+    result.events = rig.clr
+        ? rig.clr->trace().counts().delta(snap_events)
+        : rt::RuntimeEventCounts{};
+    result.seconds = rig.machine->seconds() - snap_seconds;
+    result.metrics = computeMetrics(result.counters, result.events,
+                                    profile.cpuUtil, result.seconds);
+    result.instructionsPerSecond = result.seconds > 0.0
+        ? static_cast<double>(result.counters.instructions) /
+              result.seconds
+        : 0.0;
+    return result;
+}
+
+std::vector<IntervalSample>
+Characterizer::sample(const wl::WorkloadProfile &raw_profile,
+                      const RunOptions &options,
+                      std::uint64_t interval_instructions,
+                      std::size_t samples) const
+{
+    const auto profile = applyOverrides(raw_profile, options);
+    Rig rig = buildRig(config_, profile, options);
+
+    rig.advance(options.warmupInstructions, options.quantum);
+
+    std::vector<IntervalSample> out;
+    out.reserve(samples);
+    auto prev_counters = rig.machine->totalCounters();
+    auto prev_slots = rig.machine->totalSlots();
+    auto prev_events = rig.clr
+        ? rig.clr->trace().counts()
+        : rt::RuntimeEventCounts{};
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        rig.advance(interval_instructions, options.quantum);
+        IntervalSample s;
+        const auto counters = rig.machine->totalCounters();
+        const auto slots = rig.machine->totalSlots();
+        const auto events = rig.clr
+            ? rig.clr->trace().counts()
+            : rt::RuntimeEventCounts{};
+        s.counters = counters.delta(prev_counters);
+        s.slots = slots.delta(prev_slots);
+        s.events = events.delta(prev_events);
+        prev_counters = counters;
+        prev_slots = slots;
+        prev_events = events;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<IntervalSample>
+Characterizer::sampleCycles(const wl::WorkloadProfile &raw_profile,
+                            const RunOptions &options,
+                            double interval_cycles,
+                            std::size_t samples) const
+{
+    const auto profile = applyOverrides(raw_profile, options);
+    Rig rig = buildRig(config_, profile, options);
+
+    rig.advance(options.warmupInstructions, options.quantum);
+
+    std::vector<IntervalSample> out;
+    out.reserve(samples);
+    auto prev_counters = rig.machine->totalCounters();
+    auto prev_slots = rig.machine->totalSlots();
+    auto prev_events = rig.clr
+        ? rig.clr->trace().counts()
+        : rt::RuntimeEventCounts{};
+
+    // Advance in small instruction chunks until each cycle window
+    // fills; granularity error is one chunk.
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(500, options.quantum / 16);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double target =
+            prev_counters.cycles + interval_cycles;
+        while (rig.machine->totalCounters().cycles < target)
+            rig.advance(chunk, chunk);
+        IntervalSample s;
+        const auto counters = rig.machine->totalCounters();
+        const auto slots = rig.machine->totalSlots();
+        const auto events = rig.clr
+            ? rig.clr->trace().counts()
+            : rt::RuntimeEventCounts{};
+        s.counters = counters.delta(prev_counters);
+        s.slots = slots.delta(prev_slots);
+        s.events = events.delta(prev_events);
+        prev_counters = counters;
+        prev_slots = slots;
+        prev_events = events;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<RunResult>
+Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
+                      const RunOptions &options) const
+{
+    std::vector<RunResult> out;
+    out.reserve(profiles.size());
+    for (const auto &p : profiles)
+        out.push_back(run(p, options));
+    return out;
+}
+
+} // namespace netchar

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Characterizer: the measurement harness. Runs a workload profile on
+ * a simulated machine following the paper's methodology (§III): warm
+ * up (the discarded first run), then measure a steady-state window,
+ * collecting perf counters, Top-Down slots and runtime events.
+ */
+
+#ifndef NETCHAR_CORE_CHARACTERIZE_HH
+#define NETCHAR_CORE_CHARACTERIZE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "runtime/events.hh"
+#include "runtime/gc.hh"
+#include "sim/config.hh"
+#include "sim/counters.hh"
+#include "sim/noc.hh"
+#include "workloads/profile.hh"
+
+namespace netchar
+{
+
+/** Knobs for one characterization run. */
+struct RunOptions
+{
+    /** Warmup instructions per core (discarded, §III-A). */
+    std::uint64_t warmupInstructions = 600'000;
+    /** Measured instructions per core (0 = profile default). */
+    std::uint64_t measuredInstructions = 0;
+    /** Cores the workload runs on (ASP.NET scaling sweeps). */
+    unsigned cores = 1;
+    /** Run seed (vary for repetitions). */
+    std::uint64_t seed = 1;
+    /** Enable the JIT ISA-hint ablation (§VII-A1 proposal). */
+    bool jitHint = false;
+    /** NoC contention knobs (ablation switch inside). */
+    sim::NocParams noc{};
+    /** Override the profile's GC mode (Fig 14 sweeps). */
+    std::optional<rt::GcMode> gcMode;
+    /** Override the profile's GC assist mode (hardware-GC ablation). */
+    std::optional<rt::GcAssist> gcAssist;
+    /** Override the profile's max heap bytes (Fig 14 sweeps). */
+    std::optional<std::uint64_t> maxHeapBytes;
+    /** Scale the profile's allocation rate (GC-pressure studies). */
+    double allocScale = 1.0;
+    /** Round-robin quantum for multi-core interleaving. */
+    std::uint64_t quantum = 20'000;
+};
+
+/** Everything measured in one steady-state window. */
+struct RunResult
+{
+    /** Aggregate counters over all cores, measured window only. */
+    sim::PerfCounters counters;
+    /** Aggregate Top-Down slots, measured window only. */
+    sim::SlotAccount slots;
+    /** Runtime events (zeros for native workloads). */
+    rt::RuntimeEventCounts events;
+    /** Table I metric vector. */
+    MetricVector metrics;
+    /** Wall-clock seconds of the measured window. */
+    double seconds = 0.0;
+    /** Benchmark throughput proxy: instructions per second. */
+    double instructionsPerSecond = 0.0;
+};
+
+/** One interval sample of a run (the §VII correlation studies). */
+struct IntervalSample
+{
+    sim::PerfCounters counters;
+    sim::SlotAccount slots;
+    rt::RuntimeEventCounts events;
+};
+
+/**
+ * Measurement harness bound to one machine configuration. Stateless
+ * across run() calls: every run builds a fresh machine.
+ */
+class Characterizer
+{
+  public:
+    explicit Characterizer(sim::MachineConfig config);
+
+    /** Machine configuration in use. */
+    const sim::MachineConfig &config() const { return config_; }
+
+    /**
+     * Run one benchmark: warmup, then measure. Multi-core runs share
+     * one CLR (one server process) and interleave cores round-robin.
+     */
+    RunResult run(const wl::WorkloadProfile &profile,
+                  const RunOptions &options = {}) const;
+
+    /**
+     * Run one benchmark and capture per-interval deltas after warmup
+     * (the LTTng-style 1 ms sampling of §VII-A, scaled to
+     * instructions).
+     *
+     * @param interval_instructions Instructions per sample.
+     * @param samples Number of samples to take.
+     */
+    std::vector<IntervalSample>
+    sample(const wl::WorkloadProfile &profile, const RunOptions &options,
+           std::uint64_t interval_instructions,
+           std::size_t samples) const;
+
+    /**
+     * As sample(), but intervals are fixed *cycle* windows — the
+     * faithful analogue of the paper's 1 ms wall-clock sampling.
+     * Instruction counts then vary per interval with IPC, which the
+     * §VII correlation studies rely on.
+     */
+    std::vector<IntervalSample>
+    sampleCycles(const wl::WorkloadProfile &profile,
+                 const RunOptions &options,
+                 double interval_cycles, std::size_t samples) const;
+
+    /**
+     * Characterize a whole list of profiles (one row per benchmark).
+     */
+    std::vector<RunResult>
+    runAll(const std::vector<wl::WorkloadProfile> &profiles,
+           const RunOptions &options = {}) const;
+
+  private:
+    wl::WorkloadProfile applyOverrides(const wl::WorkloadProfile &p,
+                                       const RunOptions &o) const;
+
+    sim::MachineConfig config_;
+};
+
+} // namespace netchar
+
+#endif // NETCHAR_CORE_CHARACTERIZE_HH

@@ -1,0 +1,179 @@
+#include "core/export.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace netchar
+{
+
+std::string
+csvField(const std::string &raw)
+{
+    if (raw.find_first_of(",\"\n") == std::string::npos)
+        return raw;
+    std::string out = "\"";
+    for (char c : raw) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+requireSameLength(const std::vector<std::string> &names,
+                  const std::vector<RunResult> &results)
+{
+    if (names.size() != results.size())
+        throw std::invalid_argument(
+            "export: names/results length mismatch");
+}
+
+std::string
+num(double value)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+metricsCsv(const std::vector<std::string> &names,
+           const std::vector<RunResult> &results)
+{
+    requireSameLength(names, results);
+    std::ostringstream os;
+    os << "benchmark";
+    for (const auto &info : metricTable())
+        os << ',' << csvField(std::string(info.name));
+    os << '\n';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << csvField(names[i]);
+        for (double v : results[i].metrics)
+            os << ',' << num(v);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+topdownCsv(const std::vector<std::string> &names,
+           const std::vector<RunResult> &results)
+{
+    requireSameLength(names, results);
+    std::ostringstream os;
+    os << "benchmark,retiring,bad_speculation,frontend_bound,"
+          "backend_bound,fe_icache,fe_itlb,fe_btb,fe_ms,fe_dsb_bw,"
+          "fe_mite_bw,be_l1,be_l2,be_l3,be_dram,be_store,be_ports,"
+          "be_divider\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto td = TopDownProfile::fromSlots(results[i].slots);
+        os << csvField(names[i]) << ',' << num(td.level1.retiring)
+           << ',' << num(td.level1.badSpeculation) << ','
+           << num(td.level1.frontendBound) << ','
+           << num(td.level1.backendBound) << ','
+           << num(td.frontend.icacheMisses) << ','
+           << num(td.frontend.itlbMisses) << ','
+           << num(td.frontend.branchResteers) << ','
+           << num(td.frontend.msSwitches) << ','
+           << num(td.frontend.dsbBandwidth) << ','
+           << num(td.frontend.miteBandwidth) << ','
+           << num(td.backend.l1Bound) << ',' << num(td.backend.l2Bound)
+           << ',' << num(td.backend.l3Bound) << ','
+           << num(td.backend.dramBound) << ','
+           << num(td.backend.storeBound) << ','
+           << num(td.backend.portsUtilization) << ','
+           << num(td.backend.divider) << '\n';
+    }
+    return os.str();
+}
+
+std::string
+runResultJson(const std::string &name, const RunResult &result)
+{
+    const auto &c = result.counters;
+    const auto td = TopDownProfile::fromSlots(result.slots);
+    std::ostringstream os;
+    os << "{\"benchmark\":\"" << jsonEscape(name) << "\",";
+    os << "\"seconds\":" << num(result.seconds) << ',';
+    os << "\"instructions\":" << c.instructions << ',';
+    os << "\"cycles\":" << num(c.cycles) << ',';
+    os << "\"metrics\":{";
+    bool first = true;
+    for (const auto &info : metricTable()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(std::string(info.name)) << "\":"
+           << num(result.metrics[static_cast<std::size_t>(info.id)]);
+    }
+    os << "},\"topdown\":{";
+    os << "\"retiring\":" << num(td.level1.retiring) << ',';
+    os << "\"bad_speculation\":" << num(td.level1.badSpeculation)
+       << ',';
+    os << "\"frontend_bound\":" << num(td.level1.frontendBound)
+       << ',';
+    os << "\"backend_bound\":" << num(td.level1.backendBound);
+    os << "},\"events\":{";
+    os << "\"gc_triggered\":" << result.events.gcTriggered << ',';
+    os << "\"gc_allocation_tick\":" << result.events.gcAllocationTick
+       << ',';
+    os << "\"jit_started\":" << result.events.jitStarted << ',';
+    os << "\"exception_start\":" << result.events.exceptionStart
+       << ',';
+    os << "\"contention_start\":" << result.events.contentionStart;
+    os << "}}";
+    return os.str();
+}
+
+std::string
+suiteJson(const std::vector<std::string> &names,
+          const std::vector<RunResult> &results)
+{
+    requireSameLength(names, results);
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << runResultJson(names[i], results[i]);
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace netchar

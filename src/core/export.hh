@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable export of characterization results: CSV for
+ * spreadsheet/pandas pipelines and a minimal JSON serialization for
+ * dashboards. Every bench prints human-readable tables; downstream
+ * tooling should consume these exports instead of scraping text.
+ */
+
+#ifndef NETCHAR_CORE_EXPORT_HH
+#define NETCHAR_CORE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/topdown.hh"
+
+namespace netchar
+{
+
+/**
+ * CSV of Table I metrics: one row per benchmark, one column per
+ * metric (header uses the Table I names), preceded by a `benchmark`
+ * column. Fields containing commas/quotes are quoted per RFC 4180.
+ *
+ * @param names One label per result row.
+ * @param results Same length as names (throws otherwise).
+ */
+std::string metricsCsv(const std::vector<std::string> &names,
+                       const std::vector<RunResult> &results);
+
+/**
+ * CSV of Top-Down level-1 + level-2 fractions, one row per benchmark.
+ */
+std::string topdownCsv(const std::vector<std::string> &names,
+                       const std::vector<RunResult> &results);
+
+/**
+ * JSON document for one run: counters, metrics (keyed by Table I
+ * name), Top-Down profile and runtime events. Self-contained; no
+ * external JSON library.
+ */
+std::string runResultJson(const std::string &name,
+                          const RunResult &result);
+
+/**
+ * JSON array of runResultJson objects.
+ */
+std::string suiteJson(const std::vector<std::string> &names,
+                      const std::vector<RunResult> &results);
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &raw);
+
+/** Quote a CSV field when needed (RFC 4180). */
+std::string csvField(const std::string &raw);
+
+} // namespace netchar
+
+#endif // NETCHAR_CORE_EXPORT_HH

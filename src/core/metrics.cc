@@ -1,0 +1,170 @@
+#include "core/metrics.hh"
+
+#include <stdexcept>
+
+namespace netchar
+{
+
+const std::array<MetricInfo, kNumMetrics> &
+metricTable()
+{
+    static const std::array<MetricInfo, kNumMetrics> table = {{
+        {MetricId::KernelInstructionPct, "Kernel instructions",
+         "Inst Mix", "Percentage"},
+        {MetricId::UserInstructionPct, "User instructions",
+         "Inst Mix", "Percentage"},
+        {MetricId::BranchInstructionPct, "Branch instructions",
+         "Inst Mix", "Percentage"},
+        {MetricId::MemoryLoadPct, "Memory loads", "Inst Mix",
+         "Percentage"},
+        {MetricId::MemoryStorePct, "Memory stores", "Inst Mix",
+         "Percentage"},
+        {MetricId::Cpi, "Cycle per instruction", "CPI",
+         "Per instruction"},
+        {MetricId::CpuUtilizationPct, "CPU utilization", "CPU Usage",
+         "Percentage"},
+        {MetricId::BranchMpki, "Branch misses", "Branch", "MPKI"},
+        {MetricId::L1dMpki, "L1-dcache misses", "Cache", "MPKI"},
+        {MetricId::L1iMpki, "L1-icache misses", "Cache", "MPKI"},
+        {MetricId::L2Mpki, "L2 cache misses", "Cache", "MPKI"},
+        {MetricId::LlcMpki, "LLC misses", "Cache", "MPKI"},
+        {MetricId::ItlbMpki, "iTLB misses", "TLB", "MPKI"},
+        {MetricId::DtlbLoadMpki, "dTLB load misses", "TLB", "MPKI"},
+        {MetricId::DtlbStoreMpki, "dTLB store misses", "TLB", "MPKI"},
+        {MetricId::MemReadBwMBps, "Memory read bandwidth", "Memory",
+         "MB per sec"},
+        {MetricId::MemWriteBwMBps, "Memory write bandwidth", "Memory",
+         "MB per sec"},
+        {MetricId::MemPageMissRatePct, "Memory page miss rate",
+         "Memory", "Percentage"},
+        {MetricId::PageFaultPki, "Page faults", "Memory", "PKI"},
+        {MetricId::GcTriggeredPki, "GC/Triggered",
+         "Garbage Collection", "PKI"},
+        {MetricId::GcAllocationTickPki, "GC/AllocationTick",
+         "Garbage Collection", "PKI"},
+        {MetricId::JitStartedPki, "JIT Method/JittingStarted", "JIT",
+         "PKI"},
+        {MetricId::ExceptionStartPki, "Exception/Start", "Exception",
+         "PKI"},
+        {MetricId::ContentionStartPki, "Contention/Start",
+         "Contention", "PKI"},
+    }};
+    return table;
+}
+
+std::string_view
+metricName(MetricId id)
+{
+    return metricTable()[static_cast<std::size_t>(id)].name;
+}
+
+std::string_view
+metricName(std::size_t id)
+{
+    if (id >= kNumMetrics)
+        throw std::out_of_range("metricName");
+    return metricTable()[id].name;
+}
+
+MetricVector
+computeMetrics(const sim::PerfCounters &c,
+               const rt::RuntimeEventCounts &events,
+               double cpu_utilization, double seconds)
+{
+    MetricVector m{};
+    const auto n = static_cast<double>(c.instructions);
+    const double pct = n > 0.0 ? 100.0 / n : 0.0;
+    auto set = [&m](MetricId id, double value) {
+        m[static_cast<std::size_t>(id)] = value;
+    };
+
+    set(MetricId::KernelInstructionPct,
+        static_cast<double>(c.kernelInstructions) * pct);
+    set(MetricId::UserInstructionPct,
+        static_cast<double>(c.instructions - c.kernelInstructions) *
+            pct);
+    set(MetricId::BranchInstructionPct,
+        static_cast<double>(c.branches) * pct);
+    set(MetricId::MemoryLoadPct, static_cast<double>(c.loads) * pct);
+    set(MetricId::MemoryStorePct, static_cast<double>(c.stores) * pct);
+    set(MetricId::Cpi, c.cpi());
+    set(MetricId::CpuUtilizationPct, 100.0 * cpu_utilization);
+    set(MetricId::BranchMpki, c.mpki(c.branchMisses));
+    set(MetricId::L1dMpki, c.mpki(c.l1dMisses));
+    set(MetricId::L1iMpki, c.mpki(c.l1iMisses));
+    set(MetricId::L2Mpki, c.mpki(c.l2Misses));
+    set(MetricId::LlcMpki, c.mpki(c.llcMisses));
+    set(MetricId::ItlbMpki, c.mpki(c.itlbMisses));
+    set(MetricId::DtlbLoadMpki, c.mpki(c.dtlbLoadMisses));
+    set(MetricId::DtlbStoreMpki, c.mpki(c.dtlbStoreMisses));
+    const double to_mbps =
+        seconds > 0.0 ? 1.0 / (seconds * 1024.0 * 1024.0) : 0.0;
+    set(MetricId::MemReadBwMBps,
+        static_cast<double>(c.memReadBytes) * to_mbps);
+    set(MetricId::MemWriteBwMBps,
+        static_cast<double>(c.memWriteBytes) * to_mbps);
+    set(MetricId::MemPageMissRatePct,
+        c.dramAccesses > 0
+            ? 100.0 * static_cast<double>(c.dramRowMisses) /
+                  static_cast<double>(c.dramAccesses)
+            : 0.0);
+    set(MetricId::PageFaultPki, c.mpki(c.pageFaults));
+    set(MetricId::GcTriggeredPki,
+        events.pki(rt::RuntimeEventType::GcTriggered, c.instructions));
+    set(MetricId::GcAllocationTickPki,
+        events.pki(rt::RuntimeEventType::GcAllocationTick,
+                   c.instructions));
+    set(MetricId::JitStartedPki,
+        events.pki(rt::RuntimeEventType::JitStarted, c.instructions));
+    set(MetricId::ExceptionStartPki,
+        events.pki(rt::RuntimeEventType::ExceptionStart,
+                   c.instructions));
+    set(MetricId::ContentionStartPki,
+        events.pki(rt::RuntimeEventType::ContentionStart,
+                   c.instructions));
+    return m;
+}
+
+std::vector<std::size_t>
+controlFlowMetricIds()
+{
+    return {2, 7};
+}
+
+std::vector<std::size_t>
+memoryMetricIds()
+{
+    return {8, 9, 10, 11, 12, 13, 14};
+}
+
+std::vector<std::size_t>
+runtimeMetricIds()
+{
+    return {19, 20, 21, 22, 23};
+}
+
+stats::Matrix
+toMatrix(const std::vector<MetricVector> &rows)
+{
+    std::vector<std::size_t> all(kNumMetrics);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        all[i] = i;
+    return toMatrix(rows, all);
+}
+
+stats::Matrix
+toMatrix(const std::vector<MetricVector> &rows,
+         const std::vector<std::size_t> &metric_ids)
+{
+    stats::Matrix m(rows.size(), metric_ids.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < metric_ids.size(); ++c) {
+            if (metric_ids[c] >= kNumMetrics)
+                throw std::out_of_range("toMatrix: bad metric id");
+            m(r, c) = rows[r][metric_ids[c]];
+        }
+    }
+    return m;
+}
+
+} // namespace netchar

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table I: the 24 characterization metrics, their normalization units
+ * and IDs, plus conversion from raw counters to metric vectors.
+ *
+ * Metric IDs follow the paper exactly (0-23), so "Metrics 2, 7" in
+ * §V-C/§V-D (control-flow behavior) and "Metrics 8-14" (memory
+ * behavior) refer to the same indices here.
+ */
+
+#ifndef NETCHAR_CORE_METRICS_HH
+#define NETCHAR_CORE_METRICS_HH
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "runtime/events.hh"
+#include "sim/counters.hh"
+#include "stats/matrix.hh"
+
+namespace netchar
+{
+
+/** Table I metric identifiers (the paper's ID column). */
+enum class MetricId : std::size_t
+{
+    KernelInstructionPct = 0,
+    UserInstructionPct = 1,
+    BranchInstructionPct = 2,
+    MemoryLoadPct = 3,
+    MemoryStorePct = 4,
+    Cpi = 5,
+    CpuUtilizationPct = 6,
+    BranchMpki = 7,
+    L1dMpki = 8,
+    L1iMpki = 9,
+    L2Mpki = 10,
+    LlcMpki = 11,
+    ItlbMpki = 12,
+    DtlbLoadMpki = 13,
+    DtlbStoreMpki = 14,
+    MemReadBwMBps = 15,
+    MemWriteBwMBps = 16,
+    MemPageMissRatePct = 17,
+    PageFaultPki = 18,
+    GcTriggeredPki = 19,
+    GcAllocationTickPki = 20,
+    JitStartedPki = 21,
+    ExceptionStartPki = 22,
+    ContentionStartPki = 23,
+};
+
+/** Number of Table I metrics. */
+constexpr std::size_t kNumMetrics = 24;
+
+/** One benchmark's metric values, indexed by MetricId. */
+using MetricVector = std::array<double, kNumMetrics>;
+
+/** Static description of one metric (Table I row). */
+struct MetricInfo
+{
+    MetricId id;
+    std::string_view name;
+    std::string_view category;
+    std::string_view unit;
+};
+
+/** The full Table I, in ID order. */
+const std::array<MetricInfo, kNumMetrics> &metricTable();
+
+/** Short name of a metric. */
+std::string_view metricName(MetricId id);
+std::string_view metricName(std::size_t id);
+
+/**
+ * Compute the 24 metrics from one measured interval.
+ *
+ * @param counters Raw counter deltas over the interval.
+ * @param events Runtime event deltas (zeros for native workloads).
+ * @param cpu_utilization CPU utilization of the interval, [0, 1].
+ * @param seconds Wall-clock span of the interval (for bandwidths).
+ */
+MetricVector computeMetrics(const sim::PerfCounters &counters,
+                            const rt::RuntimeEventCounts &events,
+                            double cpu_utilization, double seconds);
+
+/** Metric IDs for §V-C control-flow comparisons (2, 7). */
+std::vector<std::size_t> controlFlowMetricIds();
+
+/** Metric IDs for §V-C memory-behavior comparisons (8-14). */
+std::vector<std::size_t> memoryMetricIds();
+
+/** Metric IDs for §V-D runtime-event comparisons (19-23). */
+std::vector<std::size_t> runtimeMetricIds();
+
+/**
+ * Stack metric vectors into an observations x metrics Matrix,
+ * optionally restricted to a subset of metric columns.
+ */
+stats::Matrix toMatrix(const std::vector<MetricVector> &rows);
+stats::Matrix toMatrix(const std::vector<MetricVector> &rows,
+                       const std::vector<std::size_t> &metric_ids);
+
+} // namespace netchar
+
+#endif // NETCHAR_CORE_METRICS_HH

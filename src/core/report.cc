@@ -1,0 +1,148 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace netchar
+{
+
+std::string
+fmtFixed(double value, int places)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(places);
+    os << value;
+    return os.str();
+}
+
+std::string
+fmtPercent(double fraction, int places)
+{
+    return fmtFixed(100.0 * fraction, places) + "%";
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    if (header.empty())
+        throw std::invalid_argument("TextTable: empty header");
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != rows_.front().size())
+        throw std::invalid_argument("TextTable: column count mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(rows_.front().size(), 0);
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            os << rows_[r][c];
+            os << std::string(widths[c] - rows_[r][c].size(), ' ');
+        }
+        os << '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c > 0 ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+barChart(const std::string &title, const std::vector<Bar> &bars,
+         int width, double max_value)
+{
+    double max = max_value;
+    if (max <= 0.0)
+        for (const auto &b : bars)
+            max = std::max(max, b.value);
+    if (max <= 0.0)
+        max = 1.0;
+
+    std::size_t label_width = 0;
+    for (const auto &b : bars)
+        label_width = std::max(label_width, b.label.size());
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    for (const auto &b : bars) {
+        const int len = static_cast<int>(
+            std::round(width * std::clamp(b.value / max, 0.0, 1.0)));
+        os << b.label
+           << std::string(label_width - b.label.size(), ' ') << " |"
+           << std::string(static_cast<std::size_t>(len), '#')
+           << std::string(static_cast<std::size_t>(width - len), ' ')
+           << "| " << fmtFixed(b.value, 3) << '\n';
+    }
+    return os.str();
+}
+
+std::string
+stackedBars(const std::string &title,
+            const std::vector<std::string> &row_labels,
+            const std::vector<std::string> &segment_labels,
+            const std::vector<std::vector<double>> &values, int width)
+{
+    if (values.size() != row_labels.size())
+        throw std::invalid_argument("stackedBars: row count mismatch");
+    // Distinct fill characters per segment, cycled if needed.
+    static const char fills[] = {'#', '=', '+', ':', '.', '%', '*',
+                                 'o'};
+    const std::size_t nfill = sizeof(fills);
+
+    std::size_t label_width = 0;
+    for (const auto &l : row_labels)
+        label_width = std::max(label_width, l.size());
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    os << "legend:";
+    for (std::size_t s = 0; s < segment_labels.size(); ++s)
+        os << " [" << fills[s % nfill] << "] " << segment_labels[s];
+    os << '\n';
+
+    for (std::size_t r = 0; r < values.size(); ++r) {
+        if (values[r].size() != segment_labels.size())
+            throw std::invalid_argument(
+                "stackedBars: segment count mismatch");
+        os << row_labels[r]
+           << std::string(label_width - row_labels[r].size(), ' ')
+           << " |";
+        int used = 0;
+        for (std::size_t s = 0; s < values[r].size(); ++s) {
+            const int len = static_cast<int>(std::round(
+                width * std::clamp(values[r][s], 0.0, 1.0)));
+            const int capped = std::min(len, width - used);
+            os << std::string(static_cast<std::size_t>(capped),
+                              fills[s % nfill]);
+            used += capped;
+        }
+        os << std::string(static_cast<std::size_t>(
+                              std::max(0, width - used)),
+                          ' ')
+           << "|\n";
+    }
+    return os.str();
+}
+
+} // namespace netchar

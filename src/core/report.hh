@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Plain-text rendering for bench binaries: aligned tables, horizontal
+ * bar charts (the terminal stand-in for the paper's figures), and
+ * number formatting helpers.
+ */
+
+#ifndef NETCHAR_CORE_REPORT_HH
+#define NETCHAR_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace netchar
+{
+
+/** Fixed-point formatting with the given decimal places. */
+std::string fmtFixed(double value, int places = 2);
+
+/** Percentage formatting ("12.3%"). */
+std::string fmtPercent(double fraction, int places = 1);
+
+/**
+ * Aligned monospace table. Columns are sized to their widest cell;
+ * the first row passed to the constructor is the header.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with a separator line under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** One bar of a bar chart. */
+struct Bar
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/**
+ * Horizontal ASCII bar chart. Bars scale to the maximum value (or a
+ * caller-provided maximum so multiple charts share a scale).
+ *
+ * @param title Chart heading.
+ * @param bars Labels and values.
+ * @param width Bar area width in characters.
+ * @param max_value Scale maximum; <= 0 auto-scales.
+ */
+std::string barChart(const std::string &title,
+                     const std::vector<Bar> &bars, int width = 50,
+                     double max_value = 0.0);
+
+/**
+ * Stacked-bar rendering for Top-Down style breakdowns: each row is a
+ * benchmark, each segment a category fraction (values should sum to
+ * ~1 per row).
+ *
+ * @param title Chart heading.
+ * @param row_labels One label per row.
+ * @param segment_labels One label per segment (legend).
+ * @param values values[row][segment] fractions.
+ * @param width Bar width in characters.
+ */
+std::string
+stackedBars(const std::string &title,
+            const std::vector<std::string> &row_labels,
+            const std::vector<std::string> &segment_labels,
+            const std::vector<std::vector<double>> &values,
+            int width = 60);
+
+} // namespace netchar
+
+#endif // NETCHAR_CORE_REPORT_HH

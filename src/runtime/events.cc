@@ -1,0 +1,88 @@
+#include "runtime/events.hh"
+
+namespace netchar::rt
+{
+
+std::string_view
+runtimeEventName(RuntimeEventType type)
+{
+    switch (type) {
+      case RuntimeEventType::GcTriggered: return "GC/Triggered";
+      case RuntimeEventType::GcAllocationTick: return "GC/AllocationTick";
+      case RuntimeEventType::JitStarted: return "Method/JittingStarted";
+      case RuntimeEventType::ExceptionStart: return "Exception/Start";
+      case RuntimeEventType::ContentionStart: return "Contention/Start";
+      default: return "Unknown";
+    }
+}
+
+void
+RuntimeEventCounts::add(const RuntimeEventCounts &other)
+{
+    gcTriggered += other.gcTriggered;
+    gcAllocationTick += other.gcAllocationTick;
+    jitStarted += other.jitStarted;
+    exceptionStart += other.exceptionStart;
+    contentionStart += other.contentionStart;
+}
+
+RuntimeEventCounts
+RuntimeEventCounts::delta(const RuntimeEventCounts &since) const
+{
+    RuntimeEventCounts d;
+    d.gcTriggered = gcTriggered - since.gcTriggered;
+    d.gcAllocationTick = gcAllocationTick - since.gcAllocationTick;
+    d.jitStarted = jitStarted - since.jitStarted;
+    d.exceptionStart = exceptionStart - since.exceptionStart;
+    d.contentionStart = contentionStart - since.contentionStart;
+    return d;
+}
+
+std::uint64_t
+RuntimeEventCounts::count(RuntimeEventType type) const
+{
+    switch (type) {
+      case RuntimeEventType::GcTriggered: return gcTriggered;
+      case RuntimeEventType::GcAllocationTick: return gcAllocationTick;
+      case RuntimeEventType::JitStarted: return jitStarted;
+      case RuntimeEventType::ExceptionStart: return exceptionStart;
+      case RuntimeEventType::ContentionStart: return contentionStart;
+      default: return 0;
+    }
+}
+
+double
+RuntimeEventCounts::pki(RuntimeEventType type,
+                        std::uint64_t instructions) const
+{
+    return instructions > 0
+        ? 1000.0 * static_cast<double>(count(type)) /
+              static_cast<double>(instructions)
+        : 0.0;
+}
+
+void
+EventTrace::record(RuntimeEventType type)
+{
+    switch (type) {
+      case RuntimeEventType::GcTriggered:
+        ++counts_.gcTriggered;
+        break;
+      case RuntimeEventType::GcAllocationTick:
+        ++counts_.gcAllocationTick;
+        break;
+      case RuntimeEventType::JitStarted:
+        ++counts_.jitStarted;
+        break;
+      case RuntimeEventType::ExceptionStart:
+        ++counts_.exceptionStart;
+        break;
+      case RuntimeEventType::ContentionStart:
+        ++counts_.contentionStart;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace netchar::rt

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Runtime event tracing, the LTTng stand-in of the reproduction.
+ *
+ * Table I's run-time metrics (19-23) are counts of CLR events per kilo
+ * instruction: GC/Triggered, GC/AllocationTick, Method/JittingStarted,
+ * Exception/Start and Contention/Start. EventTrace accumulates them
+ * and supports snapshot/delta, which the §VII correlation study uses
+ * to build 1 ms sample series.
+ */
+
+#ifndef NETCHAR_RUNTIME_EVENTS_HH
+#define NETCHAR_RUNTIME_EVENTS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace netchar::rt
+{
+
+/** CLR event kinds traced by the study. */
+enum class RuntimeEventType : std::size_t
+{
+    GcTriggered = 0,
+    GcAllocationTick,
+    JitStarted,
+    ExceptionStart,
+    ContentionStart,
+    NumTypes,
+};
+
+/** Short LTTng-style name of an event type. */
+std::string_view runtimeEventName(RuntimeEventType type);
+
+/** Plain aggregate of event counts, with add/delta for sampling. */
+struct RuntimeEventCounts
+{
+    std::uint64_t gcTriggered = 0;
+    std::uint64_t gcAllocationTick = 0;
+    std::uint64_t jitStarted = 0;
+    std::uint64_t exceptionStart = 0;
+    std::uint64_t contentionStart = 0;
+
+    void add(const RuntimeEventCounts &other);
+    RuntimeEventCounts delta(const RuntimeEventCounts &since) const;
+
+    /** Count for one event type. */
+    std::uint64_t count(RuntimeEventType type) const;
+
+    /** Events per kilo-instruction. */
+    double pki(RuntimeEventType type, std::uint64_t instructions) const;
+};
+
+/**
+ * Cumulative event trace for one benchmark run. record() is called by
+ * the CLR model as events fire; counts() is snapshotted per sampling
+ * interval by the correlation study.
+ */
+class EventTrace
+{
+  public:
+    /** Record one occurrence of an event. */
+    void record(RuntimeEventType type);
+
+    /** Cumulative counts since construction or reset. */
+    const RuntimeEventCounts &counts() const { return counts_; }
+
+    /** Zero all counts. */
+    void reset() { counts_ = RuntimeEventCounts{}; }
+
+  private:
+    RuntimeEventCounts counts_;
+};
+
+} // namespace netchar::rt
+
+#endif // NETCHAR_RUNTIME_EVENTS_HH

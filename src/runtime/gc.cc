@@ -1,0 +1,58 @@
+#include "runtime/gc.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netchar::rt
+{
+
+Gc::Gc(const GcConfig &config) : config_(config)
+{
+    if (config_.workstationBudgetFraction <= 0.0 ||
+        config_.workstationBudgetFraction > 1.0)
+        throw std::invalid_argument("Gc: bad budget fraction");
+    if (config_.serverAggression < 1.0)
+        throw std::invalid_argument("Gc: server aggression < 1");
+}
+
+std::uint64_t
+Gc::budgetBytes(const Heap &heap) const
+{
+    double fraction = config_.workstationBudgetFraction;
+    if (config_.mode == GcMode::Server)
+        fraction /= config_.serverAggression;
+    const double budget =
+        fraction * static_cast<double>(heap.maxBytes());
+    // Never let the budget collapse below a minimal gen0 nursery.
+    return std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(budget), 32 * 1024);
+}
+
+bool
+Gc::shouldCollect(const Heap &heap) const
+{
+    return heap.full() || heap.allocatedSinceGc() >= budgetBytes(heap);
+}
+
+GcWork
+Gc::collect(Heap &heap)
+{
+    GcWork work;
+    // Generational collection: trace and move the survivors of the
+    // allocation since the last GC, plus a card-table sweep over a
+    // sliver of the old generation.
+    const auto survivors = static_cast<std::uint64_t>(
+        heap.survivorFraction() *
+        static_cast<double>(heap.allocatedSinceGc()));
+    work.bytesScanned = survivors + heap.liveBytes() / 256;
+    if (config_.assist == GcAssist::Software) {
+        work.instructions = static_cast<std::uint64_t>(
+            config_.instructionsPerLiveByte *
+            static_cast<double>(work.bytesScanned));
+    }
+    heap.compact();
+    ++collections_;
+    return work;
+}
+
+} // namespace netchar::rt

@@ -1,0 +1,77 @@
+#include "runtime/heap.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netchar::rt
+{
+
+Heap::Heap(const HeapConfig &config) : config_(config)
+{
+    if (config_.maxBytes == 0)
+        throw std::invalid_argument("Heap: zero max size");
+    if (config_.liveBytes > config_.maxBytes)
+        throw std::invalid_argument("Heap: live set exceeds max heap");
+    allocated_ = config_.liveBytes;
+}
+
+std::uint64_t
+Heap::allocate(std::uint64_t bytes)
+{
+    // Objects are bump-allocated inside the nursery window just past
+    // the current spread; the window recycles, so allocation stays
+    // cache-warm while survivors grow the spread.
+    nurseryCursor_ = (nurseryCursor_ + bytes) % config_.nurseryBytes;
+    const std::uint64_t addr =
+        config_.baseAddress + allocated_ + nurseryCursor_;
+    survivorAccum_ +=
+        config_.survivorFraction * static_cast<double>(bytes);
+    if (survivorAccum_ >= 1.0) {
+        const auto grow = static_cast<std::uint64_t>(survivorAccum_);
+        survivorAccum_ -= static_cast<double>(grow);
+        allocated_ = std::min(allocated_ + grow, config_.maxBytes);
+    }
+    sinceGc_ += bytes;
+    totalAllocated_ += bytes;
+    return addr;
+}
+
+void
+Heap::compact()
+{
+    allocated_ = config_.liveBytes;
+    sinceGc_ = 0;
+    survivorAccum_ = 0.0;
+}
+
+std::uint64_t
+Heap::spreadBytes() const
+{
+    return std::max(allocated_, config_.liveBytes);
+}
+
+double
+Heap::fragmentation() const
+{
+    const double dilution = static_cast<double>(sinceGc_) /
+        static_cast<double>(config_.liveBytes);
+    return 1.0 + std::min(1.0, dilution);
+}
+
+bool
+Heap::full() const
+{
+    return allocated_ >= config_.maxBytes;
+}
+
+void
+Heap::reset()
+{
+    allocated_ = config_.liveBytes;
+    sinceGc_ = 0;
+    totalAllocated_ = 0;
+    survivorAccum_ = 0.0;
+    nurseryCursor_ = 0;
+}
+
+} // namespace netchar::rt

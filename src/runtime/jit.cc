@@ -1,0 +1,91 @@
+#include "runtime/jit.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netchar::rt
+{
+
+Jit::Jit(const JitConfig &config, stats::Rng rng)
+    : config_(config), rng_(rng), allocPtr_(config.codeBaseAddress)
+{
+    if (config_.methods == 0)
+        throw std::invalid_argument("Jit: zero methods");
+    if (config_.meanMethodBytes == 0)
+        throw std::invalid_argument("Jit: zero method size");
+    methods_.resize(config_.methods);
+    for (auto &m : methods_) {
+        m.bytes = std::max<std::uint64_t>(
+            64, static_cast<std::uint64_t>(
+                    rng_.jitter(static_cast<double>(
+                                    config_.meanMethodBytes),
+                                0.6)));
+    }
+}
+
+std::uint64_t
+Jit::allocateCode(std::uint64_t bytes)
+{
+    // Code pages are 4 KiB granular: each method lands on a fresh
+    // page start so the cold-start unit matches the OS mapping unit.
+    const std::uint64_t addr = allocPtr_;
+    const std::uint64_t pages = (bytes + 4095) / 4096;
+    allocPtr_ += pages * 4096;
+    return addr;
+}
+
+JitOutcome
+Jit::invoke(unsigned index)
+{
+    if (index >= methods_.size())
+        throw std::out_of_range("Jit::invoke");
+    JitMethod &m = methods_[index];
+    JitOutcome out;
+    ++m.calls;
+
+    const bool needs_tier0 = !m.jitted;
+    const bool needs_tier1 = m.jitted && m.tier == 0 &&
+        config_.tierUpCallThreshold > 0 &&
+        m.calls >= config_.tierUpCallThreshold;
+
+    if (needs_tier0 || needs_tier1) {
+        out.oldAddress = m.jitted ? m.address : 0;
+        m.address = allocateCode(m.bytes);
+        m.jitted = true;
+        m.tier = needs_tier1 ? 1 : 0;
+        double cost = config_.compileInstPerByte *
+            static_cast<double>(m.bytes);
+        if (needs_tier1)
+            cost *= config_.tierUpCostFactor;
+        out.compileInstructions = static_cast<std::uint64_t>(cost);
+        out.jitted = true;
+        out.newPageAddress = m.address & ~std::uint64_t{4095};
+        out.newPageBytes = ((m.bytes + 4095) / 4096) * 4096;
+        ++compilations_;
+    }
+    out.address = m.address;
+    return out;
+}
+
+const JitMethod &
+Jit::method(unsigned index) const
+{
+    if (index >= methods_.size())
+        throw std::out_of_range("Jit::method");
+    return methods_[index];
+}
+
+void
+Jit::reset()
+{
+    allocPtr_ = config_.codeBaseAddress;
+    compilations_ = 0;
+    for (auto &m : methods_) {
+        m.address = 0;
+        m.tier = 0;
+        m.calls = 0;
+        m.jitted = false;
+    }
+}
+
+} // namespace netchar::rt

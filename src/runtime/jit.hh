@@ -1,0 +1,125 @@
+/**
+ * @file
+ * JIT compiler model: tiered method compilation onto fresh code pages.
+ *
+ * The §VII-A1 mechanism in full: every (re)compilation places the
+ * method at a *new* address range, so I-cache lines, I-TLB entries,
+ * BTB entries and branch-predictor history keyed to the old addresses
+ * become useless — cold starts that the workload generator then
+ * experiences naturally because it fetches from the new addresses.
+ * Compilation itself also costs compiler instructions, which the
+ * workload executes inline (the runtime intercedes execution).
+ */
+
+#ifndef NETCHAR_RUNTIME_JIT_HH
+#define NETCHAR_RUNTIME_JIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace netchar::rt
+{
+
+/** JIT policy parameters. */
+struct JitConfig
+{
+    /** Virtual base of the JIT code arena. */
+    std::uint64_t codeBaseAddress = 0x0000'7F00'0000'0000ULL;
+    /** Number of methods the workload's code footprint comprises. */
+    unsigned methods = 256;
+    /** Mean machine-code bytes per method. */
+    std::uint64_t meanMethodBytes = 1024;
+    /** Compiler instructions per emitted code byte (tier 0). */
+    double compileInstPerByte = 40.0;
+    /** Extra cost multiplier for an optimizing (tier 1) recompile. */
+    double tierUpCostFactor = 3.0;
+    /**
+     * Calls before a hot method is recompiled at tier 1 (0 disables
+     * tiering).
+     */
+    unsigned tierUpCallThreshold = 64;
+};
+
+/** One method's code placement. */
+struct JitMethod
+{
+    std::uint64_t address = 0; ///< current entry point (0 = unjitted)
+    std::uint64_t bytes = 0;
+    unsigned tier = 0;
+    std::uint64_t calls = 0;
+    bool jitted = false;
+};
+
+/** Result of invoking a method through the JIT. */
+struct JitOutcome
+{
+    /** Address to fetch the method body from. */
+    std::uint64_t address = 0;
+    /** Compiler instructions that ran first (0 on a plain call). */
+    std::uint64_t compileInstructions = 0;
+    /** The method was (re)compiled: a JittingStarted event. */
+    bool jitted = false;
+    /** Fresh code page(s) the compiler just mapped. */
+    std::uint64_t newPageAddress = 0;
+    std::uint64_t newPageBytes = 0;
+    /** Previous entry point when this was a re-JIT (else 0). */
+    std::uint64_t oldAddress = 0;
+};
+
+/**
+ * Tiered JIT over a bump-allocated code arena. Methods compile on
+ * first call (tier 0) and recompile at a hot-call threshold (tier 1),
+ * each time at fresh addresses.
+ */
+class Jit
+{
+  public:
+    /**
+     * @param config Policy parameters.
+     * @param rng Substream for method-size jitter.
+     */
+    Jit(const JitConfig &config, stats::Rng rng);
+
+    /**
+     * Invoke method `index`: compiles it if needed (tier 0 on first
+     * call, tier 1 at the hot threshold) and returns the entry point
+     * plus any compile work.
+     */
+    JitOutcome invoke(unsigned index);
+
+    /** Method table introspection. */
+    const JitMethod &method(unsigned index) const;
+
+    /** Methods configured. */
+    unsigned methodCount() const
+    {
+        return static_cast<unsigned>(methods_.size());
+    }
+
+    /** Total (re)compilations so far. */
+    std::uint64_t compilations() const { return compilations_; }
+
+    /** Bytes of machine code emitted so far. */
+    std::uint64_t codeBytesEmitted() const
+    {
+        return allocPtr_ - config_.codeBaseAddress;
+    }
+
+    /** Drop all jitted code (fresh process). */
+    void reset();
+
+  private:
+    std::uint64_t allocateCode(std::uint64_t bytes);
+
+    JitConfig config_;
+    stats::Rng rng_;
+    std::vector<JitMethod> methods_;
+    std::uint64_t allocPtr_;
+    std::uint64_t compilations_ = 0;
+};
+
+} // namespace netchar::rt
+
+#endif // NETCHAR_RUNTIME_JIT_HH

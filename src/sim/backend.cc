@@ -1,0 +1,28 @@
+#include "sim/backend.hh"
+
+#include <algorithm>
+
+namespace netchar::sim
+{
+
+double
+Divider::issue(double now)
+{
+    double stall = 0.0;
+    if (busyUntil_ > now)
+        stall = busyUntil_ - now;
+    busyUntil_ = now + stall + latency_;
+    return stall;
+}
+
+IssueModel::IssueModel(const PipelineParams &pipe, double ilp)
+{
+    const double width = static_cast<double>(pipe.issueWidth);
+    const double slots = static_cast<double>(pipe.slotsPerCycle);
+    const double effective =
+        std::max(0.25, std::min(ilp, width));
+    cyclesPerInst_ = 1.0 / effective;
+    portStall_ = std::max(0.0, cyclesPerInst_ - 1.0 / slots);
+}
+
+} // namespace netchar::sim

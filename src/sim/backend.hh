@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Backend core-bound models: the non-pipelined divider and an issue
+ * port utilization estimator.
+ *
+ * §VI-B2: port-utilization stalls capture both genuine port conflicts
+ * and lack of intrinsic ILP in the program; divider-heavy code shows a
+ * small dedicated stall share because the divide unit is non-pipelined.
+ */
+
+#ifndef NETCHAR_SIM_BACKEND_HH
+#define NETCHAR_SIM_BACKEND_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+
+namespace netchar::sim
+{
+
+/**
+ * Non-pipelined divider: back-to-back divides serialize; sparse
+ * divides mostly hide under other work.
+ */
+class Divider
+{
+  public:
+    /** @param latency Cycles one divide occupies the unit. */
+    explicit Divider(double latency) : latency_(latency) {}
+
+    /**
+     * Issue a divide at the given core cycle.
+     *
+     * @param now Current core cycle count.
+     * @return Stall cycles exposed because the unit was still busy.
+     */
+    double issue(double now);
+
+    /** Forget outstanding work. */
+    void reset() { busyUntil_ = 0.0; }
+
+  private:
+    double latency_;
+    double busyUntil_ = 0.0;
+};
+
+/**
+ * Issue-bandwidth estimator: converts a workload's intrinsic ILP into
+ * per-instruction issue cycles and exposes the gap versus the machine's
+ * peak slot rate as ports-utilization stalls.
+ */
+class IssueModel
+{
+  public:
+    /**
+     * @param pipe Pipeline widths of the machine.
+     * @param ilp Workload intrinsic instruction-level parallelism
+     *        (independent instructions per cycle the program offers).
+     */
+    IssueModel(const PipelineParams &pipe, double ilp);
+
+    /** Cycles consumed issuing one instruction at the achieved rate. */
+    double cyclesPerInst() const { return cyclesPerInst_; }
+
+    /**
+     * Ports-utilization stall cycles per instruction: achieved issue
+     * time minus what the peak pipeline width would need.
+     */
+    double portStallPerInst() const { return portStall_; }
+
+  private:
+    double cyclesPerInst_;
+    double portStall_;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_BACKEND_HH

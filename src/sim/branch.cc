@@ -1,0 +1,146 @@
+#include "sim/branch.hh"
+
+#include <stdexcept>
+
+namespace netchar::sim
+{
+
+BranchPredictor::BranchPredictor(unsigned table_bits,
+                                 unsigned history_bits)
+{
+    if (table_bits == 0 || table_bits > 24)
+        throw std::invalid_argument("BranchPredictor: bad table_bits");
+    if (history_bits > table_bits)
+        throw std::invalid_argument("BranchPredictor: history too long");
+    table_.assign(std::size_t{1} << table_bits, 1); // weakly not-taken
+    mask_ = (std::uint64_t{1} << table_bits) - 1;
+    historyMask_ = (std::uint64_t{1} << history_bits) - 1;
+    historyShift_ = table_bits - history_bits;
+}
+
+std::size_t
+BranchPredictor::indexFor(std::uint64_t pc) const
+{
+    // History is folded into the top index bits so short histories
+    // do not alias away the PC's low bits.
+    return static_cast<std::size_t>(
+        ((pc >> 2) ^ (history_ << historyShift_)) & mask_);
+}
+
+bool
+BranchPredictor::predict(std::uint64_t pc) const
+{
+    return table_[indexFor(pc)] >= 2;
+}
+
+bool
+BranchPredictor::predictAndTrain(std::uint64_t pc, bool taken)
+{
+    ++lookups_;
+    const std::size_t idx = indexFor(pc);
+    const bool prediction = table_[idx] >= 2;
+    const bool correct = prediction == taken;
+    if (!correct)
+        ++mispredicts_;
+
+    if (taken && table_[idx] < 3)
+        ++table_[idx];
+    else if (!taken && table_[idx] > 0)
+        --table_[idx];
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    for (auto &c : table_)
+        c = 1;
+    history_ = 0;
+}
+
+Btb::Btb(unsigned entries, unsigned assoc) : assoc_(assoc)
+{
+    if (entries == 0 || assoc == 0 || entries % assoc != 0)
+        throw std::invalid_argument("Btb: bad geometry");
+    sets_.resize(entries / assoc);
+    for (auto &set : sets_)
+        set.resize(assoc_);
+}
+
+bool
+Btb::accessAndFill(std::uint64_t pc)
+{
+    ++lookups_;
+    ++tick_;
+    const std::uint64_t tag = pc >> 2;
+    auto &set = sets_[tag % sets_.size()];
+    for (Entry &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.lastUse = tick_;
+            return true;
+        }
+    }
+    ++misses_;
+    Entry *victim = &set.front();
+    for (Entry &e : set) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lastUse = tick_;
+    return false;
+}
+
+bool
+Btb::contains(std::uint64_t pc) const
+{
+    const std::uint64_t tag = pc >> 2;
+    const auto &set = sets_[tag % sets_.size()];
+    for (const Entry &e : set)
+        if (e.valid && e.tag == tag)
+            return true;
+    return false;
+}
+
+void
+Btb::install(std::uint64_t pc)
+{
+    ++tick_;
+    const std::uint64_t tag = pc >> 2;
+    auto &set = sets_[tag % sets_.size()];
+    for (Entry &e : set) {
+        if (e.valid && e.tag == tag) {
+            e.lastUse = tick_;
+            return;
+        }
+    }
+    Entry *victim = &set.front();
+    for (Entry &e : set) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lastUse = tick_;
+}
+
+void
+Btb::invalidateAll()
+{
+    for (auto &set : sets_)
+        for (auto &e : set)
+            e = Entry{};
+}
+
+} // namespace netchar::sim

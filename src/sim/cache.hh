@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement and prefetch
+ * tracking.
+ *
+ * The model is tag-only (no data), which is all a characterization
+ * study needs: hit/miss outcomes, eviction of unused prefetches, and
+ * writeback generation for bandwidth accounting.
+ */
+
+#ifndef NETCHAR_SIM_CACHE_HH
+#define NETCHAR_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace netchar::sim
+{
+
+/** Outcome of one cache access or prefetch insertion. */
+struct CacheOutcome
+{
+    /** Demand access hit. */
+    bool hit = false;
+    /** The line hit was brought in by the prefetcher (first use). */
+    bool hitOnPrefetch = false;
+    /** A prefetched-but-never-used line was evicted by this access. */
+    bool evictedUnusedPrefetch = false;
+    /** A dirty line was written back by this access. */
+    bool writeback = false;
+};
+
+/**
+ * One level of a tag-only set-associative cache.
+ *
+ * Addresses are byte addresses; the cache extracts line and set bits
+ * itself. Replacement is true LRU within a set.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param geometry Size/associativity/line size. Size must be a
+     *        multiple of associativity x line bytes (throws
+     *        std::invalid_argument otherwise).
+     * @param name Label used in error messages.
+     */
+    explicit Cache(const CacheGeometry &geometry,
+                   std::string name = "cache");
+
+    /**
+     * Demand access: probe, update LRU, allocate on miss.
+     *
+     * @param addr Byte address.
+     * @param is_write Marks the line dirty on hit or fill.
+     * @return Hit/miss plus prefetch/writeback side effects.
+     */
+    CacheOutcome access(std::uint64_t addr, bool is_write);
+
+    /**
+     * Prefetch insertion: allocate the line (if absent) marked as
+     * unused-prefetch. Does not update hit statistics.
+     *
+     * @return Outcome with evictedUnusedPrefetch/writeback set.
+     */
+    CacheOutcome insertPrefetch(std::uint64_t addr);
+
+    /** Probe without any state change. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Drop all lines (machine reset). */
+    void invalidateAll();
+
+    /** Number of demand accesses so far. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Number of demand misses so far. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Number of sets (geometry introspection for tests). */
+    std::size_t numSets() const { return sets_.size(); }
+
+    /** Line size in bytes. */
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    struct Set
+    {
+        std::vector<Way> ways;
+    };
+
+    std::uint64_t lineFor(std::uint64_t addr) const
+    {
+        return addr / lineBytes_;
+    }
+
+    std::string name_;
+    unsigned lineBytes_;
+    unsigned assoc_;
+    std::vector<Set> sets_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_CACHE_HH

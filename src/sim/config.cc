@@ -1,0 +1,108 @@
+#include "sim/config.hh"
+
+namespace netchar::sim
+{
+
+MachineConfig
+MachineConfig::intelXeonE52620V4()
+{
+    MachineConfig cfg;
+    cfg.name = "Intel Xeon E5-2620 v4";
+    cfg.isa = Isa::X86_64;
+    cfg.physicalCores = 16;
+    cfg.logicalCores = 32;
+    cfg.l1d = {32 * 1024, 8, 64};
+    cfg.l1i = {32 * 1024, 8, 64};
+    cfg.l2 = {256 * 1024, 8, 64};
+    // 20 MiB x 2 sockets; model the socket the workload runs on.
+    cfg.llc = {20ULL * 1024 * 1024, 20, 64};
+    cfg.llcSlices = 8;
+    cfg.itlb = {128, 4, 4096};
+    cfg.dtlb = {64, 4, 4096};
+    cfg.stlb = {1536, 6, 4096};
+    cfg.btbEntries = 4096;
+    cfg.predictorBits = 16;
+    cfg.nominalGhz = 2.1;
+    cfg.maxGhz = 3.0;
+    cfg.pipe.slotsPerCycle = 4;
+    cfg.pipe.decodeWidth = 4;
+    cfg.pipe.issueWidth = 4;
+    cfg.pipe.robEntries = 192;
+    cfg.pipe.l2Latency = 12.0;
+    cfg.pipe.llcLatency = 44.0;  // Broadwell ring is slower than SKX mesh
+    cfg.pipe.dramLatency = 230.0;
+    cfg.pipe.dsbLines = 64;      // 1.5K uop DSB
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::intelCoreI99980Xe()
+{
+    MachineConfig cfg;
+    cfg.name = "Intel Core i9-9980XE";
+    cfg.isa = Isa::X86_64;
+    cfg.physicalCores = 18;
+    cfg.logicalCores = 18;
+    cfg.l1d = {32 * 1024, 8, 64};
+    cfg.l1i = {32 * 1024, 8, 64};
+    cfg.l2 = {1024 * 1024, 16, 64};
+    // 24.75 MiB non-inclusive LLC.
+    cfg.llc = {24ULL * 1024 * 1024 + 768 * 1024, 11, 64};
+    cfg.llcSlices = 18;
+    cfg.itlb = {128, 8, 4096};
+    cfg.dtlb = {64, 4, 4096};
+    cfg.stlb = {1536, 12, 4096};
+    cfg.btbEntries = 8192;
+    cfg.predictorBits = 17;
+    cfg.nominalGhz = 3.0;
+    cfg.maxGhz = 4.5;
+    cfg.pipe.slotsPerCycle = 4;
+    cfg.pipe.decodeWidth = 4;
+    cfg.pipe.issueWidth = 4;
+    cfg.pipe.robEntries = 224;
+    cfg.pipe.l2Latency = 13.0;
+    cfg.pipe.llcLatency = 50.0;  // mesh; bigger L2 compensates
+    cfg.pipe.dramLatency = 210.0;
+    cfg.pipe.dsbLines = 96;      // 2.25K uop DSB (Skylake-X)
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::armServer()
+{
+    MachineConfig cfg;
+    cfg.name = "Arm server (AArch64)";
+    cfg.isa = Isa::AArch64;
+    cfg.physicalCores = 32;
+    cfg.logicalCores = 32;
+    cfg.l1d = {32 * 1024, 8, 64};
+    cfg.l1i = {32 * 1024, 8, 64};
+    cfg.l2 = {256 * 1024, 8, 64};
+    cfg.llc = {32ULL * 1024 * 1024, 16, 64};
+    cfg.llcSlices = 8;
+    // Dedicated small I/D TLBs plus a 2K-entry secondary TLB (§III-B).
+    cfg.itlb = {48, 4, 4096};
+    cfg.dtlb = {32, 4, 4096};
+    cfg.stlb = {2048, 8, 4096};
+    cfg.btbEntries = 3072;
+    cfg.predictorBits = 15;
+    cfg.nominalGhz = 1.6;
+    cfg.maxGhz = 2.2;
+    cfg.pipe.slotsPerCycle = 4;   // decodes up to 4 micro-ops
+    cfg.pipe.decodeWidth = 4;
+    cfg.pipe.issueWidth = 6;      // issues up to 6 micro-ops
+    cfg.pipe.robEntries = 180;
+    cfg.pipe.l2Latency = 14.0;
+    cfg.pipe.llcLatency = 60.0;
+    cfg.pipe.dramLatency = 260.0;
+    cfg.pipe.dsbLines = 0;        // no uop cache
+    cfg.pipe.loopBufferLines = 4; // 128-entry loop buffer
+    cfg.pipe.miteBandwidthStall = 0.06;
+    // §V-D: the Arm .NET stack lacks cross-stack tuning; jitted code
+    // and heap layouts are markedly sparser than on the Intel stack.
+    cfg.codeSpreadFactor = 14.0;
+    cfg.dataSpreadFactor = 2.5;
+    return cfg;
+}
+
+} // namespace netchar::sim

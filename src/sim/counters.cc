@@ -1,0 +1,181 @@
+#include "sim/counters.hh"
+
+namespace netchar::sim
+{
+
+std::string_view
+slotNodeName(SlotNode node)
+{
+    switch (node) {
+      case SlotNode::Retiring: return "Retiring";
+      case SlotNode::BadSpeculation: return "Bad_Speculation";
+      case SlotNode::FeICache: return "FE.ICache_Misses";
+      case SlotNode::FeITlb: return "FE.ITLB_Misses";
+      case SlotNode::FeBtbResteer: return "FE.Branch_Resteers";
+      case SlotNode::FeMsSwitch: return "FE.MS_Switches";
+      case SlotNode::FeDsb: return "FE.DSB_Bandwidth";
+      case SlotNode::FeMite: return "FE.MITE_Bandwidth";
+      case SlotNode::BeL1Bound: return "BE.MEM.L1_Bound";
+      case SlotNode::BeL2Bound: return "BE.MEM.L2_Bound";
+      case SlotNode::BeL3Bound: return "BE.MEM.L3_Bound";
+      case SlotNode::BeDramBound: return "BE.MEM.DRAM_Bound";
+      case SlotNode::BeStoreBound: return "BE.MEM.Store_Bound";
+      case SlotNode::BePortsUtil: return "BE.CR.Ports_Utilization";
+      case SlotNode::BeDivider: return "BE.CR.Divider";
+      default: return "Unknown";
+    }
+}
+
+SlotCategory
+slotCategory(SlotNode node)
+{
+    switch (node) {
+      case SlotNode::Retiring:
+        return SlotCategory::Retiring;
+      case SlotNode::BadSpeculation:
+        return SlotCategory::BadSpeculation;
+      case SlotNode::FeICache:
+      case SlotNode::FeITlb:
+      case SlotNode::FeBtbResteer:
+      case SlotNode::FeMsSwitch:
+      case SlotNode::FeDsb:
+      case SlotNode::FeMite:
+        return SlotCategory::Frontend;
+      default:
+        return SlotCategory::Backend;
+    }
+}
+
+double
+SlotAccount::total() const
+{
+    double sum = 0.0;
+    for (double s : slots)
+        sum += s;
+    return sum;
+}
+
+double
+SlotAccount::categoryTotal(SlotCategory cat) const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        if (slotCategory(static_cast<SlotNode>(i)) == cat)
+            sum += slots[i];
+    return sum;
+}
+
+double
+SlotAccount::fraction(SlotNode n) const
+{
+    const double t = total();
+    return t > 0.0 ? (*this)[n] / t : 0.0;
+}
+
+double
+SlotAccount::categoryFraction(SlotCategory cat) const
+{
+    const double t = total();
+    return t > 0.0 ? categoryTotal(cat) / t : 0.0;
+}
+
+void
+SlotAccount::add(const SlotAccount &other)
+{
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        slots[i] += other.slots[i];
+}
+
+SlotAccount
+SlotAccount::delta(const SlotAccount &since) const
+{
+    SlotAccount d;
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        d.slots[i] = slots[i] - since.slots[i];
+    return d;
+}
+
+void
+PerfCounters::add(const PerfCounters &other)
+{
+    instructions += other.instructions;
+    kernelInstructions += other.kernelInstructions;
+    branches += other.branches;
+    loads += other.loads;
+    stores += other.stores;
+    cycles += other.cycles;
+    branchMisses += other.branchMisses;
+    btbMisses += other.btbMisses;
+    l1dMisses += other.l1dMisses;
+    l1iMisses += other.l1iMisses;
+    l2Misses += other.l2Misses;
+    llcMisses += other.llcMisses;
+    itlbMisses += other.itlbMisses;
+    dtlbLoadMisses += other.dtlbLoadMisses;
+    dtlbStoreMisses += other.dtlbStoreMisses;
+    memReadBytes += other.memReadBytes;
+    memWriteBytes += other.memWriteBytes;
+    dramAccesses += other.dramAccesses;
+    dramRowMisses += other.dramRowMisses;
+    pageFaults += other.pageFaults;
+    prefetchesIssued += other.prefetchesIssued;
+    prefetchesUseful += other.prefetchesUseful;
+    prefetchesUseless += other.prefetchesUseless;
+}
+
+PerfCounters
+PerfCounters::delta(const PerfCounters &since) const
+{
+    PerfCounters d;
+    d.instructions = instructions - since.instructions;
+    d.kernelInstructions = kernelInstructions - since.kernelInstructions;
+    d.branches = branches - since.branches;
+    d.loads = loads - since.loads;
+    d.stores = stores - since.stores;
+    d.cycles = cycles - since.cycles;
+    d.branchMisses = branchMisses - since.branchMisses;
+    d.btbMisses = btbMisses - since.btbMisses;
+    d.l1dMisses = l1dMisses - since.l1dMisses;
+    d.l1iMisses = l1iMisses - since.l1iMisses;
+    d.l2Misses = l2Misses - since.l2Misses;
+    d.llcMisses = llcMisses - since.llcMisses;
+    d.itlbMisses = itlbMisses - since.itlbMisses;
+    d.dtlbLoadMisses = dtlbLoadMisses - since.dtlbLoadMisses;
+    d.dtlbStoreMisses = dtlbStoreMisses - since.dtlbStoreMisses;
+    d.memReadBytes = memReadBytes - since.memReadBytes;
+    d.memWriteBytes = memWriteBytes - since.memWriteBytes;
+    d.dramAccesses = dramAccesses - since.dramAccesses;
+    d.dramRowMisses = dramRowMisses - since.dramRowMisses;
+    d.pageFaults = pageFaults - since.pageFaults;
+    d.prefetchesIssued = prefetchesIssued - since.prefetchesIssued;
+    d.prefetchesUseful = prefetchesUseful - since.prefetchesUseful;
+    d.prefetchesUseless = prefetchesUseless - since.prefetchesUseless;
+    return d;
+}
+
+double
+PerfCounters::mpki(std::uint64_t events) const
+{
+    return instructions > 0
+        ? 1000.0 * static_cast<double>(events) /
+              static_cast<double>(instructions)
+        : 0.0;
+}
+
+double
+PerfCounters::cpi() const
+{
+    return instructions > 0
+        ? cycles / static_cast<double>(instructions)
+        : 0.0;
+}
+
+double
+PerfCounters::ipc() const
+{
+    return cycles > 0.0
+        ? static_cast<double>(instructions) / cycles
+        : 0.0;
+}
+
+} // namespace netchar::sim

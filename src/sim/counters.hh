@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Raw hardware event counters and Top-Down pipeline-slot accounting.
+ *
+ * PerfCounters mirrors what the paper collects with Linux perf
+ * (instructions, branches, cache/TLB misses, bandwidth, faults), and
+ * SlotAccount mirrors what toplev derives from the PMU: pipeline slots
+ * attributed to each Top-Down tree node. Both are plain aggregates so
+ * they can be snapshotted and diffed for interval sampling (§VII-A).
+ */
+
+#ifndef NETCHAR_SIM_COUNTERS_HH
+#define NETCHAR_SIM_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace netchar::sim
+{
+
+/** Nodes of the Top-Down hierarchy tracked by the simulator. */
+enum class SlotNode : std::size_t
+{
+    Retiring = 0,
+    BadSpeculation,
+    // Frontend latency
+    FeICache,
+    FeITlb,
+    FeBtbResteer,
+    FeMsSwitch,
+    // Frontend bandwidth
+    FeDsb,
+    FeMite,
+    // Backend memory
+    BeL1Bound,
+    BeL2Bound,
+    BeL3Bound,
+    BeDramBound,
+    BeStoreBound,
+    // Backend core
+    BePortsUtil,
+    BeDivider,
+    NumNodes,
+};
+
+/** Human-readable short name of a SlotNode (toplev-style). */
+std::string_view slotNodeName(SlotNode node);
+
+/** Top-level Top-Down category of a node. */
+enum class SlotCategory { Retiring, BadSpeculation, Frontend, Backend };
+
+/** Map a SlotNode to its level-1 category. */
+SlotCategory slotCategory(SlotNode node);
+
+/**
+ * Pipeline-slot account. Values are in units of issue slots
+ * (cycles x machine width). Plain add/subtract semantics support
+ * interval deltas.
+ */
+struct SlotAccount
+{
+    std::array<double, static_cast<std::size_t>(SlotNode::NumNodes)>
+        slots{};
+
+    double &operator[](SlotNode n)
+    {
+        return slots[static_cast<std::size_t>(n)];
+    }
+    double operator[](SlotNode n) const
+    {
+        return slots[static_cast<std::size_t>(n)];
+    }
+
+    /** Sum over all nodes. */
+    double total() const;
+
+    /** Sum over one level-1 category. */
+    double categoryTotal(SlotCategory cat) const;
+
+    /** Fraction of total slots in node n (0 if no slots recorded). */
+    double fraction(SlotNode n) const;
+
+    /** Fraction of total slots in a level-1 category. */
+    double categoryFraction(SlotCategory cat) const;
+
+    /** Elementwise accumulate. */
+    void add(const SlotAccount &other);
+
+    /** Elementwise difference (this - since); for interval sampling. */
+    SlotAccount delta(const SlotAccount &since) const;
+};
+
+/**
+ * Raw event counters, the perf/LTTng view of one run or one sampling
+ * interval. All counts are totals since the last reset.
+ */
+struct PerfCounters
+{
+    // Instruction mix
+    std::uint64_t instructions = 0;
+    std::uint64_t kernelInstructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    // Core
+    double cycles = 0.0;
+
+    // Branch
+    std::uint64_t branchMisses = 0;
+    std::uint64_t btbMisses = 0;
+
+    // Caches
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t llcMisses = 0;
+
+    // TLBs
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t dtlbLoadMisses = 0;
+    std::uint64_t dtlbStoreMisses = 0;
+
+    // Memory system
+    std::uint64_t memReadBytes = 0;
+    std::uint64_t memWriteBytes = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t pageFaults = 0;
+
+    // Prefetcher
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+    std::uint64_t prefetchesUseless = 0;
+
+    /** Elementwise accumulate. */
+    void add(const PerfCounters &other);
+
+    /** Elementwise difference (this - since); for interval sampling. */
+    PerfCounters delta(const PerfCounters &since) const;
+
+    /** Misses per kilo-instruction helper; 0 when no instructions. */
+    double mpki(std::uint64_t events) const;
+
+    /** Cycles per instruction; 0 when no instructions. */
+    double cpi() const;
+
+    /** Instructions per cycle; 0 when no cycles. */
+    double ipc() const;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_COUNTERS_HH

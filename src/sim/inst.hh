@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The instruction record exchanged between workload generators and the
+ * core model. Workloads stream these; the core consumes them one at a
+ * time, so no trace is ever materialized.
+ */
+
+#ifndef NETCHAR_SIM_INST_HH
+#define NETCHAR_SIM_INST_HH
+
+#include <cstdint>
+
+namespace netchar::sim
+{
+
+/** Broad instruction classes the core model distinguishes. */
+enum class InstKind : std::uint8_t
+{
+    Alu,    ///< simple integer/FP op
+    Mul,    ///< pipelined multiply
+    Div,    ///< non-pipelined divide
+    Load,   ///< memory read
+    Store,  ///< memory write
+    Branch, ///< conditional or indirect branch
+};
+
+/** One dynamic instruction. */
+struct Inst
+{
+    InstKind kind = InstKind::Alu;
+    /** Executed in kernel mode (syscalls, networking stack, faults). */
+    bool kernel = false;
+    /** Branch outcome (branches only). */
+    bool taken = false;
+    /** Decodes through the microcode sequencer (MS switch). */
+    bool microcoded = false;
+    /** Instruction address. */
+    std::uint64_t pc = 0;
+    /** Effective data address (loads/stores only). */
+    std::uint64_t addr = 0;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_INST_HH

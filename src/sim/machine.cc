@@ -1,0 +1,85 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netchar::sim
+{
+
+Machine::Machine(const MachineConfig &cfg, unsigned active_cores,
+                 std::uint64_t seed, const NocParams &noc)
+    : cfg_(cfg),
+      llc_(cfg.llc, cfg.llcSlices, cfg.pipe.llcLatency, noc),
+      dram_()
+{
+    const unsigned n =
+        std::clamp(active_cores, 1u, cfg_.physicalCores);
+    cores_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        cores_.push_back(
+            std::make_unique<Core>(cfg_, llc_, dram_, processPages_, i, seed));
+        cores_.back()->setActiveCores(n);
+    }
+}
+
+Core &
+Machine::core(unsigned i)
+{
+    if (i >= cores_.size())
+        throw std::out_of_range("Machine::core");
+    return *cores_[i];
+}
+
+const Core &
+Machine::core(unsigned i) const
+{
+    if (i >= cores_.size())
+        throw std::out_of_range("Machine::core");
+    return *cores_[i];
+}
+
+PerfCounters
+Machine::totalCounters() const
+{
+    PerfCounters total;
+    for (const auto &core : cores_)
+        total.add(core->counters());
+    return total;
+}
+
+SlotAccount
+Machine::totalSlots() const
+{
+    SlotAccount total;
+    for (const auto &core : cores_)
+        total.add(core->slotAccount());
+    return total;
+}
+
+double
+Machine::seconds() const
+{
+    double max_cycles = 0.0;
+    for (const auto &core : cores_)
+        max_cycles = std::max(max_cycles, core->cycles());
+    return max_cycles / (cfg_.maxGhz * 1e9);
+}
+
+void
+Machine::setJitHintEnabled(bool enabled)
+{
+    for (auto &core : cores_)
+        core->setJitHintEnabled(enabled);
+}
+
+void
+Machine::reset()
+{
+    for (auto &core : cores_)
+        core->reset();
+    processPages_.clear();
+    llc_.reset();
+    dram_.reset();
+}
+
+} // namespace netchar::sim

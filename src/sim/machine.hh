@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Machine: a set of cores sharing a sliced LLC and DRAM, the top-level
+ * simulation object workloads execute on.
+ */
+
+#ifndef NETCHAR_SIM_MACHINE_HH
+#define NETCHAR_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/core.hh"
+#include "sim/counters.hh"
+#include "sim/memory.hh"
+#include "sim/noc.hh"
+
+namespace netchar::sim
+{
+
+/**
+ * One simulated machine instance. Cores are created up front per the
+ * requested active-core count; all share the LlcNoc and DramModel.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param cfg Machine description (use the Table II factories).
+     * @param active_cores Cores the workload will run on (1 .. config
+     *        physical cores; clamped).
+     * @param seed Master seed for all stochastic core behavior.
+     * @param noc NoC contention knobs (ablation switch lives here).
+     */
+    explicit Machine(const MachineConfig &cfg, unsigned active_cores = 1,
+                     std::uint64_t seed = 0x6E65746368617221ULL,
+                     const NocParams &noc = {});
+
+    /** Machine description in use. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Number of active cores. */
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** Access core i (0-based; throws std::out_of_range). */
+    Core &core(unsigned i);
+    const Core &core(unsigned i) const;
+
+    /** Shared LLC/NoC (telemetry). */
+    const LlcNoc &llc() const { return llc_; }
+
+    /** Shared DRAM model (telemetry). */
+    const DramModel &dram() const { return dram_; }
+
+    /** Sum of all cores' counters. */
+    PerfCounters totalCounters() const;
+
+    /** Sum of all cores' Top-Down slot accounts. */
+    SlotAccount totalSlots() const;
+
+    /**
+     * Wall-clock seconds of the run: the slowest core's cycles divided
+     * by the max turbo frequency (single-threaded runs turbo).
+     */
+    double seconds() const;
+
+    /** Enable the JIT ISA hint on every core. */
+    void setJitHintEnabled(bool enabled);
+
+    /** Reset all cores, the LLC and DRAM. */
+    void reset();
+
+  private:
+    MachineConfig cfg_;
+    LlcNoc llc_;
+    DramModel dram_;
+    /** The process page table, shared by all cores. */
+    std::unordered_set<std::uint64_t> processPages_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_MACHINE_HH

@@ -1,0 +1,56 @@
+#include "sim/memory.hh"
+
+#include <stdexcept>
+
+namespace netchar::sim
+{
+
+DramModel::DramModel(const DramParams &params) : params_(params)
+{
+    if (params_.banks == 0 || params_.rowBytes == 0 ||
+        params_.lineBytes == 0)
+        throw std::invalid_argument("DramModel: bad params");
+    openRow_.assign(params_.banks, -1);
+}
+
+DramOutcome
+DramModel::access(std::uint64_t addr, bool is_write)
+{
+    DramOutcome out;
+    ++accesses_;
+    const std::uint64_t row = addr / params_.rowBytes;
+    const std::size_t bank =
+        static_cast<std::size_t>(row % params_.banks);
+    if (openRow_[bank] == static_cast<std::int64_t>(row)) {
+        out.rowHit = true;
+    } else {
+        ++rowMisses_;
+        openRow_[bank] = static_cast<std::int64_t>(row);
+    }
+    if (is_write)
+        writeBytes_ += params_.lineBytes;
+    else
+        readBytes_ += params_.lineBytes;
+    return out;
+}
+
+void
+DramModel::reset()
+{
+    openRow_.assign(params_.banks, -1);
+    accesses_ = 0;
+    rowMisses_ = 0;
+    readBytes_ = 0;
+    writeBytes_ = 0;
+}
+
+double
+DramModel::rowMissRate() const
+{
+    return accesses_ > 0
+        ? static_cast<double>(rowMisses_) /
+              static_cast<double>(accesses_)
+        : 0.0;
+}
+
+} // namespace netchar::sim

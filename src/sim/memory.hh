@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DRAM model: per-bank open-row tracking for the "memory page miss
+ * rate" metric (Table I, metric 17) and byte counters for the read /
+ * write bandwidth metrics (15, 16).
+ */
+
+#ifndef NETCHAR_SIM_MEMORY_HH
+#define NETCHAR_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace netchar::sim
+{
+
+/** Tuning knobs for DramModel. */
+struct DramParams
+{
+    unsigned banks = 16;
+    std::uint64_t rowBytes = 8192;
+    unsigned lineBytes = 64;
+};
+
+/** Outcome of one DRAM access. */
+struct DramOutcome
+{
+    /** The access hit the open row of its bank. */
+    bool rowHit = false;
+};
+
+/**
+ * Open-page DRAM model. Tag-only: tracks which row each bank has open
+ * and counts row hits/misses plus transferred bytes.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramParams &params = {});
+
+    /**
+     * One line fill or writeback.
+     *
+     * @param addr Byte address of the line.
+     * @param is_write Writeback (counts toward write bandwidth).
+     */
+    DramOutcome access(std::uint64_t addr, bool is_write);
+
+    /** Close all rows and zero counters. */
+    void reset();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+    std::uint64_t readBytes() const { return readBytes_; }
+    std::uint64_t writeBytes() const { return writeBytes_; }
+
+    /** Row-miss fraction (0 when idle). */
+    double rowMissRate() const;
+
+  private:
+    DramParams params_;
+    std::vector<std::int64_t> openRow_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t rowMisses_ = 0;
+    std::uint64_t readBytes_ = 0;
+    std::uint64_t writeBytes_ = 0;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_MEMORY_HH

@@ -1,0 +1,110 @@
+#include "sim/noc.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netchar::sim
+{
+
+LlcNoc::LlcNoc(const CacheGeometry &geometry, unsigned slices,
+               double base_latency, const NocParams &params)
+    : baseLatency_(base_latency), params_(params)
+{
+    if (slices == 0)
+        throw std::invalid_argument("LlcNoc: zero slices");
+    if (geometry.sizeBytes % slices != 0)
+        throw std::invalid_argument(
+            "LlcNoc: capacity does not divide across slices");
+    CacheGeometry slice_geom = geometry;
+    slice_geom.sizeBytes = geometry.sizeBytes / slices;
+    for (unsigned i = 0; i < slices; ++i)
+        slices_.push_back(
+            std::make_unique<Cache>(slice_geom, "llc-slice"));
+}
+
+std::size_t
+LlcNoc::sliceFor(std::uint64_t addr) const
+{
+    // Cheap line-address hash standing in for Intel's slice hash.
+    std::uint64_t line = addr / 64;
+    line ^= line >> 17;
+    line *= 0x9E3779B97F4A7C15ULL;
+    line ^= line >> 29;
+    return static_cast<std::size_t>(line % slices_.size());
+}
+
+LlcOutcome
+LlcNoc::access(std::uint64_t addr, bool is_write,
+               unsigned active_cores, double core_cycles)
+{
+    LlcOutcome out;
+    ++accesses_;
+    ++windowAccesses_;
+    (void)active_cores;
+
+    // Aggregate arrival-rate estimate: total accesses (all cores)
+    // divided by wall-clock progress, where wall clock is the max
+    // core-cycle count observed (cores run concurrently, so the
+    // furthest core's clock is the wall).
+    lastCycles_ = std::max(lastCycles_, core_cycles);
+    if (windowAccesses_ >= params_.rateSmoothing &&
+        lastCycles_ > windowStartCycles_) {
+        const double rate = static_cast<double>(windowAccesses_) /
+            (lastCycles_ - windowStartCycles_);
+        smoothedRate_ = smoothedRate_ == 0.0
+            ? rate
+            : 0.7 * smoothedRate_ + 0.3 * rate;
+        windowAccesses_ = 0;
+        windowStartCycles_ = lastCycles_;
+    }
+
+    double queue_delay = 0.0;
+    if (params_.contentionEnabled && smoothedRate_ > 0.0) {
+        // Arrival rate per NoC stop, M/M/1 waiting time.
+        const double lambda = smoothedRate_ /
+            static_cast<double>(slices_.size());
+        const double rho =
+            std::min(lambda / params_.sliceServiceRate, 0.98);
+        queue_delay = std::min(
+            baseLatency_ * rho / (1.0 - rho), params_.maxQueueCycles);
+    }
+    lastQueueDelay_ = queue_delay;
+
+    const auto cache_out =
+        slices_[sliceFor(addr)]->access(addr, is_write);
+    out.hit = cache_out.hit;
+    out.evictedUnusedPrefetch = cache_out.evictedUnusedPrefetch;
+    out.writeback = cache_out.writeback;
+    out.latency = baseLatency_ + queue_delay;
+    if (!out.hit)
+        ++misses_;
+    return out;
+}
+
+CacheOutcome
+LlcNoc::insertPrefetch(std::uint64_t addr)
+{
+    return slices_[sliceFor(addr)]->insertPrefetch(addr);
+}
+
+bool
+LlcNoc::contains(std::uint64_t addr) const
+{
+    return slices_[sliceFor(addr)]->contains(addr);
+}
+
+void
+LlcNoc::reset()
+{
+    for (auto &slice : slices_)
+        slice->invalidateAll();
+    accesses_ = 0;
+    misses_ = 0;
+    smoothedRate_ = 0.0;
+    lastCycles_ = 0.0;
+    windowStartCycles_ = 0.0;
+    windowAccesses_ = 0;
+    lastQueueDelay_ = 0.0;
+}
+
+} // namespace netchar::sim

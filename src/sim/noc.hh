@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sliced last-level cache behind a contended network-on-chip.
+ *
+ * §VI-B2 observes that ASP.NET applications become L3-latency bound as
+ * core counts grow even though per-core LLC MPKI stays flat — the
+ * extra stall time comes from contention at LLC slice ports and in the
+ * NoC. This model reproduces that: the LLC is divided into
+ * address-hashed slices shared by all cores, and each access pays a
+ * queueing delay that grows with the aggregate access rate per slice
+ * (an M/M/1-style rho/(1-rho) term).
+ */
+
+#ifndef NETCHAR_SIM_NOC_HH
+#define NETCHAR_SIM_NOC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/config.hh"
+
+namespace netchar::sim
+{
+
+/** Tuning knobs for the contention model. */
+struct NocParams
+{
+    /**
+     * Effective service rate of one LLC slice / NoC stop in accesses
+     * per cycle. Deliberately low: the "slice" stands in for the
+     * shared mesh stop (directory + link bandwidth), which saturates
+     * long before the SRAM port does.
+     */
+    double sliceServiceRate = 0.02;
+    /** Cap on the queueing multiplier to keep the model stable. */
+    double maxQueueCycles = 150.0;
+    /** Smoothing window (accesses) for the arrival-rate estimate. */
+    double rateSmoothing = 4096.0;
+    /** Enable/disable contention entirely (ablation switch). */
+    bool contentionEnabled = true;
+};
+
+/** Outcome of one LLC access through the NoC. */
+struct LlcOutcome
+{
+    bool hit = false;
+    bool evictedUnusedPrefetch = false;
+    bool writeback = false;
+    /** Total latency: base LLC latency + NoC queueing delay. */
+    double latency = 0.0;
+};
+
+/**
+ * Shared sliced LLC. All cores of a Machine funnel their L2 misses
+ * through one LlcNoc instance; slice selection hashes the line
+ * address, mimicking Intel's slice hash.
+ */
+class LlcNoc
+{
+  public:
+    /**
+     * @param geometry Aggregate LLC geometry; capacity is split evenly
+     *        across slices (must divide evenly).
+     * @param slices Slice count.
+     * @param base_latency Uncontended LLC hit latency in cycles.
+     * @param params Contention model knobs.
+     */
+    LlcNoc(const CacheGeometry &geometry, unsigned slices,
+           double base_latency, const NocParams &params = {});
+
+    /**
+     * One access from a core.
+     *
+     * @param addr Byte address.
+     * @param is_write Marks the line dirty.
+     * @param active_cores How many cores are concurrently generating
+     *        this access pattern (scales the arrival-rate estimate).
+     * @param core_cycles The requesting core's current cycle count,
+     *        used to estimate its access rate.
+     */
+    LlcOutcome access(std::uint64_t addr, bool is_write,
+                      unsigned active_cores, double core_cycles);
+
+    /** Prefetch fill into the right slice. */
+    CacheOutcome insertPrefetch(std::uint64_t addr);
+
+    /** Probe without state change. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Drop all lines and rate state. */
+    void reset();
+
+    /** Total demand accesses across slices. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Total demand misses across slices. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Most recent queueing delay estimate in cycles (telemetry). */
+    double lastQueueDelay() const { return lastQueueDelay_; }
+
+    unsigned sliceCount() const
+    {
+        return static_cast<unsigned>(slices_.size());
+    }
+
+  private:
+    std::size_t sliceFor(std::uint64_t addr) const;
+
+    std::vector<std::unique_ptr<Cache>> slices_;
+    double baseLatency_;
+    NocParams params_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    double smoothedRate_ = 0.0; ///< aggregate accesses per cycle
+    double lastCycles_ = 0.0;
+    double windowStartCycles_ = 0.0;
+    std::uint64_t windowAccesses_ = 0;
+    double lastQueueDelay_ = 0.0;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_NOC_HH

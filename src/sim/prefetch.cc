@@ -1,0 +1,94 @@
+#include "sim/prefetch.hh"
+
+#include <stdexcept>
+
+namespace netchar::sim
+{
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherParams &params)
+    : params_(params)
+{
+    if (params_.streams == 0 || params_.lineBytes == 0 ||
+        params_.pageBytes == 0)
+        throw std::invalid_argument("StreamPrefetcher: bad params");
+    streams_.resize(params_.streams);
+}
+
+std::vector<std::uint64_t>
+StreamPrefetcher::observe(std::uint64_t addr)
+{
+    ++tick_;
+    const std::uint64_t line = addr / params_.lineBytes;
+    const std::uint64_t page = addr / params_.pageBytes;
+
+    // Find the stream for this page, or allocate one (LRU victim,
+    // preferring invalid slots).
+    Stream *stream = nullptr;
+    for (Stream &s : streams_) {
+        if (s.valid && s.page == page) {
+            stream = &s;
+            break;
+        }
+    }
+    if (stream == nullptr) {
+        Stream *victim = &streams_.front();
+        for (Stream &s : streams_) {
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+            if (s.lastUse < victim->lastUse)
+                victim = &s;
+        }
+        victim->page = page;
+        victim->lastLine = line;
+        victim->direction = 0;
+        victim->confidence = 0;
+        victim->valid = true;
+        victim->lastUse = tick_;
+        return {};
+    }
+
+    stream->lastUse = tick_;
+    std::vector<std::uint64_t> out;
+    if (line == stream->lastLine)
+        return out; // same line, no new direction information
+
+    const int dir = line > stream->lastLine ? 1 : -1;
+    if (dir == stream->direction) {
+        if (stream->confidence < 255)
+            ++stream->confidence;
+    } else {
+        stream->direction = dir;
+        stream->confidence = 1;
+    }
+    stream->lastLine = line;
+
+    if (stream->confidence < params_.trainThreshold)
+        return out;
+
+    const std::uint64_t lines_per_page =
+        params_.pageBytes / params_.lineBytes;
+    for (unsigned i = 1; i <= params_.degree; ++i) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(line) +
+            static_cast<std::int64_t>(i) * dir;
+        if (target < 0)
+            break;
+        const auto tline = static_cast<std::uint64_t>(target);
+        if (!params_.crossPageHint &&
+            tline / lines_per_page != page)
+            break; // real prefetchers stop at the page boundary
+        out.push_back(tline * params_.lineBytes);
+    }
+    return out;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto &s : streams_)
+        s = Stream{};
+}
+
+} // namespace netchar::sim

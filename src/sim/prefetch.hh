@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Stream prefetcher with a configurable page-boundary policy.
+ *
+ * §VII-A1 of the paper hinges on a property of real hardware stream
+ * prefetchers: they do not prefetch across 4 KiB page boundaries, so
+ * freshly JITed code pages always start cold. The `crossPageHint`
+ * switch models the paper's proposed ISA hook that lets the runtime
+ * tell the prefetcher about new code pages — the basis of the
+ * `bench_ablation_jit_prefetch` experiment.
+ */
+
+#ifndef NETCHAR_SIM_PREFETCH_HH
+#define NETCHAR_SIM_PREFETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace netchar::sim
+{
+
+/** Tuning knobs for StreamPrefetcher. */
+struct PrefetcherParams
+{
+    /** Number of concurrently tracked streams. */
+    unsigned streams = 16;
+    /** Lines fetched ahead once a stream is confirmed. */
+    unsigned degree = 2;
+    /** Accesses on a stream required before prefetching starts. */
+    unsigned trainThreshold = 2;
+    /** Allow prefetches to cross 4 KiB page boundaries (ISA hint). */
+    bool crossPageHint = false;
+    /** Page size used for the boundary check. */
+    std::uint64_t pageBytes = 4096;
+    /** Cache line size (prefetch granularity). */
+    unsigned lineBytes = 64;
+};
+
+/**
+ * Classic per-page ascending/descending stream prefetcher.
+ *
+ * observe() is called with every demand access (hit or miss); it
+ * returns the list of line addresses to prefetch, already filtered by
+ * the page-boundary policy.
+ */
+class StreamPrefetcher
+{
+  public:
+    explicit StreamPrefetcher(const PrefetcherParams &params = {});
+
+    /**
+     * Train on a demand access and emit prefetch candidates.
+     *
+     * @param addr Byte address of the demand access.
+     * @return Byte addresses (line-aligned) to prefetch; empty until
+     *         the stream is trained.
+     */
+    std::vector<std::uint64_t> observe(std::uint64_t addr);
+
+    /** Forget all streams. */
+    void reset();
+
+    /** Parameters in use (tests/ablation reporting). */
+    const PrefetcherParams &params() const { return params_; }
+
+  private:
+    struct Stream
+    {
+        std::uint64_t page = 0;
+        std::uint64_t lastLine = 0;
+        int direction = 0;     ///< +1 ascending, -1 descending
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    PrefetcherParams params_;
+    std::vector<Stream> streams_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace netchar::sim
+
+#endif // NETCHAR_SIM_PREFETCH_HH

@@ -1,0 +1,134 @@
+#include "sim/tlb.hh"
+
+#include <stdexcept>
+
+namespace netchar::sim
+{
+
+Tlb::Tlb(const TlbGeometry &geometry)
+    : pageBytes_(geometry.pageBytes), assoc_(geometry.associativity)
+{
+    if (geometry.pageBytes == 0 || assoc_ == 0)
+        throw std::invalid_argument("Tlb: zero page size or assoc");
+    if (geometry.entries == 0 || geometry.entries % assoc_ != 0)
+        throw std::invalid_argument(
+            "Tlb: entries not a multiple of associativity");
+    sets_.resize(geometry.entries / assoc_);
+    for (auto &set : sets_)
+        set.resize(assoc_);
+}
+
+Tlb::Entry *
+Tlb::findVictim(std::vector<Entry> &set)
+{
+    Entry *victim = &set.front();
+    for (Entry &e : set) {
+        if (!e.valid)
+            return &e;
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    return victim;
+}
+
+bool
+Tlb::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++tick_;
+    const std::uint64_t vpn = vpnFor(addr);
+    auto &set = sets_[vpn % sets_.size()];
+    for (Entry &e : set) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = tick_;
+            return true;
+        }
+    }
+    ++misses_;
+    Entry *victim = findVictim(set);
+    victim->vpn = vpn;
+    victim->valid = true;
+    victim->lastUse = tick_;
+    return false;
+}
+
+bool
+Tlb::contains(std::uint64_t addr) const
+{
+    const std::uint64_t vpn = vpnFor(addr);
+    const auto &set = sets_[vpn % sets_.size()];
+    for (const Entry &e : set)
+        if (e.valid && e.vpn == vpn)
+            return true;
+    return false;
+}
+
+void
+Tlb::install(std::uint64_t addr)
+{
+    ++tick_;
+    const std::uint64_t vpn = vpnFor(addr);
+    auto &set = sets_[vpn % sets_.size()];
+    for (Entry &e : set) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = tick_;
+            return;
+        }
+    }
+    Entry *victim = findVictim(set);
+    victim->vpn = vpn;
+    victim->valid = true;
+    victim->lastUse = tick_;
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto &set : sets_)
+        for (auto &e : set)
+            e = Entry{};
+}
+
+TlbHierarchy::TlbHierarchy(const TlbGeometry &l1, const TlbGeometry &stlb)
+    : l1_(l1),
+      hasStlb_(stlb.entries > 0),
+      stlb_(hasStlb_ ? stlb : TlbGeometry{1, 1, l1.pageBytes})
+{
+}
+
+TlbOutcome
+TlbHierarchy::access(std::uint64_t addr)
+{
+    TlbOutcome out;
+    if (l1_.access(addr)) {
+        out.hit = true;
+        return out;
+    }
+    if (hasStlb_ && stlb_.access(addr)) {
+        out.stlbHit = true;
+        return out;
+    }
+    if (hasStlb_) {
+        // The walk filled the STLB via access(); nothing more to do.
+    }
+    ++walks_;
+    return out;
+}
+
+void
+TlbHierarchy::install(std::uint64_t addr)
+{
+    l1_.install(addr);
+    if (hasStlb_)
+        stlb_.install(addr);
+}
+
+void
+TlbHierarchy::invalidateAll()
+{
+    l1_.invalidateAll();
+    if (hasStlb_)
+        stlb_.invalidateAll();
+}
+
+} // namespace netchar::sim

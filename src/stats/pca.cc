@@ -1,0 +1,189 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/summary.hh"
+
+namespace netchar::stats
+{
+
+Matrix
+covarianceMatrix(const Matrix &data)
+{
+    if (data.rows() < 2)
+        throw std::invalid_argument("covarianceMatrix: need >= 2 rows");
+    const std::size_t n = data.rows();
+    const std::size_t m = data.cols();
+    const auto means = columnMeans(data);
+    Matrix cov(m, m);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const double di = data(r, i) - means[i];
+            if (di == 0.0)
+                continue;
+            for (std::size_t j = i; j < m; ++j)
+                cov(i, j) += di * (data(r, j) - means[j]);
+        }
+    }
+    const double denom = static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = i; j < m; ++j) {
+            cov(i, j) /= denom;
+            cov(j, i) = cov(i, j);
+        }
+    }
+    return cov;
+}
+
+std::vector<EigenPair>
+jacobiEigenSymmetric(const Matrix &symmetric, int max_sweeps)
+{
+    const std::size_t n = symmetric.rows();
+    if (n != symmetric.cols())
+        throw std::invalid_argument("jacobiEigenSymmetric: not square");
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (std::fabs(symmetric(i, j) - symmetric(j, i)) > 1e-9)
+                throw std::invalid_argument(
+                    "jacobiEigenSymmetric: not symmetric");
+
+    Matrix a = symmetric;
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                off += a(i, j) * a(i, j);
+        if (off < 1e-20)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::fabs(apq) < 1e-15)
+                    continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<EigenPair> pairs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pairs[i].value = a(i, i);
+        pairs[i].vector = v.col(i);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const EigenPair &x, const EigenPair &y) {
+                  return x.value > y.value;
+              });
+    return pairs;
+}
+
+double
+PcaResult::cumulativeExplained() const
+{
+    return std::accumulate(explainedVariance.begin(),
+                           explainedVariance.end(), 0.0);
+}
+
+PcaResult
+runPca(const Matrix &data, const PcaOptions &options)
+{
+    if (data.rows() < 2 || data.cols() < 1)
+        throw std::invalid_argument("runPca: need >= 2 rows, >= 1 col");
+
+    const Matrix prepared =
+        options.standardize ? standardizeColumns(data) : data;
+    const Matrix cov = covarianceMatrix(prepared);
+    auto pairs = jacobiEigenSymmetric(cov);
+
+    double trace = 0.0;
+    for (const auto &p : pairs)
+        trace += std::max(p.value, 0.0);
+
+    const std::size_t k = std::min(options.components, data.cols());
+
+    PcaResult result;
+    result.loadings = Matrix(k, data.cols());
+    result.eigenvalues.resize(k);
+    result.explainedVariance.resize(k);
+
+    for (std::size_t comp = 0; comp < k; ++comp) {
+        auto vec = pairs[comp].vector;
+        // Deterministic sign: largest-|entry| coordinate positive.
+        std::size_t arg_max = 0;
+        for (std::size_t i = 1; i < vec.size(); ++i)
+            if (std::fabs(vec[i]) > std::fabs(vec[arg_max]))
+                arg_max = i;
+        if (vec[arg_max] < 0.0)
+            for (double &x : vec)
+                x = -x;
+        for (std::size_t i = 0; i < vec.size(); ++i)
+            result.loadings(comp, i) = vec[i];
+        result.eigenvalues[comp] = pairs[comp].value;
+        result.explainedVariance[comp] =
+            trace > 0.0 ? std::max(pairs[comp].value, 0.0) / trace : 0.0;
+    }
+
+    // Scores: project centered (standardized) data onto loadings.
+    const auto means = columnMeans(prepared);
+    result.scores = Matrix(prepared.rows(), k);
+    for (std::size_t r = 0; r < prepared.rows(); ++r) {
+        for (std::size_t comp = 0; comp < k; ++comp) {
+            double dot = 0.0;
+            for (std::size_t c = 0; c < prepared.cols(); ++c)
+                dot += (prepared(r, c) - means[c]) *
+                       result.loadings(comp, c);
+            result.scores(r, comp) = dot;
+        }
+    }
+    return result;
+}
+
+std::vector<std::size_t>
+topLoadings(const PcaResult &pca, std::size_t component, std::size_t k)
+{
+    if (component >= pca.loadings.rows())
+        throw std::out_of_range("topLoadings: component out of range");
+    std::vector<std::size_t> idx(pca.loadings.cols());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return std::fabs(pca.loadings(component, a)) >
+                         std::fabs(pca.loadings(component, b));
+              });
+    idx.resize(std::min(k, idx.size()));
+    return idx;
+}
+
+} // namespace netchar::stats

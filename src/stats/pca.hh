@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Principal Component Analysis, as used in §IV-A of the paper to reduce
+ * the 24 characterization metrics of Table I to 4 principal components
+ * (PRCOs) before clustering, and again in §V-C/§V-D for per-category
+ * (control-flow / memory / runtime-event) comparisons.
+ *
+ * The implementation computes the covariance matrix of the (typically
+ * pre-standardized) data and diagonalizes it with the cyclic Jacobi
+ * rotation method — exact enough for the <= 24x24 symmetric matrices
+ * this library ever sees, with no external dependency.
+ */
+
+#ifndef NETCHAR_STATS_PCA_HH
+#define NETCHAR_STATS_PCA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace netchar::stats
+{
+
+/** One eigenpair of a symmetric matrix. */
+struct EigenPair
+{
+    double value = 0.0;
+    std::vector<double> vector;
+};
+
+/**
+ * Diagonalize a symmetric matrix with cyclic Jacobi rotations.
+ *
+ * @param symmetric Square symmetric input (asymmetry beyond 1e-9 throws
+ *                  std::invalid_argument).
+ * @param max_sweeps Upper bound on full Jacobi sweeps.
+ * @return Eigenpairs sorted by descending eigenvalue; eigenvectors are
+ *         unit length and mutually orthogonal.
+ */
+std::vector<EigenPair> jacobiEigenSymmetric(const Matrix &symmetric,
+                                            int max_sweeps = 64);
+
+/**
+ * Sample covariance matrix (n-1 denominator) of row-observations.
+ * Returns a cols x cols matrix; requires at least 2 rows.
+ */
+Matrix covarianceMatrix(const Matrix &data);
+
+/** Result of a PCA decomposition. */
+struct PcaResult
+{
+    /**
+     * Loading factors: components x metrics matrix W of Equation 1.
+     * Row k holds the weights of principal component k over the input
+     * metrics. Sign convention: each row is flipped so that its
+     * largest-magnitude entry is positive, giving deterministic output.
+     */
+    Matrix loadings;
+
+    /** Eigenvalues, descending, one per retained component. */
+    std::vector<double> eigenvalues;
+
+    /**
+     * Fraction of total variance explained by each retained component
+     * (eigenvalue / trace). Table III reports these per PRCO.
+     */
+    std::vector<double> explainedVariance;
+
+    /**
+     * Scores: observations x components projection of the (centered)
+     * input onto the loadings. These are the PRCO coordinates used for
+     * clustering and the scatter plots of Figures 5-7.
+     */
+    Matrix scores;
+
+    /** Cumulative explained variance of the retained components. */
+    double cumulativeExplained() const;
+};
+
+/** Options controlling a PCA run. */
+struct PcaOptions
+{
+    /** Number of components to retain (clamped to the metric count). */
+    std::size_t components = 4;
+
+    /**
+     * Standardize columns to z-scores first (the paper does; loading
+     * factors can then be negative, as Table III notes).
+     */
+    bool standardize = true;
+};
+
+/**
+ * Run PCA on a data matrix with one row per benchmark and one column
+ * per metric.
+ *
+ * @param data Observations x metrics. Needs >= 2 rows and >= 1 column.
+ * @param options Component count and standardization flag.
+ * @return Loadings, eigenvalues, explained variance and scores.
+ */
+PcaResult runPca(const Matrix &data, const PcaOptions &options = {});
+
+/**
+ * Indices of the top-k magnitude loadings of one component, descending
+ * by |loading| — the layout of Table III's per-PRCO metric lists.
+ */
+std::vector<std::size_t> topLoadings(const PcaResult &pca,
+                                     std::size_t component,
+                                     std::size_t k);
+
+} // namespace netchar::stats
+
+#endif // NETCHAR_STATS_PCA_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator and the
+ * synthetic workload generators.
+ *
+ * Every stochastic component in netchar draws from an explicitly seeded
+ * Rng so that a given (workload, machine, options) triple reproduces
+ * byte-identical results. std::mt19937 is avoided because its state is
+ * large and its distributions are not guaranteed to be identical across
+ * standard library implementations.
+ */
+
+#ifndef NETCHAR_STATS_RNG_HH
+#define NETCHAR_STATS_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace netchar::stats
+{
+
+/**
+ * SplitMix64 step. Used to derive independent seeds from a master seed.
+ *
+ * @param state In/out 64-bit state; advanced by one step.
+ * @return A well-mixed 64-bit value.
+ */
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** PRNG with convenience distributions.
+ *
+ * Small (32 bytes of state), fast, and with a guaranteed cross-platform
+ * output sequence. Distribution helpers are hand-rolled for the same
+ * reproducibility reason.
+ */
+class Rng
+{
+  public:
+    /** Construct from a master seed; substreams via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Derive an independent generator for a named substream. */
+    Rng
+    fork(std::uint64_t stream_id) const
+    {
+        std::uint64_t mix = state_[0] ^ (stream_id * 0x9E3779B97F4A7C15ULL);
+        return Rng(splitMix64(mix));
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound). Returns 0 when bound == 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * bound
+        // which is negligible for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponential variate with the given mean (> 0). */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(1.0 - u);
+    }
+
+    /** Standard normal variate (Box-Muller, one value per call). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(6.28318530717958647692 * u2);
+    }
+
+    /** Normal variate with the given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+    /**
+     * Log-normally perturb a base value: base * exp(sigma * N(0,1)).
+     * Used to expand benchmark category profiles into per-benchmark
+     * variants.
+     */
+    double
+    jitter(double base, double sigma)
+    {
+        return base * std::exp(sigma * normal());
+    }
+
+    /**
+     * Zipf-like rank selection over [0, n): rank r is drawn with weight
+     * proportional to 1 / (r + 1)^s. Uses inverse-CDF over a harmonic
+     * approximation; exact normalization is irrelevant for the
+     * reuse-distance modeling it supports.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        // Inverse of the continuous CDF of x^-s on [1, n+1).
+        const double u = uniform();
+        double value;
+        if (std::fabs(s - 1.0) < 1e-9) {
+            value = std::pow(static_cast<double>(n) + 1.0, u);
+        } else {
+            const double one_minus_s = 1.0 - s;
+            const double top =
+                std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+            value = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+        }
+        auto rank = static_cast<std::uint64_t>(value) - 1;
+        return rank >= n ? n - 1 : rank;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace netchar::stats
+
+#endif // NETCHAR_STATS_RNG_HH

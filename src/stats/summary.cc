@@ -1,0 +1,199 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netchar::stats
+{
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+populationVariance(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            throw std::invalid_argument("geomean: non-positive input");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("pearson: length mismatch");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+fractionalRanks(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return xs[a] < xs[b];
+              });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Average rank for the tie group [i, j].
+        const double avg =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+            1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        throw std::invalid_argument("spearman: length mismatch");
+    const auto rx = fractionalRanks(xs);
+    const auto ry = fractionalRanks(ys);
+    return pearson(rx, ry);
+}
+
+Summary
+summarize(std::span<const double> xs)
+{
+    Summary s;
+    if (xs.empty())
+        return s;
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    s.mean = mean(xs);
+    s.stddev = stddev(xs);
+    return s;
+}
+
+std::vector<double>
+columnMeans(const Matrix &data)
+{
+    std::vector<double> means(data.cols(), 0.0);
+    if (data.rows() == 0)
+        return means;
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            means[c] += data(r, c);
+    for (double &m : means)
+        m /= static_cast<double>(data.rows());
+    return means;
+}
+
+std::vector<double>
+columnStddevs(const Matrix &data)
+{
+    std::vector<double> devs(data.cols(), 0.0);
+    if (data.rows() < 2)
+        return devs;
+    const auto means = columnMeans(data);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            const double d = data(r, c) - means[c];
+            devs[c] += d * d;
+        }
+    }
+    for (double &v : devs)
+        v = std::sqrt(v / static_cast<double>(data.rows() - 1));
+    return devs;
+}
+
+Matrix
+correlationMatrix(const Matrix &data)
+{
+    const std::size_t m = data.cols();
+    Matrix corr(m, m);
+    std::vector<std::vector<double>> columns(m);
+    for (std::size_t c = 0; c < m; ++c)
+        columns[c] = data.col(c);
+    for (std::size_t i = 0; i < m; ++i) {
+        corr(i, i) = 1.0;
+        for (std::size_t j = i + 1; j < m; ++j) {
+            const double r = pearson(columns[i], columns[j]);
+            corr(i, j) = r;
+            corr(j, i) = r;
+        }
+    }
+    return corr;
+}
+
+Matrix
+standardizeColumns(const Matrix &data)
+{
+    Matrix out(data.rows(), data.cols());
+    const auto means = columnMeans(data);
+    const auto devs = columnStddevs(data);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            out(r, c) = devs[c] > 0.0
+                ? (data(r, c) - means[c]) / devs[c]
+                : 0.0;
+        }
+    }
+    return out;
+}
+
+} // namespace netchar::stats

@@ -1,0 +1,611 @@
+#include "workloads/dotnet.hh"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace netchar::wl
+{
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+/** Baseline managed microbenchmark: small, CLR-flavored. */
+WorkloadProfile
+dotnetBase(const char *name, const char *description,
+           std::uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.suite = Suite::DotNet;
+    p.description = description;
+    p.seed = seed;
+    p.instructions = 1'500'000;
+    // Managed common case: CLR code gives uniform-ish mixes (§V-B).
+    p.branchFrac = 0.17;
+    p.loadFrac = 0.29;
+    p.storeFrac = 0.16;
+    p.mulFrac = 0.02;
+    p.divFrac = 0.001;
+    p.microcodedFrac = 0.015;
+    p.kernelFrac = 0.05;
+    p.ilp = 2.2;
+    p.mlp = 2.0;
+    p.methods = 380;
+    p.meanMethodBytes = 900;
+    p.methodZipf = 1.70;
+    p.branchBias = 0.94;
+    p.dataFootprint = 1 * MiB;
+    p.dataZipf = 1.05;
+    p.streamFrac = 0.05;
+    p.stackFrac = 0.40;
+    // Microbenchmarks are tiny: nearly everything stays L1-resident
+    // (suite L1d MPKI geomean ~2.3 in Fig 8).
+    p.warmFrac = 0.004;
+    p.coolFrac = 0.0012;
+    p.managed = true;
+    p.allocBytesPerInst = 0.10;
+    p.maxHeapBytes = 16 * MiB;
+    p.tierUpCallThreshold = 24;
+    p.exceptionPki = 0.003;
+    p.contentionPki = 0.003;
+    return p;
+}
+
+struct CategorySpec
+{
+    WorkloadProfile profile;
+    std::size_t microCount;
+};
+
+/** Build all 44 categories with their microbenchmark counts. */
+std::vector<CategorySpec>
+buildCategories()
+{
+    std::vector<CategorySpec> out;
+    out.reserve(kDotNetCategories);
+    std::uint64_t seed = 0x0D07'4E37'0000'0000ULL;
+    auto add = [&](WorkloadProfile p, std::size_t micros) {
+        p.validate();
+        out.push_back({std::move(p), micros});
+    };
+
+    {
+        // File and stream IO: syscall heavy, buffer streaming.
+        auto p = dotnetBase("System.IO",
+                            "File/stream IO microbenchmarks", ++seed);
+        p.kernelFrac = 0.22;
+        p.streamFrac = 0.35;
+        p.dataFootprint = 2 * MiB;
+        p.allocBytesPerInst = 0.25;
+        p.methodZipf = 1.25;
+        add(p, 110);
+    }
+    {
+        // Basic scalar and array tests (Table IV).
+        auto p = dotnetBase("System.Runtime",
+                            "Basic scalar and array tests", ++seed);
+        p.dataFootprint = 512 * KiB;
+        p.branchBias = 0.93;
+        p.ilp = 2.8;
+        add(p, 90);
+    }
+    {
+        // Thread kernel functions (Table IV).
+        auto p = dotnetBase("System.Threading",
+                            "Thread kernel functions", ++seed);
+        p.kernelFrac = 0.30;
+        p.contentionPki = 0.25;
+        p.microcodedFrac = 0.03;
+        p.dataFootprint = 768 * KiB;
+        p.ilp = 1.8;
+        p.methodZipf = 1.20;
+        add(p, 40);
+    }
+    {
+        // Type converters (Table IV).
+        auto p = dotnetBase("System.ComponentModel",
+                            "Type converters", ++seed);
+        p.methods = 520;
+        p.allocBytesPerInst = 0.55;
+        p.branchBias = 0.92;
+        add(p, 12);
+    }
+    {
+        // LINQ: delegate-heavy, allocation-heavy iterator chains.
+        auto p = dotnetBase("System.Linq",
+                            "Language integrated query tests", ++seed);
+        p.methods = 650;
+        p.allocBytesPerInst = 0.80;
+        p.branchFrac = 0.19;
+        p.branchBias = 0.92;
+        p.dataFootprint = 2 * MiB;
+        add(p, 60);
+    }
+    {
+        // Network kernel functions (Table IV) - ASP.NET-like (§V-E).
+        auto p = dotnetBase("System.Net",
+                            "Network kernel functions", ++seed);
+        p.kernelFrac = 0.38;
+        p.methods = 900;
+        p.meanMethodBytes = 1100;
+        p.streamFrac = 0.25;
+        p.dataFootprint = 3 * MiB;
+        p.ilp = 1.7;
+        p.mlp = 1.8;
+        p.warmFrac = 0.012;
+        p.coolFrac = 0.004;
+        p.methodZipf = 1.00;
+        add(p, 35);
+    }
+    {
+        // Math libraries: tight FP loops, heavy divider usage.
+        auto p = dotnetBase("System.MathBenchmarks",
+                            "Math libraries", ++seed);
+        p.methods = 90;
+        p.meanMethodBytes = 450;
+        p.divFrac = 0.03;
+        p.mulFrac = 0.10;
+        p.branchFrac = 0.10;
+        p.loadFrac = 0.22;
+        p.storeFrac = 0.08;
+        p.branchBias = 0.97;
+        p.dataFootprint = 128 * KiB;
+        p.allocBytesPerInst = 0.02;
+        p.ilp = 3.0;
+        add(p, 45);
+    }
+    {
+        // Kernel functions (Table IV) - ASP.NET-like (§V-E).
+        auto p = dotnetBase("System.Diagnostics",
+                            "Kernel functions and tracing", ++seed);
+        p.kernelFrac = 0.33;
+        p.storeFrac = 0.22; // data-structure initialization (§V-B)
+        p.methods = 700;
+        p.dataFootprint = 2 * MiB;
+        p.allocBytesPerInst = 0.6;
+        p.ilp = 1.8;
+        p.warmFrac = 0.012;
+        p.coolFrac = 0.004;
+        p.methodZipf = 1.00;
+        add(p, 15);
+    }
+    {
+        // Roslyn C# compiler benchmark: huge managed code footprint.
+        auto p = dotnetBase("CscBench",
+                            "Compiler and dataflow tests", ++seed);
+        p.methods = 2200;
+        p.meanMethodBytes = 1400;
+        p.dataFootprint = 8 * MiB;
+        p.maxHeapBytes = 48 * MiB;
+        p.allocBytesPerInst = 0.9;
+        p.branchFrac = 0.20;
+        p.branchBias = 0.89;
+        p.kernelFrac = 0.08;
+        p.ilp = 1.7;
+        p.mlp = 1.7;
+        p.warmFrac = 0.018;
+        p.coolFrac = 0.006;
+        p.methodZipf = 0.85;
+        add(p, 8);
+    }
+    {
+        // Single tight unrolled loop: the most trivial category.
+        auto p = dotnetBase("SeekUnroll",
+                            "Unrolled seek loop kernel", ++seed);
+        p.methods = 12;
+        p.meanMethodBytes = 700;
+        p.branchFrac = 0.08;
+        p.branchBias = 0.99;
+        p.loadFrac = 0.34;
+        p.storeFrac = 0.05;
+        p.dataFootprint = 96 * KiB;
+        p.allocBytesPerInst = 0.01;
+        p.ilp = 3.4;
+        add(p, 3);
+    }
+    {
+        auto p = dotnetBase("System.Collections",
+                            "List/dictionary/set operations", ++seed);
+        p.dataFootprint = 6 * MiB;
+        p.maxHeapBytes = 32 * MiB;
+        p.allocBytesPerInst = 0.7;
+        p.dataZipf = 0.8;
+        p.mlp = 2.6;
+        p.warmFrac = 0.015;
+        p.coolFrac = 0.008;
+        add(p, 300);
+    }
+    {
+        auto p = dotnetBase("System.Text",
+                            "String and encoding operations", ++seed);
+        p.dataFootprint = 2 * MiB;
+        p.allocBytesPerInst = 0.85;
+        p.streamFrac = 0.30;
+        p.storeFrac = 0.20;
+        add(p, 180);
+    }
+    {
+        auto p = dotnetBase("System.Tests",
+                            "Core primitive-type tests", ++seed);
+        p.dataFootprint = 1 * MiB;
+        p.allocBytesPerInst = 0.5;
+        p.methods = 800;
+        p.methodZipf = 1.30;
+        add(p, 170);
+    }
+    {
+        auto p = dotnetBase("System.Memory",
+                            "Span/Memory slicing and copying", ++seed);
+        p.streamFrac = 0.45;
+        p.dataFootprint = 3 * MiB;
+        p.branchFrac = 0.12;
+        p.loadFrac = 0.33;
+        p.storeFrac = 0.21;
+        p.ilp = 2.9;
+        p.mlp = 3.2;
+        add(p, 200);
+    }
+    {
+        auto p = dotnetBase("System.Numerics",
+                            "Vector and BigInteger math", ++seed);
+        p.mulFrac = 0.12;
+        p.branchFrac = 0.09;
+        p.branchBias = 0.96;
+        p.dataFootprint = 512 * KiB;
+        p.ilp = 3.2;
+        add(p, 150);
+    }
+    {
+        auto p = dotnetBase("System.Reflection",
+                            "Reflection invoke and metadata", ++seed);
+        p.methods = 1100;
+        p.microcodedFrac = 0.04;
+        p.allocBytesPerInst = 0.6;
+        p.branchBias = 0.91;
+        p.methodZipf = 1.15;
+        add(p, 60);
+    }
+    {
+        auto p = dotnetBase("System.Globalization",
+                            "Culture-aware formatting", ++seed);
+        p.methods = 600;
+        p.dataFootprint = 1536 * KiB;
+        p.branchBias = 0.92;
+        add(p, 80);
+    }
+    {
+        auto p = dotnetBase("System.Buffers",
+                            "ArrayPool and buffer management", ++seed);
+        p.streamFrac = 0.40;
+        p.dataFootprint = 4 * MiB;
+        p.allocBytesPerInst = 0.15;
+        p.mlp = 3.0;
+        p.warmFrac = 0.010;
+        p.coolFrac = 0.003;
+        add(p, 90);
+    }
+    {
+        auto p = dotnetBase("System.IO.Compression",
+                            "Deflate/gzip/brotli kernels", ++seed);
+        p.streamFrac = 0.35;
+        p.dataFootprint = 4 * MiB;
+        p.branchFrac = 0.21;
+        p.branchBias = 0.88;
+        p.loadFrac = 0.32;
+        p.ilp = 2.0;
+        p.warmFrac = 0.010;
+        p.coolFrac = 0.003;
+        add(p, 55);
+    }
+    {
+        auto p = dotnetBase("System.Security.Cryptography",
+                            "Hashing and cipher kernels", ++seed);
+        p.streamFrac = 0.50;
+        p.branchFrac = 0.07;
+        p.branchBias = 0.985;
+        p.mulFrac = 0.08;
+        p.dataFootprint = 768 * KiB;
+        p.ilp = 3.0;
+        p.kernelFrac = 0.10;
+        add(p, 90);
+    }
+    {
+        auto p = dotnetBase("System.Xml",
+                            "XML parse and serialize", ++seed);
+        p.methods = 900;
+        p.allocBytesPerInst = 0.9;
+        p.branchFrac = 0.20;
+        p.branchBias = 0.90;
+        p.dataFootprint = 3 * MiB;
+        add(p, 85);
+    }
+    {
+        auto p = dotnetBase("System.Text.Json",
+                            "JSON reader/writer/serializer", ++seed);
+        p.allocBytesPerInst = 0.8;
+        p.streamFrac = 0.25;
+        p.branchFrac = 0.19;
+        p.dataFootprint = 2 * MiB;
+        add(p, 120);
+    }
+    {
+        auto p = dotnetBase("System.Text.RegularExpressions",
+                            "Regex match and replace", ++seed);
+        p.branchFrac = 0.24;
+        p.branchBias = 0.86;
+        p.methods = 500;
+        p.dataFootprint = 1 * MiB;
+        p.ilp = 1.8;
+        add(p, 70);
+    }
+    {
+        auto p = dotnetBase("System.Collections.Concurrent",
+                            "Concurrent dictionaries and queues",
+                            ++seed);
+        p.contentionPki = 0.4;
+        p.kernelFrac = 0.12;
+        p.microcodedFrac = 0.03;
+        p.dataFootprint = 4 * MiB;
+        p.allocBytesPerInst = 0.5;
+        add(p, 75);
+    }
+    {
+        auto p = dotnetBase("System.Drawing",
+                            "Graphics primitives", ++seed);
+        p.streamFrac = 0.30;
+        p.mulFrac = 0.08;
+        p.dataFootprint = 3 * MiB;
+        add(p, 25);
+    }
+    {
+        auto p = dotnetBase("Microsoft.Extensions.DependencyInjection",
+                            "Service resolution graphs", ++seed);
+        p.methods = 1000;
+        p.allocBytesPerInst = 0.7;
+        p.branchBias = 0.86;
+        add(p, 30);
+    }
+    {
+        auto p = dotnetBase("Microsoft.Extensions.Logging",
+                            "Structured logging pipeline", ++seed);
+        p.allocBytesPerInst = 0.75;
+        p.storeFrac = 0.20;
+        p.methods = 650;
+        add(p, 25);
+    }
+    {
+        auto p = dotnetBase("Microsoft.Extensions.Configuration",
+                            "Configuration binding", ++seed);
+        p.methods = 550;
+        p.allocBytesPerInst = 0.6;
+        add(p, 20);
+    }
+    {
+        auto p = dotnetBase("System.Console",
+                            "Console formatting and writes", ++seed);
+        p.kernelFrac = 0.25;
+        p.dataFootprint = 256 * KiB;
+        add(p, 15);
+    }
+    {
+        auto p = dotnetBase("System.Threading.Channels",
+                            "Producer/consumer channels", ++seed);
+        p.kernelFrac = 0.18;
+        p.contentionPki = 0.2;
+        p.allocBytesPerInst = 0.45;
+        add(p, 35);
+    }
+    {
+        auto p = dotnetBase("System.Threading.Tasks",
+                            "Task scheduling and awaits", ++seed);
+        p.kernelFrac = 0.20;
+        p.methods = 900;
+        p.allocBytesPerInst = 0.65;
+        p.contentionPki = 0.15;
+        add(p, 55);
+    }
+    {
+        auto p = dotnetBase("System.Runtime.Intrinsics",
+                            "Hardware intrinsics kernels", ++seed);
+        p.branchFrac = 0.06;
+        p.branchBias = 0.99;
+        p.streamFrac = 0.45;
+        p.mulFrac = 0.10;
+        p.ilp = 3.6;
+        p.dataFootprint = 512 * KiB;
+        p.allocBytesPerInst = 0.02;
+        add(p, 120);
+    }
+    {
+        // Application-level: PDE solver over a grid.
+        auto p = dotnetBase("Burgers",
+                            "Burgers-equation PDE solver", ++seed);
+        p.branchFrac = 0.07;
+        p.branchBias = 0.98;
+        p.streamFrac = 0.65;
+        p.dataFootprint = 6 * MiB;
+        p.allocBytesPerInst = 0.05;
+        p.methods = 40;
+        p.ilp = 3.0;
+        p.mlp = 4.0;
+        p.stackFrac = 0.15;
+        add(p, 4);
+    }
+    {
+        auto p = dotnetBase("ByteMark",
+                            "Classic BYTEmark ports", ++seed);
+        p.dataFootprint = 2 * MiB;
+        p.branchFrac = 0.18;
+        p.branchBias = 0.91;
+        p.methods = 160;
+        p.allocBytesPerInst = 0.1;
+        add(p, 20);
+    }
+    {
+        auto p = dotnetBase("V8.Crypto",
+                            "V8 crypto benchmark port", ++seed);
+        p.mulFrac = 0.12;
+        p.branchFrac = 0.12;
+        p.branchBias = 0.93;
+        p.dataFootprint = 512 * KiB;
+        p.methods = 120;
+        add(p, 12);
+    }
+    {
+        auto p = dotnetBase("V8.Richards",
+                            "V8 Richards scheduler port", ++seed);
+        p.methods = 90;
+        p.branchFrac = 0.21;
+        p.branchBias = 0.91;
+        p.branchBias = 0.85;
+        p.dataFootprint = 256 * KiB;
+        p.allocBytesPerInst = 0.3;
+        add(p, 6);
+    }
+    {
+        auto p = dotnetBase("V8.DeltaBlue",
+                            "V8 DeltaBlue constraint solver", ++seed);
+        p.methods = 140;
+        p.branchFrac = 0.20;
+        p.branchBias = 0.90;
+        p.branchBias = 0.84;
+        p.allocBytesPerInst = 0.5;
+        p.dataFootprint = 384 * KiB;
+        add(p, 6);
+    }
+    {
+        auto p = dotnetBase("SciMark",
+                            "SciMark FFT/SOR/MonteCarlo/LU", ++seed);
+        p.branchFrac = 0.09;
+        p.branchBias = 0.96;
+        p.streamFrac = 0.40;
+        p.mulFrac = 0.12;
+        p.dataFootprint = 4 * MiB;
+        p.allocBytesPerInst = 0.03;
+        p.methods = 60;
+        p.ilp = 3.0;
+        add(p, 18);
+    }
+    {
+        auto p = dotnetBase("Benchstone.BenchI",
+                            "Integer kernels (Benchstone)", ++seed);
+        p.dataFootprint = 1 * MiB;
+        p.branchFrac = 0.19;
+        p.methods = 110;
+        p.allocBytesPerInst = 0.05;
+        add(p, 25);
+    }
+    {
+        auto p = dotnetBase("Benchstone.BenchF",
+                            "FP kernels (Benchstone)", ++seed);
+        p.branchFrac = 0.08;
+        p.branchBias = 0.97;
+        p.mulFrac = 0.14;
+        p.streamFrac = 0.35;
+        p.dataFootprint = 2 * MiB;
+        p.allocBytesPerInst = 0.03;
+        p.methods = 90;
+        p.ilp = 3.1;
+        add(p, 25);
+    }
+    {
+        auto p = dotnetBase("Devirtualization",
+                            "Virtual-call inlining stressors", ++seed);
+        p.methods = 1300;
+        p.branchFrac = 0.22;
+        p.branchBias = 0.88;
+        p.callFrac = 0.30;
+        p.dataFootprint = 512 * KiB;
+        add(p, 30);
+    }
+    {
+        auto p = dotnetBase("Span",
+                            "Span<T> indexing and slicing", ++seed);
+        p.streamFrac = 0.40;
+        p.branchFrac = 0.11;
+        p.loadFrac = 0.34;
+        p.dataFootprint = 1 * MiB;
+        p.allocBytesPerInst = 0.05;
+        p.ilp = 3.0;
+        add(p, 130);
+    }
+    {
+        auto p = dotnetBase("Exceptions.Handling",
+                            "Throw/catch/filter paths", ++seed);
+        p.exceptionPki = 1.2;
+        p.kernelFrac = 0.10;
+        p.methods = 420;
+        p.allocBytesPerInst = 0.4;
+        add(p, 40);
+    }
+
+    // The last category absorbs whatever count remains so the corpus
+    // total matches the paper's 2,906 exactly.
+    std::size_t used = 0;
+    for (const auto &spec : out)
+        used += spec.microCount;
+    if (out.size() != kDotNetCategories - 1)
+        throw std::logic_error("dotnet: category count drifted");
+    if (used >= kDotNetMicrobenchmarks)
+        throw std::logic_error("dotnet: micro counts overflow corpus");
+    {
+        auto p = dotnetBase("Serializers.Json",
+                            "Json.NET/Protobuf serializer suite",
+                            ++seed);
+        p.allocBytesPerInst = 0.85;
+        p.streamFrac = 0.20;
+        p.methods = 800;
+        p.dataFootprint = 2 * MiB;
+        add(p, kDotNetMicrobenchmarks - used);
+    }
+    return out;
+}
+
+const std::vector<CategorySpec> &
+categorySpecs()
+{
+    static const std::vector<CategorySpec> specs = buildCategories();
+    return specs;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+dotnetCategories()
+{
+    std::vector<WorkloadProfile> out;
+    out.reserve(kDotNetCategories);
+    for (const auto &spec : categorySpecs())
+        out.push_back(spec.profile);
+    return out;
+}
+
+std::size_t
+dotnetMicroCount(std::size_t index)
+{
+    if (index >= categorySpecs().size())
+        throw std::out_of_range("dotnetMicroCount");
+    return categorySpecs()[index].microCount;
+}
+
+std::vector<WorkloadProfile>
+dotnetMicrobenchmarks(std::uint64_t instructions_per_micro)
+{
+    std::vector<WorkloadProfile> out;
+    out.reserve(kDotNetMicrobenchmarks);
+    for (const auto &spec : categorySpecs()) {
+        for (std::size_t i = 0; i < spec.microCount; ++i) {
+            auto v = spec.profile.makeVariant(
+                static_cast<unsigned>(i));
+            v.instructions = instructions_per_micro;
+            out.push_back(std::move(v));
+        }
+    }
+    return out;
+}
+
+} // namespace netchar::wl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The .NET microbenchmark suite model: 44 category profiles matching
+ * the dotnet/performance snapshot the paper uses (§II-A), expandable
+ * to the full 2,906 individual microbenchmarks.
+ */
+
+#ifndef NETCHAR_WORKLOADS_DOTNET_HH
+#define NETCHAR_WORKLOADS_DOTNET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace netchar::wl
+{
+
+/** Number of .NET benchmark categories. */
+constexpr std::size_t kDotNetCategories = 44;
+
+/** Total individual .NET microbenchmarks across all categories. */
+constexpr std::size_t kDotNetMicrobenchmarks = 2906;
+
+/**
+ * The 44 category profiles, in the fixed canonical order used across
+ * all figures. Each category is modeled as the aggregate behavior of
+ * its microbenchmarks run back to back in one process.
+ */
+std::vector<WorkloadProfile> dotnetCategories();
+
+/**
+ * Number of individual microbenchmarks in category `index`.
+ * Sums to kDotNetMicrobenchmarks over all categories.
+ */
+std::size_t dotnetMicroCount(std::size_t index);
+
+/**
+ * Expand every category into its individual microbenchmarks
+ * (deterministic jittered variants): kDotNetMicrobenchmarks profiles.
+ *
+ * @param instructions_per_micro Override the per-benchmark instruction
+ *        budget (individual microbenchmarks are short; the default
+ *        keeps full-corpus experiments tractable).
+ */
+std::vector<WorkloadProfile>
+dotnetMicrobenchmarks(std::uint64_t instructions_per_micro = 150'000);
+
+} // namespace netchar::wl
+
+#endif // NETCHAR_WORKLOADS_DOTNET_HH

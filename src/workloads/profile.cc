@@ -1,0 +1,145 @@
+#include "workloads/profile.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace netchar::wl
+{
+
+std::string
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::DotNet: return ".NET";
+      case Suite::AspNet: return "ASP.NET";
+      case Suite::SpecCpu17: return "SPEC CPU17";
+      default: return "unknown";
+    }
+}
+
+namespace
+{
+
+void
+requireFraction(double value, const char *what)
+{
+    if (value < 0.0 || value > 1.0)
+        throw std::invalid_argument(
+            std::string("WorkloadProfile: ") + what + " out of [0,1]");
+}
+
+} // namespace
+
+void
+WorkloadProfile::validate() const
+{
+    if (name.empty())
+        throw std::invalid_argument("WorkloadProfile: empty name");
+    if (instructions == 0)
+        throw std::invalid_argument("WorkloadProfile: zero instructions");
+    requireFraction(branchFrac, "branchFrac");
+    requireFraction(loadFrac, "loadFrac");
+    requireFraction(storeFrac, "storeFrac");
+    requireFraction(mulFrac, "mulFrac");
+    requireFraction(divFrac, "divFrac");
+    requireFraction(microcodedFrac, "microcodedFrac");
+    requireFraction(kernelFrac, "kernelFrac");
+    requireFraction(callFrac, "callFrac");
+    requireFraction(takenFrac, "takenFrac");
+    requireFraction(streamFrac, "streamFrac");
+    requireFraction(stackFrac, "stackFrac");
+    requireFraction(warmFrac, "warmFrac");
+    requireFraction(coolFrac, "coolFrac");
+    if (stackFrac + streamFrac + warmFrac + coolFrac > 1.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: access tiers exceed 1");
+    if (branchBias < 0.5 || branchBias > 1.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: branchBias out of [0.5,1]");
+    if (branchFrac + loadFrac + storeFrac + mulFrac + divFrac > 1.0)
+        throw std::invalid_argument(
+            "WorkloadProfile: instruction mix exceeds 1");
+    if (ilp <= 0.0 || mlp < 1.0)
+        throw std::invalid_argument("WorkloadProfile: bad ilp/mlp");
+    if (cpuUtil <= 0.0 || cpuUtil > 1.0)
+        throw std::invalid_argument("WorkloadProfile: bad cpuUtil");
+    if (methods == 0 || meanMethodBytes == 0)
+        throw std::invalid_argument("WorkloadProfile: empty code side");
+    if (dataFootprint == 0)
+        throw std::invalid_argument("WorkloadProfile: empty data side");
+    if (managed) {
+        if (maxHeapBytes < dataFootprint)
+            throw std::invalid_argument(
+                "WorkloadProfile: heap smaller than live set");
+        if (allocBytesPerInst < 0.0 || meanObjectBytes <= 0.0)
+            throw std::invalid_argument(
+                "WorkloadProfile: bad allocation behaviour");
+    }
+    if (exceptionPki < 0.0 || contentionPki < 0.0)
+        throw std::invalid_argument("WorkloadProfile: negative PKI");
+}
+
+WorkloadProfile
+WorkloadProfile::makeVariant(unsigned variant_index, double sigma) const
+{
+    stats::Rng rng =
+        stats::Rng(seed).fork(0xBE4C4E00ULL + variant_index);
+    WorkloadProfile v = *this;
+    v.name = name + "/" + std::to_string(variant_index);
+    v.seed = seed ^ (0x9E3779B97F4A7C15ULL * (variant_index + 1));
+
+    auto jitter_frac = [&](double base, double cap) {
+        return std::clamp(rng.jitter(base, sigma), 0.0, cap);
+    };
+    v.branchFrac = jitter_frac(branchFrac, 0.35);
+    v.loadFrac = jitter_frac(loadFrac, 0.45);
+    v.storeFrac = jitter_frac(storeFrac, 0.30);
+    // Keep the mix feasible after jitter.
+    const double mix =
+        v.branchFrac + v.loadFrac + v.storeFrac + v.mulFrac + v.divFrac;
+    if (mix > 0.95) {
+        const double scale = 0.95 / mix;
+        v.branchFrac *= scale;
+        v.loadFrac *= scale;
+        v.storeFrac *= scale;
+        v.mulFrac *= scale;
+        v.divFrac *= scale;
+    }
+    v.kernelFrac = jitter_frac(kernelFrac, 0.8);
+    v.ilp = std::clamp(rng.jitter(ilp, sigma), 0.5, 6.0);
+    v.mlp = std::clamp(rng.jitter(mlp, sigma), 1.0, 12.0);
+    v.methods = std::max(8u, static_cast<unsigned>(
+        rng.jitter(static_cast<double>(methods), sigma)));
+    v.meanMethodBytes = std::max<std::uint64_t>(
+        128, static_cast<std::uint64_t>(rng.jitter(
+                 static_cast<double>(meanMethodBytes), sigma)));
+    v.dataFootprint = std::max<std::uint64_t>(
+        64 * 1024, static_cast<std::uint64_t>(rng.jitter(
+                       static_cast<double>(dataFootprint), sigma)));
+    if (v.managed && v.maxHeapBytes < v.dataFootprint)
+        v.maxHeapBytes = v.dataFootprint * 2;
+    v.dataZipf = std::clamp(rng.jitter(dataZipf, sigma), 0.2, 1.6);
+    v.branchBias =
+        std::clamp(rng.jitter(branchBias, sigma * 0.3), 0.55, 0.99);
+    v.streamFrac = jitter_frac(streamFrac, 0.9);
+    v.stackFrac = jitter_frac(stackFrac, 0.6);
+    v.warmFrac = jitter_frac(warmFrac, 0.3);
+    v.coolFrac = jitter_frac(coolFrac, 0.2);
+    const double tiers =
+        v.stackFrac + v.streamFrac + v.warmFrac + v.coolFrac;
+    if (tiers > 0.98) {
+        const double scale = 0.98 / tiers;
+        v.stackFrac *= scale;
+        v.streamFrac *= scale;
+        v.warmFrac *= scale;
+        v.coolFrac *= scale;
+    }
+    v.allocBytesPerInst =
+        std::max(0.0, rng.jitter(allocBytesPerInst, sigma));
+    v.validate();
+    return v;
+}
+
+} // namespace netchar::wl

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Statistical workload profiles.
+ *
+ * A WorkloadProfile is the complete behavioral description of one
+ * benchmark: instruction mix, code/data footprints and localities,
+ * branch predictability, kernel share, and managed-runtime behavior
+ * (allocation rate, heap sizes, GC mode, JIT tiering). SynthWorkload
+ * turns a profile into a deterministic instruction stream.
+ *
+ * Memory sizes use the repository's 1:100 simulation scale: simulated
+ * runs cover ~10^6 instructions instead of the paper's ~10^10, so
+ * heaps/footprints are scaled by the same factor to keep event *rates*
+ * (GCs per kilo-instruction, MPKI regimes relative to cache sizes)
+ * in the regimes the paper reports. DESIGN.md documents this.
+ */
+
+#ifndef NETCHAR_WORKLOADS_PROFILE_HH
+#define NETCHAR_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/gc.hh"
+
+namespace netchar::wl
+{
+
+/** Benchmark suite a profile belongs to. */
+enum class Suite { DotNet, AspNet, SpecCpu17 };
+
+/** Human-readable suite label (matches the paper's figures). */
+std::string suiteName(Suite suite);
+
+/** Complete behavioral description of one benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+    Suite suite = Suite::DotNet;
+    std::string description;
+
+    /** Default measured instructions for one run. */
+    std::uint64_t instructions = 2'000'000;
+
+    // ---- Instruction mix (fractions of the dynamic stream) ----
+    double branchFrac = 0.17;
+    double loadFrac = 0.29;
+    double storeFrac = 0.16;
+    double mulFrac = 0.03;
+    double divFrac = 0.002;
+    /** Fraction of instructions decoding through the MS ROM. */
+    double microcodedFrac = 0.01;
+
+    /** Fraction of instructions executed in kernel mode. */
+    double kernelFrac = 0.08;
+    /** Mean kernel-burst length in instructions (syscall service). */
+    double kernelBurstLen = 150.0;
+
+    /** Intrinsic instruction-level parallelism. */
+    double ilp = 2.2;
+    /** Memory-level parallelism (overlapping misses). */
+    double mlp = 2.0;
+    /** CPU utilization (Table I metric 6; load-dependent for servers). */
+    double cpuUtil = 1.0;
+
+    // ---- Code side ----
+    /** Number of hot methods/functions. */
+    unsigned methods = 256;
+    /** Mean machine-code bytes per method. */
+    std::uint64_t meanMethodBytes = 1024;
+    /** Zipf skew of method popularity (higher = hotter hot set). */
+    double methodZipf = 0.9;
+    /** Fraction of taken branches that call into another method. */
+    double callFrac = 0.15;
+    /** Overall taken fraction target for branches. */
+    double takenFrac = 0.60;
+    /** Per-site branch determinism (predictability knob, 0.5-1). */
+    double branchBias = 0.88;
+
+    // ---- Data side ----
+    /**
+     * Main data working set: live heap bytes for managed workloads,
+     * static footprint for native ones (simulation scale).
+     */
+    std::uint64_t dataFootprint = 8ULL * 1024 * 1024;
+    /** Zipf skew of the cool tier's reuse (higher = tighter). */
+    double dataZipf = 0.9;
+    /** Fraction of accesses that stream sequentially (8 B stride). */
+    double streamFrac = 0.10;
+    /** Fraction of accesses hitting the hot stack/frame region. */
+    double stackFrac = 0.35;
+    /**
+     * Reuse-distance tiers (fractions of all data accesses): `warm`
+     * touches an L2-scale slice of the footprint, `cool` ranges over
+     * the whole footprint. Whatever remains after stack/stream/warm/
+     * cool goes to the L1-resident hot tier. Real programs keep the
+     * overwhelming majority of accesses L1-resident; these two knobs
+     * set each benchmark's L1/L2/LLC miss regime directly.
+     */
+    double warmFrac = 0.035;
+    double coolFrac = 0.010;
+
+    // ---- Managed runtime ----
+    /** False for native (SPEC-style) workloads: no CLR at all. */
+    bool managed = true;
+    /** Mean allocated bytes per instruction. */
+    double allocBytesPerInst = 0.40;
+    /** Mean allocation (object) size in bytes. */
+    double meanObjectBytes = 192.0;
+    /** Max heap (simulation scale; the Fig 14 sweep overrides it). */
+    std::uint64_t maxHeapBytes = 32ULL * 1024 * 1024;
+    rt::GcMode gcMode = rt::GcMode::Workstation;
+    rt::GcAssist gcAssist = rt::GcAssist::Software;
+    /** Calls before tier-1 re-JIT (0 disables tiering). */
+    unsigned tierUpCallThreshold = 128;
+
+    /** Exception/Start events per kilo-instruction. */
+    double exceptionPki = 0.005;
+    /** Contention/Start events per kilo-instruction. */
+    double contentionPki = 0.005;
+
+    /** Master seed for this benchmark's streams. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Validate invariants (fractions within [0,1], mix sums <= 1,
+     * non-zero footprints). Throws std::invalid_argument on violation.
+     */
+    void validate() const;
+
+    /**
+     * Derive a perturbed variant (for expanding a category profile
+     * into its individual microbenchmarks). Deterministic in
+     * (profile.seed, variant_index).
+     *
+     * @param variant_index Index of the microbenchmark in the category.
+     * @param sigma Log-normal jitter strength.
+     */
+    WorkloadProfile makeVariant(unsigned variant_index,
+                                double sigma = 0.25) const;
+};
+
+} // namespace netchar::wl
+
+#endif // NETCHAR_WORKLOADS_PROFILE_HH

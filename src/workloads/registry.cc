@@ -1,0 +1,37 @@
+#include "workloads/registry.hh"
+
+namespace netchar::wl
+{
+
+std::vector<WorkloadProfile>
+suiteProfiles(Suite suite)
+{
+    switch (suite) {
+      case Suite::DotNet: return dotnetCategories();
+      case Suite::AspNet: return aspnetBenchmarks();
+      case Suite::SpecCpu17: return specBenchmarks();
+      default: return {};
+    }
+}
+
+std::vector<WorkloadProfile>
+allProfiles()
+{
+    std::vector<WorkloadProfile> out = dotnetCategories();
+    const auto asp = aspnetBenchmarks();
+    out.insert(out.end(), asp.begin(), asp.end());
+    const auto spec = specBenchmarks();
+    out.insert(out.end(), spec.begin(), spec.end());
+    return out;
+}
+
+std::optional<WorkloadProfile>
+findProfile(std::string_view name)
+{
+    for (auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    return std::nullopt;
+}
+
+} // namespace netchar::wl

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "core/characterize.hh"
+#include "core/correlation.hh"
+#include "workloads/registry.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+wl::WorkloadProfile
+quickProfile()
+{
+    auto p = *wl::findProfile("System.Runtime");
+    p.instructions = 150'000;
+    return p;
+}
+
+RunOptions
+quickOptions()
+{
+    RunOptions o;
+    o.warmupInstructions = 150'000;
+    return o;
+}
+
+} // namespace
+
+TEST(CharacterizerTest, RunProducesConsistentResult)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto r = ch.run(quickProfile(), quickOptions());
+    EXPECT_EQ(r.counters.instructions, 150'000u);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.instructionsPerSecond, 0.0);
+    // Metric vector agrees with the raw counters.
+    EXPECT_DOUBLE_EQ(
+        r.metrics[static_cast<std::size_t>(MetricId::Cpi)],
+        r.counters.cpi());
+    const double slot_sum = r.slots.total();
+    EXPECT_NEAR(slot_sum,
+                r.counters.cycles *
+                    ch.config().pipe.slotsPerCycle,
+                0.05 * slot_sum);
+}
+
+TEST(CharacterizerTest, DeterministicAcrossCalls)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto a = ch.run(quickProfile(), quickOptions());
+    const auto b = ch.run(quickProfile(), quickOptions());
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.llcMisses, b.counters.llcMisses);
+}
+
+TEST(CharacterizerTest, SeedChangesRun)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto o = quickOptions();
+    const auto a = ch.run(quickProfile(), o);
+    o.seed = 99;
+    const auto b = ch.run(quickProfile(), o);
+    EXPECT_NE(a.counters.cycles, b.counters.cycles);
+}
+
+TEST(CharacterizerTest, WarmupIsExcludedFromCounters)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto o = quickOptions();
+    o.measuredInstructions = 100'000;
+    const auto r = ch.run(quickProfile(), o);
+    EXPECT_EQ(r.counters.instructions, 100'000u);
+}
+
+TEST(CharacterizerTest, MultiCoreRunsAllCores)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto o = quickOptions();
+    o.cores = 4;
+    o.measuredInstructions = 50'000;
+    auto p = *wl::findProfile("Plaintext");
+    const auto r = ch.run(p, o);
+    // 4 cores x 50k measured instructions each.
+    EXPECT_EQ(r.counters.instructions, 200'000u);
+}
+
+TEST(CharacterizerTest, GcOverridesApply)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto p = quickProfile();
+    p.allocBytesPerInst = 1.0;
+    p.dataFootprint = 1 << 20;
+    auto o = quickOptions();
+    o.maxHeapBytes = 2ULL << 20; // small heap: frequent GC
+    o.gcMode = rt::GcMode::Server;
+    o.measuredInstructions = 400'000;
+    const auto aggressive = ch.run(p, o);
+    o.gcMode = rt::GcMode::Workstation;
+    const auto relaxed = ch.run(p, o);
+    EXPECT_GT(aggressive.metrics[static_cast<std::size_t>(
+                  MetricId::GcTriggeredPki)],
+              relaxed.metrics[static_cast<std::size_t>(
+                  MetricId::GcTriggeredPki)]);
+}
+
+TEST(CharacterizerTest, SampleProducesRequestedIntervals)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto samples =
+        ch.sample(quickProfile(), quickOptions(), 20'000, 10);
+    ASSERT_EQ(samples.size(), 10u);
+    for (const auto &s : samples)
+        EXPECT_EQ(s.counters.instructions, 20'000u);
+}
+
+TEST(CharacterizerTest, SampleCyclesHoldsCycleBudget)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const double interval = 50'000.0;
+    const auto samples =
+        ch.sampleCycles(quickProfile(), quickOptions(), interval, 8);
+    ASSERT_EQ(samples.size(), 8u);
+    bool instructions_vary = false;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        // Each window covers at least the budget (plus one chunk of
+        // overshoot at most).
+        EXPECT_GE(samples[i].counters.cycles, interval * 0.99);
+        EXPECT_LT(samples[i].counters.cycles, interval * 1.35);
+        if (samples[i].counters.instructions !=
+            samples[0].counters.instructions)
+            instructions_vary = true;
+    }
+    // Unlike instruction-based sampling, IPC variation shows up as
+    // varying instruction counts (the Fig 13 requirement).
+    EXPECT_TRUE(instructions_vary);
+}
+
+TEST(CharacterizerTest, RunAllPreservesOrder)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto p1 = quickProfile();
+    auto p2 = *wl::findProfile("SeekUnroll");
+    p2.instructions = 150'000;
+    const auto results = ch.runAll({p1, p2}, quickOptions());
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_NE(results[0].counters.cycles, results[1].counters.cycles);
+}
+
+TEST(CorrelationTest, SeriesExtraction)
+{
+    std::vector<IntervalSample> samples(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        samples[i].counters.instructions = 1000;
+        samples[i].counters.llcMisses = (i + 1) * 10;
+        samples[i].counters.cycles = 2000.0;
+        samples[i].events.jitStarted = i;
+    }
+    const auto llc =
+        extractSeries(samples, CounterSeries::LlcMpki);
+    EXPECT_DOUBLE_EQ(llc[0], 10.0);
+    EXPECT_DOUBLE_EQ(llc[2], 30.0);
+    const auto ipc = extractSeries(samples, CounterSeries::Ipc);
+    EXPECT_DOUBLE_EQ(ipc[0], 0.5);
+    const auto jits = extractEventSeries(
+        samples, rt::RuntimeEventType::JitStarted);
+    EXPECT_DOUBLE_EQ(jits[2], 2.0);
+}
+
+TEST(CorrelationTest, PerfectlyCoupledSeriesCorrelate)
+{
+    std::vector<IntervalSample> samples(8);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        samples[i].counters.instructions = 1000;
+        samples[i].counters.llcMisses = 5 * i;
+        samples[i].events.jitStarted = i;
+    }
+    const auto rows = correlateEvents(
+        samples, rt::RuntimeEventType::JitStarted);
+    bool found = false;
+    for (const auto &row : rows) {
+        if (row.series == CounterSeries::LlcMpki) {
+            EXPECT_NEAR(row.r, 1.0, 1e-9);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CorrelationTest, EndToEndJitCorrelationIsPositive)
+{
+    // §VII-A1: with a big heap (GC suppressed), JIT-start events
+    // correlate positively with LLC MPKI and page faults.
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto p = *wl::findProfile("Plaintext");
+    p.tierUpCallThreshold = 40;
+    RunOptions o;
+    o.warmupInstructions = 200'000;
+    o.maxHeapBytes = 512ULL << 20;
+    const auto samples = ch.sample(p, o, 25'000, 40);
+    const auto rows =
+        correlateEvents(samples, rt::RuntimeEventType::JitStarted);
+    double llc_r = 0.0, pf_r = 0.0;
+    for (const auto &row : rows) {
+        if (row.series == CounterSeries::LlcMpki)
+            llc_r = row.r;
+        if (row.series == CounterSeries::PageFaultsPki)
+            pf_r = row.r;
+    }
+    EXPECT_GT(llc_r, 0.1);
+    EXPECT_GT(pf_r, 0.1);
+}

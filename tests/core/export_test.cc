@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/export.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.counters.instructions = 1000;
+    r.counters.cycles = 1500.0;
+    r.counters.llcMisses = 3;
+    r.slots[sim::SlotNode::Retiring] = 250.0;
+    r.slots[sim::SlotNode::FeICache] = 500.0;
+    r.slots[sim::SlotNode::BeL3Bound] = 250.0;
+    r.events.jitStarted = 4;
+    r.seconds = 0.001;
+    r.metrics[static_cast<std::size_t>(MetricId::Cpi)] = 1.5;
+    r.metrics[static_cast<std::size_t>(MetricId::LlcMpki)] = 3.0;
+    return r;
+}
+
+} // namespace
+
+TEST(CsvFieldTest, QuotingRules)
+{
+    EXPECT_EQ(csvField("plain"), "plain");
+    EXPECT_EQ(csvField("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csvField("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(csvField("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("ab"), "ab");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(MetricsCsvTest, HeaderAndRows)
+{
+    const auto csv = metricsCsv({"bench1"}, {sampleResult()});
+    // Header starts with benchmark and contains Table I names.
+    EXPECT_EQ(csv.rfind("benchmark,", 0), 0u);
+    EXPECT_NE(csv.find("LLC misses"), std::string::npos);
+    // One data row with the CPI value.
+    EXPECT_NE(csv.find("\nbench1,"), std::string::npos);
+    EXPECT_NE(csv.find(",1.5,"), std::string::npos);
+    // 1 header + 1 data row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(MetricsCsvTest, LengthMismatchThrows)
+{
+    EXPECT_THROW(metricsCsv({"a", "b"}, {sampleResult()}),
+                 std::invalid_argument);
+}
+
+TEST(TopdownCsvTest, FractionsAppear)
+{
+    const auto csv = topdownCsv({"b"}, {sampleResult()});
+    EXPECT_NE(csv.find("retiring"), std::string::npos);
+    // Retiring fraction is 250/1000 = 0.25.
+    EXPECT_NE(csv.find("b,0.25,"), std::string::npos);
+}
+
+TEST(JsonTest, RunResultStructure)
+{
+    const auto json = runResultJson("my \"bench\"", sampleResult());
+    EXPECT_NE(json.find("\"benchmark\":\"my \\\"bench\\\"\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"instructions\":1000"), std::string::npos);
+    EXPECT_NE(json.find("\"LLC misses\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"retiring\":0.25"), std::string::npos);
+    EXPECT_NE(json.find("\"jit_started\":4"), std::string::npos);
+    // Balanced braces (rough structural sanity).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(JsonTest, SuiteArray)
+{
+    const auto json =
+        suiteJson({"a", "b"}, {sampleResult(), sampleResult()});
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"benchmark\":\"a\""), std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\":\"b\""), std::string::npos);
+    EXPECT_THROW(suiteJson({"a"}, {}), std::invalid_argument);
+}

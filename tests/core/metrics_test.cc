@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+sim::PerfCounters
+sampleCounters()
+{
+    sim::PerfCounters c;
+    c.instructions = 1'000'000;
+    c.kernelInstructions = 200'000;
+    c.branches = 170'000;
+    c.loads = 290'000;
+    c.stores = 160'000;
+    c.cycles = 1'500'000.0;
+    c.branchMisses = 5'000;
+    c.l1dMisses = 16'000;
+    c.l1iMisses = 30'000;
+    c.l2Misses = 20'000;
+    c.llcMisses = 160;
+    c.itlbMisses = 4'000;
+    c.dtlbLoadMisses = 2'000;
+    c.dtlbStoreMisses = 1'000;
+    c.memReadBytes = 64ULL << 20;
+    c.memWriteBytes = 32ULL << 20;
+    c.dramAccesses = 1'000;
+    c.dramRowMisses = 400;
+    c.pageFaults = 50;
+    return c;
+}
+
+rt::RuntimeEventCounts
+sampleEvents()
+{
+    rt::RuntimeEventCounts e;
+    e.gcTriggered = 10;
+    e.gcAllocationTick = 500;
+    e.jitStarted = 40;
+    e.exceptionStart = 5;
+    e.contentionStart = 20;
+    return e;
+}
+
+} // namespace
+
+TEST(MetricsTest, TableHas24EntriesInIdOrder)
+{
+    const auto &table = metricTable();
+    ASSERT_EQ(table.size(), kNumMetrics);
+    for (std::size_t i = 0; i < kNumMetrics; ++i)
+        EXPECT_EQ(static_cast<std::size_t>(table[i].id), i);
+}
+
+TEST(MetricsTest, NamesMatchTableI)
+{
+    EXPECT_EQ(metricName(MetricId::BranchInstructionPct),
+              "Branch instructions");
+    EXPECT_EQ(metricName(MetricId::LlcMpki), "LLC misses");
+    EXPECT_EQ(metricName(std::size_t{19}), "GC/Triggered");
+    EXPECT_THROW(metricName(std::size_t{24}), std::out_of_range);
+}
+
+TEST(MetricsTest, ComputeMetricsValues)
+{
+    const auto m =
+        computeMetrics(sampleCounters(), sampleEvents(), 0.9, 0.001);
+    auto get = [&](MetricId id) {
+        return m[static_cast<std::size_t>(id)];
+    };
+    EXPECT_DOUBLE_EQ(get(MetricId::KernelInstructionPct), 20.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::UserInstructionPct), 80.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::BranchInstructionPct), 17.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::MemoryLoadPct), 29.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::MemoryStorePct), 16.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::Cpi), 1.5);
+    EXPECT_DOUBLE_EQ(get(MetricId::CpuUtilizationPct), 90.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::BranchMpki), 5.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::L1dMpki), 16.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::L1iMpki), 30.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::L2Mpki), 20.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::LlcMpki), 0.16);
+    EXPECT_DOUBLE_EQ(get(MetricId::ItlbMpki), 4.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::MemPageMissRatePct), 40.0);
+    EXPECT_DOUBLE_EQ(get(MetricId::PageFaultPki), 0.05);
+    EXPECT_DOUBLE_EQ(get(MetricId::GcTriggeredPki), 0.01);
+    EXPECT_DOUBLE_EQ(get(MetricId::JitStartedPki), 0.04);
+    // 64 MiB in 1 ms = 64,000 MiB/s.
+    EXPECT_NEAR(get(MetricId::MemReadBwMBps), 64000.0, 1.0);
+    EXPECT_NEAR(get(MetricId::MemWriteBwMBps), 32000.0, 1.0);
+}
+
+TEST(MetricsTest, ZeroInstructionIntervalYieldsZeros)
+{
+    const auto m = computeMetrics(sim::PerfCounters{},
+                                  rt::RuntimeEventCounts{}, 1.0, 0.0);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+        if (i == static_cast<std::size_t>(
+                     MetricId::CpuUtilizationPct))
+            continue;
+        EXPECT_DOUBLE_EQ(m[i], 0.0) << i;
+    }
+}
+
+TEST(MetricsTest, MetricGroupsMatchPaperIds)
+{
+    EXPECT_EQ(controlFlowMetricIds(),
+              (std::vector<std::size_t>{2, 7}));
+    EXPECT_EQ(memoryMetricIds(),
+              (std::vector<std::size_t>{8, 9, 10, 11, 12, 13, 14}));
+    EXPECT_EQ(runtimeMetricIds(),
+              (std::vector<std::size_t>{19, 20, 21, 22, 23}));
+}
+
+TEST(MetricsTest, ToMatrixFullAndSubset)
+{
+    MetricVector a{};
+    MetricVector b{};
+    a[2] = 17.0;
+    b[7] = 5.0;
+    const auto full = toMatrix({a, b});
+    EXPECT_EQ(full.rows(), 2u);
+    EXPECT_EQ(full.cols(), kNumMetrics);
+    EXPECT_DOUBLE_EQ(full(0, 2), 17.0);
+
+    const auto sub = toMatrix({a, b}, controlFlowMetricIds());
+    EXPECT_EQ(sub.cols(), 2u);
+    EXPECT_DOUBLE_EQ(sub(0, 0), 17.0);
+    EXPECT_DOUBLE_EQ(sub(1, 1), 5.0);
+
+    EXPECT_THROW(toMatrix({a}, std::vector<std::size_t>{99}),
+                 std::out_of_range);
+}

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/report.hh"
+
+using namespace netchar;
+
+TEST(ReportTest, FmtFixed)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtFixed(2.0, 0), "2");
+    EXPECT_EQ(fmtFixed(-1.5, 1), "-1.5");
+}
+
+TEST(ReportTest, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.123, 1), "12.3%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(ReportTest, TableAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    const auto out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // Every line has the same length (aligned columns).
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = first_len + 1;
+    while (pos < out.size()) {
+        const auto next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(ReportTest, TableRejectsBadRows)
+{
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(ReportTest, BarChartScalesToMax)
+{
+    const auto out = barChart("title", {{"x", 1.0}, {"y", 2.0}}, 10);
+    EXPECT_NE(out.find("title"), std::string::npos);
+    // y is the max: 10 hashes; x: 5 hashes.
+    EXPECT_NE(out.find("|##########|"), std::string::npos);
+    EXPECT_NE(out.find("|#####     |"), std::string::npos);
+}
+
+TEST(ReportTest, BarChartHandlesAllZeros)
+{
+    const auto out = barChart("z", {{"a", 0.0}}, 8);
+    EXPECT_NE(out.find("|        |"), std::string::npos);
+}
+
+TEST(ReportTest, BarChartExternalMax)
+{
+    const auto out = barChart("", {{"a", 1.0}}, 10, 2.0);
+    EXPECT_NE(out.find("|#####     |"), std::string::npos);
+}
+
+TEST(ReportTest, StackedBarsRenderSegments)
+{
+    const auto out = stackedBars(
+        "topdown", {"bench1"}, {"ret", "fe"}, {{0.5, 0.5}}, 10);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("#####====="), std::string::npos);
+}
+
+TEST(ReportTest, StackedBarsValidateShapes)
+{
+    EXPECT_THROW(
+        stackedBars("", {"a", "b"}, {"x"}, {{1.0}}, 10),
+        std::invalid_argument);
+    EXPECT_THROW(stackedBars("", {"a"}, {"x", "y"}, {{1.0}}, 10),
+                 std::invalid_argument);
+}
+
+TEST(ReportTest, StackedBarsCapOverflow)
+{
+    // Fractions summing over 1 must not overflow the bar width.
+    const auto out =
+        stackedBars("", {"a"}, {"x", "y"}, {{0.9, 0.9}}, 10);
+    const auto bar_start = out.find("|");
+    const auto bar_end = out.find("|", bar_start + 1);
+    EXPECT_EQ(bar_end - bar_start - 1, 10u);
+}

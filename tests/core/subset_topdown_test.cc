@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/subset.hh"
+#include "core/topdown.hh"
+#include "stats/rng.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+/** Synthetic metric rows forming two well-separated behavior groups. */
+std::vector<MetricVector>
+twoGroups(std::size_t per_group)
+{
+    netchar::stats::Rng rng(11);
+    std::vector<MetricVector> rows;
+    for (std::size_t g = 0; g < 2; ++g) {
+        for (std::size_t i = 0; i < per_group; ++i) {
+            MetricVector m{};
+            const double base = g == 0 ? 5.0 : 50.0;
+            for (std::size_t k = 0; k < kNumMetrics; ++k)
+                m[k] = base + rng.uniform(-1.0, 1.0);
+            rows.push_back(m);
+        }
+    }
+    return rows;
+}
+
+} // namespace
+
+TEST(SubsetTest, PipelineSeparatesBehaviorGroups)
+{
+    const auto rows = twoGroups(8);
+    SubsetOptions opts;
+    opts.subsetSize = 2;
+    const auto result = buildSubset(rows, opts);
+    ASSERT_EQ(result.clusters.size(), 2u);
+    // Each cluster must be entirely within one behavior group.
+    for (const auto &cluster : result.clusters) {
+        const bool first_group = cluster.front() < 8;
+        for (auto idx : cluster)
+            EXPECT_EQ(idx < 8, first_group);
+    }
+    EXPECT_EQ(result.representatives.size(), 2u);
+}
+
+TEST(SubsetTest, PcaRetainsRequestedComponents)
+{
+    const auto rows = twoGroups(10);
+    SubsetOptions opts;
+    opts.components = 4;
+    opts.subsetSize = 4;
+    const auto result = buildSubset(rows, opts);
+    EXPECT_EQ(result.pca.loadings.rows(), 4u);
+    EXPECT_EQ(result.pca.scores.cols(), 4u);
+    EXPECT_EQ(result.dendrogram.leafCount, 20u);
+}
+
+TEST(SubsetTest, RejectsTooSmallCorpus)
+{
+    const auto rows = twoGroups(2); // 4 benchmarks
+    SubsetOptions opts;
+    opts.subsetSize = 8;
+    EXPECT_THROW(buildSubset(rows, opts), std::invalid_argument);
+}
+
+TEST(ScoreTest, BenchmarkScoresAreTimeRatios)
+{
+    const std::vector<double> base{2.0, 4.0};
+    const std::vector<double> fast{1.0, 1.0};
+    const auto scores = benchmarkScores(base, fast);
+    EXPECT_DOUBLE_EQ(scores[0], 2.0);
+    EXPECT_DOUBLE_EQ(scores[1], 4.0);
+    const std::vector<double> one{1.0};
+    const std::vector<double> two{1.0, 2.0};
+    const std::vector<double> zero{0.0};
+    EXPECT_THROW(benchmarkScores(one, two), std::invalid_argument);
+    EXPECT_THROW(benchmarkScores(zero, one), std::invalid_argument);
+}
+
+TEST(ScoreTest, CompositeIsGeomean)
+{
+    const std::vector<double> scores{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(compositeScore(scores), 2.0);
+    const std::vector<std::size_t> subset{1};
+    EXPECT_DOUBLE_EQ(compositeScore(scores, subset), 4.0);
+    const std::vector<std::size_t> bad{7};
+    EXPECT_THROW(compositeScore(scores, bad), std::out_of_range);
+}
+
+TEST(ScoreTest, AccuracySymmetricAndCappedAt100)
+{
+    EXPECT_DOUBLE_EQ(subsetAccuracyPct(2.0, 2.0), 100.0);
+    EXPECT_NEAR(subsetAccuracyPct(2.0, 1.8), 90.0, 1e-9);
+    EXPECT_NEAR(subsetAccuracyPct(1.8, 2.0), 90.0, 1e-9);
+    EXPECT_DOUBLE_EQ(subsetAccuracyPct(0.0, 1.0), 0.0);
+}
+
+TEST(OptimumSubsetTest, FindsExactBestForSmallClusters)
+{
+    // Scores chosen so the full composite is exactly 2.0 and the only
+    // perfect choose-1-per-cluster pick is {2.0, 2.0}... i.e. index 1
+    // from each cluster.
+    const std::vector<double> scores{1.0, 2.0, 4.0, 2.0, 8.0, 1.0};
+    const std::vector<std::vector<std::size_t>> clusters{{0, 1},
+                                                         {2, 3},
+                                                         {4, 5}};
+    // Full composite = geomean(1,2,4,2,8,1) = (128)^(1/6) = 2.24...
+    const double full = compositeScore(scores);
+    const auto best = optimumSubset(scores, clusters);
+    const double acc =
+        subsetAccuracyPct(full, compositeScore(scores, best.subset));
+    EXPECT_DOUBLE_EQ(best.accuracyPct, acc);
+    // Exhaustive over 8 combos: optimum must beat or match all.
+    for (std::size_t a = 0; a < 2; ++a)
+        for (std::size_t b = 0; b < 2; ++b)
+            for (std::size_t c = 0; c < 2; ++c) {
+                const std::vector<std::size_t> combo{
+                    clusters[0][a], clusters[1][b], clusters[2][c]};
+                EXPECT_GE(best.accuracyPct + 1e-9,
+                          subsetAccuracyPct(
+                              full, compositeScore(scores, combo)));
+            }
+}
+
+TEST(OptimumSubsetTest, CappedSearchStillReturnsValidSubset)
+{
+    // 4 clusters x 8 members = 4096 combos, cap at 10.
+    std::vector<double> scores(32);
+    netchar::stats::Rng rng(5);
+    for (auto &s : scores)
+        s = rng.uniform(0.5, 2.0);
+    std::vector<std::vector<std::size_t>> clusters(4);
+    for (std::size_t i = 0; i < 32; ++i)
+        clusters[i / 8].push_back(i);
+    const auto best = optimumSubset(scores, clusters, 10);
+    ASSERT_EQ(best.subset.size(), 4u);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_GE(best.subset[c], c * 8);
+        EXPECT_LT(best.subset[c], (c + 1) * 8);
+    }
+    EXPECT_GT(best.accuracyPct, 0.0);
+}
+
+TEST(TopDownTest, Level1FractionsSumToOne)
+{
+    sim::SlotAccount slots;
+    slots[sim::SlotNode::Retiring] = 400.0;
+    slots[sim::SlotNode::BadSpeculation] = 100.0;
+    slots[sim::SlotNode::FeICache] = 200.0;
+    slots[sim::SlotNode::BeL3Bound] = 300.0;
+    const auto p = TopDownProfile::fromSlots(slots);
+    EXPECT_NEAR(p.level1.retiring + p.level1.badSpeculation +
+                    p.level1.frontendBound + p.level1.backendBound,
+                1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(p.level1.retiring, 0.4);
+    EXPECT_DOUBLE_EQ(p.level1.frontendBound, 0.2);
+    EXPECT_DOUBLE_EQ(p.level1.backendBound, 0.3);
+}
+
+TEST(TopDownTest, SharesRenormalizeWithinCategory)
+{
+    sim::SlotAccount slots;
+    slots[sim::SlotNode::FeICache] = 30.0;
+    slots[sim::SlotNode::FeITlb] = 10.0;
+    slots[sim::SlotNode::Retiring] = 60.0;
+    const auto p = TopDownProfile::fromSlots(slots);
+    const auto fe = p.frontendShares();
+    EXPECT_NEAR(fe.icacheMisses, 0.75, 1e-12);
+    EXPECT_NEAR(fe.itlbMisses, 0.25, 1e-12);
+}
+
+TEST(TopDownTest, EmptyAccountYieldsZeros)
+{
+    const auto p = TopDownProfile::fromSlots(sim::SlotAccount{});
+    EXPECT_DOUBLE_EQ(p.level1.retiring, 0.0);
+    EXPECT_DOUBLE_EQ(p.frontendShares().icacheMisses, 0.0);
+    EXPECT_DOUBLE_EQ(p.backendShares().l3Bound, 0.0);
+}
+
+TEST(TopDownTest, RowHelpersCoverAllNodes)
+{
+    sim::SlotAccount slots;
+    slots[sim::SlotNode::Retiring] = 1.0;
+    const auto p = TopDownProfile::fromSlots(slots);
+    EXPECT_EQ(level1Rows(p).size(), 4u);
+    EXPECT_EQ(frontendRows(p).size(), 6u);
+    EXPECT_EQ(backendRows(p).size(), 7u);
+}

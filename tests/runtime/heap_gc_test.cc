@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/gc.hh"
+#include "runtime/heap.hh"
+
+namespace rt = netchar::rt;
+
+namespace
+{
+
+rt::HeapConfig
+smallHeap()
+{
+    rt::HeapConfig cfg;
+    cfg.maxBytes = 8 * 1024 * 1024;
+    cfg.liveBytes = 1 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(HeapTest, ValidationRejectsBadConfigs)
+{
+    rt::HeapConfig cfg;
+    cfg.maxBytes = 0;
+    EXPECT_THROW(rt::Heap{cfg}, std::invalid_argument);
+    cfg = smallHeap();
+    cfg.liveBytes = cfg.maxBytes + 1;
+    EXPECT_THROW(rt::Heap{cfg}, std::invalid_argument);
+}
+
+TEST(HeapTest, InitialSpreadIsLiveSet)
+{
+    rt::Heap heap(smallHeap());
+    EXPECT_EQ(heap.spreadBytes(), 1024u * 1024u);
+    EXPECT_EQ(heap.allocatedSinceGc(), 0u);
+}
+
+TEST(HeapTest, AllocationLandsInNurseryAndGrowsSpreadBySurvivors)
+{
+    auto cfg = smallHeap();
+    cfg.survivorFraction = 0.25;
+    cfg.nurseryBytes = 512 * 1024;
+    rt::Heap heap(cfg);
+    const auto addr = heap.allocate(4096);
+    // The object sits inside the nursery window just past the spread.
+    EXPECT_GE(addr, heap.base() + 1024 * 1024);
+    EXPECT_LT(addr, heap.base() + 1024 * 1024 + cfg.nurseryBytes +
+                        4096);
+    // Only the surviving fraction extends the spread.
+    EXPECT_EQ(heap.spreadBytes(), 1024u * 1024u + 1024u);
+    EXPECT_EQ(heap.allocatedSinceGc(), 4096u);
+    EXPECT_EQ(heap.totalAllocated(), 4096u);
+}
+
+TEST(HeapTest, NurseryAddressesRecycle)
+{
+    auto cfg = smallHeap();
+    cfg.survivorFraction = 0.0;
+    cfg.nurseryBytes = 64 * 1024;
+    rt::Heap heap(cfg);
+    const auto first = heap.allocate(4096);
+    // 16 more 4 KiB allocations wrap the 64 KiB nursery exactly.
+    std::uint64_t wrapped = 0;
+    for (int i = 0; i < 16; ++i)
+        wrapped = heap.allocate(4096);
+    EXPECT_EQ(wrapped, first);
+    // With no survivors the spread never grows.
+    EXPECT_EQ(heap.spreadBytes(), cfg.liveBytes);
+}
+
+TEST(HeapTest, SpreadCappedAtMaxBytes)
+{
+    rt::Heap heap(smallHeap());
+    heap.allocate(100 * 1024 * 1024);
+    EXPECT_EQ(heap.spreadBytes(), heap.maxBytes());
+    EXPECT_TRUE(heap.full());
+}
+
+TEST(HeapTest, CompactShrinksSpreadToLiveSet)
+{
+    rt::Heap heap(smallHeap());
+    heap.allocate(4 * 1024 * 1024);
+    EXPECT_GT(heap.spreadBytes(), heap.liveBytes());
+    heap.compact();
+    EXPECT_EQ(heap.spreadBytes(), heap.liveBytes());
+    EXPECT_EQ(heap.allocatedSinceGc(), 0u);
+    EXPECT_FALSE(heap.full());
+}
+
+TEST(HeapTest, ResetRestoresPristineState)
+{
+    rt::Heap heap(smallHeap());
+    heap.allocate(1024);
+    heap.reset();
+    EXPECT_EQ(heap.totalAllocated(), 0u);
+    EXPECT_EQ(heap.spreadBytes(), heap.liveBytes());
+}
+
+TEST(HeapTest, FragmentationGrowsWithGarbageAndResetsOnCompact)
+{
+    auto cfg = smallHeap(); // live = 1 MiB
+    rt::Heap heap(cfg);
+    EXPECT_DOUBLE_EQ(heap.fragmentation(), 1.0);
+    heap.allocate(512 * 1024); // half the live set in garbage
+    EXPECT_NEAR(heap.fragmentation(), 1.5, 1e-9);
+    heap.allocate(2 * 1024 * 1024);
+    // Dilution is capped at 2x.
+    EXPECT_DOUBLE_EQ(heap.fragmentation(), 2.0);
+    heap.compact();
+    EXPECT_DOUBLE_EQ(heap.fragmentation(), 1.0);
+}
+
+TEST(GcTest, ConfigValidation)
+{
+    rt::GcConfig cfg;
+    cfg.workstationBudgetFraction = 0.0;
+    EXPECT_THROW(rt::Gc{cfg}, std::invalid_argument);
+    cfg = rt::GcConfig{};
+    cfg.serverAggression = 0.5;
+    EXPECT_THROW(rt::Gc{cfg}, std::invalid_argument);
+}
+
+TEST(GcTest, ServerBudgetSmallerByAggression)
+{
+    rt::Heap heap(smallHeap());
+    rt::GcConfig ws_cfg;
+    ws_cfg.mode = rt::GcMode::Workstation;
+    rt::GcConfig srv_cfg;
+    srv_cfg.mode = rt::GcMode::Server;
+    rt::Gc ws(ws_cfg), srv(srv_cfg);
+    EXPECT_NEAR(static_cast<double>(ws.budgetBytes(heap)) /
+                    static_cast<double>(srv.budgetBytes(heap)),
+                srv_cfg.serverAggression, 0.1);
+}
+
+TEST(GcTest, TriggersAtBudget)
+{
+    rt::Heap heap(smallHeap());
+    rt::Gc gc(rt::GcConfig{});
+    EXPECT_FALSE(gc.shouldCollect(heap));
+    heap.allocate(gc.budgetBytes(heap));
+    EXPECT_TRUE(gc.shouldCollect(heap));
+}
+
+TEST(GcTest, TriggersWhenHeapFull)
+{
+    auto cfg = smallHeap();
+    rt::Heap heap(cfg);
+    rt::GcConfig gc_cfg;
+    gc_cfg.workstationBudgetFraction = 1.0; // budget alone never fires
+    rt::Gc gc(gc_cfg);
+    heap.allocate(heap.maxBytes());
+    EXPECT_TRUE(gc.shouldCollect(heap));
+}
+
+TEST(GcTest, CollectCompactsAndCounts)
+{
+    rt::Heap heap(smallHeap());
+    rt::Gc gc(rt::GcConfig{});
+    heap.allocate(4 * 1024 * 1024);
+    const auto work = gc.collect(heap);
+    EXPECT_EQ(heap.spreadBytes(), heap.liveBytes());
+    EXPECT_EQ(gc.collections(), 1u);
+    // Survivors of the 4 MiB allocated plus the card-table sweep.
+    const auto survivors = static_cast<std::uint64_t>(
+        heap.survivorFraction() * 4.0 * 1024 * 1024);
+    EXPECT_EQ(work.bytesScanned, survivors + heap.liveBytes() / 256);
+    EXPECT_GT(work.instructions, 0u);
+}
+
+TEST(GcTest, HardwareAssistCostsNoInstructions)
+{
+    rt::Heap heap(smallHeap());
+    rt::GcConfig cfg;
+    cfg.assist = rt::GcAssist::Hardware;
+    rt::Gc gc(cfg);
+    heap.allocate(4 * 1024 * 1024);
+    const auto work = gc.collect(heap);
+    EXPECT_EQ(work.instructions, 0u);
+    EXPECT_GT(work.bytesScanned, 0u);
+    // Compaction benefit still applies.
+    EXPECT_EQ(heap.spreadBytes(), heap.liveBytes());
+}
+
+TEST(GcTest, ServerCollectsMoreOftenOnSameAllocationStream)
+{
+    // Replay an identical allocation stream under both modes and
+    // compare trigger counts: the §VII-B mechanism.
+    auto run = [](rt::GcMode mode) {
+        rt::Heap heap(smallHeap());
+        rt::GcConfig cfg;
+        cfg.mode = mode;
+        rt::Gc gc(cfg);
+        for (int i = 0; i < 10000; ++i) {
+            if (gc.shouldCollect(heap))
+                gc.collect(heap);
+            heap.allocate(4096);
+        }
+        return gc.collections();
+    };
+    const auto ws = run(rt::GcMode::Workstation);
+    const auto srv = run(rt::GcMode::Server);
+    ASSERT_GT(ws, 0u);
+    const double ratio =
+        static_cast<double>(srv) / static_cast<double>(ws);
+    EXPECT_NEAR(ratio, 6.18, 1.5);
+}

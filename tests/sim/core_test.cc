@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/counters.hh"
+#include "sim/inst.hh"
+#include "sim/machine.hh"
+#include "stats/rng.hh"
+
+namespace sim = netchar::sim;
+
+using sim::Inst;
+using sim::InstKind;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::SlotCategory;
+using sim::SlotNode;
+
+namespace
+{
+
+Inst
+aluAt(std::uint64_t pc)
+{
+    Inst i;
+    i.kind = InstKind::Alu;
+    i.pc = pc;
+    return i;
+}
+
+Inst
+loadAt(std::uint64_t pc, std::uint64_t addr)
+{
+    Inst i;
+    i.kind = InstKind::Load;
+    i.pc = pc;
+    i.addr = addr;
+    return i;
+}
+
+Inst
+branchAt(std::uint64_t pc, bool taken)
+{
+    Inst i;
+    i.kind = InstKind::Branch;
+    i.pc = pc;
+    i.taken = taken;
+    return i;
+}
+
+} // namespace
+
+TEST(CoreTest, CountersTrackInstructionMix)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    core.execute(aluAt(0x1000));
+    core.execute(loadAt(0x1004, 0x800000));
+    Inst st;
+    st.kind = InstKind::Store;
+    st.pc = 0x1008;
+    st.addr = 0x800040;
+    core.execute(st);
+    core.execute(branchAt(0x100C, true));
+    Inst kernel_inst = aluAt(0x2000);
+    kernel_inst.kernel = true;
+    core.execute(kernel_inst);
+
+    const auto &c = core.counters();
+    EXPECT_EQ(c.instructions, 5u);
+    EXPECT_EQ(c.loads, 1u);
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_EQ(c.branches, 1u);
+    EXPECT_EQ(c.kernelInstructions, 1u);
+    EXPECT_GT(c.cycles, 0.0);
+}
+
+TEST(CoreTest, RepeatedLoadHitsAfterColdMiss)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    for (int i = 0; i < 100; ++i)
+        core.execute(loadAt(0x1000, 0x800000));
+    EXPECT_EQ(core.counters().l1dMisses, 1u);
+}
+
+TEST(CoreTest, HotLoopHasLowIcacheMisses)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    // 64-instruction loop, 1000 iterations.
+    for (int iter = 0; iter < 1000; ++iter)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            core.execute(aluAt(0x400000 + i * 4));
+    const auto &c = core.counters();
+    EXPECT_LT(c.mpki(c.l1iMisses), 0.5);
+}
+
+TEST(CoreTest, LargeCodeFootprintRaisesIcacheMisses)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    // Walk 4 MiB of code (way beyond the 32 KiB L1I).
+    std::uint64_t pc = 0x400000;
+    netchar::stats::Rng rng(1);
+    for (int i = 0; i < 200000; ++i) {
+        pc = 0x400000 + (rng.below(1 << 22) & ~3ULL);
+        core.execute(aluAt(pc));
+    }
+    const auto &c = core.counters();
+    EXPECT_GT(c.mpki(c.l1iMisses), 20.0);
+    EXPECT_GT(c.mpki(c.itlbMisses), 1.0);
+}
+
+TEST(CoreTest, PredictableBranchesBarelyMiss)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    for (int i = 0; i < 10000; ++i)
+        core.execute(branchAt(0x1000, true));
+    const auto &c = core.counters();
+    EXPECT_LT(c.mpki(c.branchMisses) * 10000.0 / 1000.0,
+              50.0); // < 0.5% of branches
+}
+
+TEST(CoreTest, RandomBranchesMissOften)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    netchar::stats::Rng rng(2);
+    for (int i = 0; i < 10000; ++i)
+        core.execute(branchAt(0x1000, rng.chance(0.5)));
+    const auto &c = core.counters();
+    const double miss_rate = static_cast<double>(c.branchMisses) /
+        static_cast<double>(c.branches);
+    EXPECT_GT(miss_rate, 0.3);
+}
+
+TEST(CoreTest, SlotAccountIdentity)
+{
+    // Total slots must equal cycles x slots-per-cycle within rounding:
+    // the accounting identity the Top-Down breakdown relies on.
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    core.setIlp(2.0);
+    netchar::stats::Rng rng(3);
+    for (int i = 0; i < 50000; ++i) {
+        const auto r = rng.below(10);
+        if (r < 2)
+            core.execute(branchAt(0x1000 + rng.below(4096) * 4,
+                                  rng.chance(0.7)));
+        else if (r < 5)
+            core.execute(loadAt(0x2000, rng.below(1 << 24)));
+        else
+            core.execute(aluAt(0x3000 + rng.below(256) * 4));
+    }
+    const auto slots = core.slotAccount();
+    const double total = slots.total();
+    const double expected =
+        core.cycles() * m.config().pipe.slotsPerCycle;
+    EXPECT_NEAR(total / expected, 1.0, 0.05);
+}
+
+TEST(CoreTest, SlotFractionsSumToOne)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    for (int i = 0; i < 1000; ++i)
+        core.execute(loadAt(0x1000, static_cast<std::uint64_t>(i) * 64));
+    const auto slots = core.slotAccount();
+    const double sum =
+        slots.categoryFraction(SlotCategory::Retiring) +
+        slots.categoryFraction(SlotCategory::BadSpeculation) +
+        slots.categoryFraction(SlotCategory::Frontend) +
+        slots.categoryFraction(SlotCategory::Backend);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CoreTest, DtlbMissesOnSparsePages)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    // Touch 4096 distinct pages: far beyond 64-entry DTLB + STLB.
+    for (std::uint64_t p = 0; p < 4096; ++p)
+        core.execute(loadAt(0x1000, p * 4096));
+    EXPECT_GT(core.counters().dtlbLoadMisses, 2048u);
+}
+
+TEST(CoreTest, PageFaultOnFirstTouchOnly)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    core.execute(loadAt(0x1000, 0x900000));
+    core.execute(loadAt(0x1000, 0x900040)); // same page, hits L1? no:
+    // different line, same page: may miss L1 but must not re-fault.
+    const auto faults = core.counters().pageFaults;
+    core.execute(loadAt(0x1000, 0x900080));
+    EXPECT_EQ(core.counters().pageFaults, faults);
+}
+
+TEST(CoreTest, StreamingLoadsTriggerPrefetches)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        core.execute(loadAt(0x1000, 0x40000000 + i * 64));
+    const auto &c = core.counters();
+    EXPECT_GT(c.prefetchesIssued, 10000u);
+    EXPECT_GT(c.prefetchesUseful, 5000u);
+}
+
+TEST(CoreTest, DividerStallsAccounted)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    Inst div;
+    div.kind = InstKind::Div;
+    div.pc = 0x1000;
+    for (int i = 0; i < 1000; ++i)
+        core.execute(div);
+    EXPECT_GT(core.slotAccount()[SlotNode::BeDivider], 0.0);
+}
+
+TEST(CoreTest, MicrocodedInstructionsCostMsSwitches)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    Inst ms = aluAt(0x1000);
+    ms.microcoded = true;
+    for (int i = 0; i < 100; ++i)
+        core.execute(ms);
+    EXPECT_GT(core.slotAccount()[SlotNode::FeMsSwitch], 0.0);
+}
+
+TEST(CoreTest, ResetClearsEverything)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe());
+    auto &core = m.core(0);
+    for (int i = 0; i < 100; ++i)
+        core.execute(loadAt(0x1000, static_cast<std::uint64_t>(i) * 64));
+    core.reset();
+    EXPECT_EQ(core.counters().instructions, 0u);
+    EXPECT_EQ(core.cycles(), 0.0);
+    EXPECT_EQ(core.slotAccount().total(), 0.0);
+}
+
+TEST(CoreTest, JitHintAvoidsColdStart)
+{
+    // Execute fresh code pages with and without the ISA hint; the
+    // hinted run must see far fewer I-cache misses on those pages.
+    auto run = [](bool hint) {
+        Machine m(MachineConfig::intelCoreI99980Xe());
+        auto &core = m.core(0);
+        core.setJitHintEnabled(hint);
+        std::uint64_t total_misses = 0;
+        for (int page = 0; page < 64; ++page) {
+            const std::uint64_t base =
+                0x10000000 + static_cast<std::uint64_t>(page) * 4096;
+            core.onJitPage(base, 4096);
+            const auto before = core.counters().l1iMisses;
+            for (std::uint64_t off = 0; off < 4096; off += 4)
+                core.execute(aluAt(base + off));
+            total_misses += core.counters().l1iMisses - before;
+        }
+        return total_misses;
+    };
+    const auto cold = run(false);
+    const auto hinted = run(true);
+    EXPECT_LT(hinted, cold / 4);
+}
+
+TEST(MachineTest, CoreCountClamped)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe(), 64);
+    EXPECT_EQ(m.coreCount(), 18u);
+    Machine one(MachineConfig::intelCoreI99980Xe(), 0);
+    EXPECT_EQ(one.coreCount(), 1u);
+    EXPECT_THROW(one.core(1), std::out_of_range);
+}
+
+TEST(MachineTest, TotalsAggregateAcrossCores)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe(), 2);
+    m.core(0).execute(aluAt(0x1000));
+    m.core(1).execute(aluAt(0x1000));
+    m.core(1).execute(aluAt(0x1004));
+    EXPECT_EQ(m.totalCounters().instructions, 3u);
+}
+
+TEST(MachineTest, SecondsUseMaxFrequency)
+{
+    MachineConfig cfg = MachineConfig::intelCoreI99980Xe();
+    Machine m(cfg);
+    for (int i = 0; i < 1000; ++i)
+        m.core(0).execute(aluAt(0x1000 + (i % 64) * 4));
+    const double expected = m.core(0).cycles() / (cfg.maxGhz * 1e9);
+    EXPECT_DOUBLE_EQ(m.seconds(), expected);
+}
+
+TEST(MachineTest, SharedLlcVisibleAcrossCores)
+{
+    // Core 0 pulls a line into the shared LLC; core 1's first demand
+    // access to it should be an LLC hit (no new DRAM access).
+    Machine m(MachineConfig::intelCoreI99980Xe(), 2);
+    m.core(0).execute(loadAt(0x1000, 0x5000000));
+    // Core 0 cold-missed LLC for its code line and its data line.
+    const auto llc_before = m.totalCounters().llcMisses;
+    m.core(1).execute(loadAt(0x1000, 0x5000000));
+    // Core 1 misses its private L1/L2 but hits the shared LLC for
+    // both lines: no new LLC misses.
+    EXPECT_EQ(m.totalCounters().llcMisses, llc_before);
+}
+
+TEST(MachineTest, ResetRestoresPristineState)
+{
+    Machine m(MachineConfig::intelCoreI99980Xe(), 2);
+    m.core(0).execute(loadAt(0x1000, 0x5000000));
+    m.reset();
+    EXPECT_EQ(m.totalCounters().instructions, 0u);
+    EXPECT_EQ(m.llc().accesses(), 0u);
+    EXPECT_EQ(m.dram().accesses(), 0u);
+}
+
+TEST(MachineTest, ArmConfigHasNoDsb)
+{
+    const auto cfg = MachineConfig::armServer();
+    EXPECT_EQ(cfg.pipe.dsbLines, 0u);
+    EXPECT_GT(cfg.pipe.loopBufferLines, 0u);
+    EXPECT_GT(cfg.codeSpreadFactor, 1.0);
+    Machine m(cfg);
+    m.core(0).execute(aluAt(0x1000));
+    EXPECT_EQ(m.totalCounters().instructions, 1u);
+}
+
+TEST(MachineTest, TableIIGeometriesFaithful)
+{
+    const auto xeon = MachineConfig::intelXeonE52620V4();
+    EXPECT_EQ(xeon.physicalCores, 16u);
+    EXPECT_EQ(xeon.logicalCores, 32u);
+    EXPECT_EQ(xeon.l2.sizeBytes, 256u * 1024u);
+    EXPECT_DOUBLE_EQ(xeon.maxGhz, 3.0);
+
+    const auto i9 = MachineConfig::intelCoreI99980Xe();
+    EXPECT_EQ(i9.physicalCores, 18u);
+    EXPECT_EQ(i9.l2.sizeBytes, 1024u * 1024u);
+    EXPECT_DOUBLE_EQ(i9.maxGhz, 4.5);
+
+    const auto arm = MachineConfig::armServer();
+    EXPECT_EQ(arm.physicalCores, 32u);
+    EXPECT_EQ(arm.llc.sizeBytes, 32ULL * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(arm.maxGhz, 2.2);
+    EXPECT_EQ(arm.pipe.issueWidth, 6u);
+    EXPECT_EQ(arm.stlb.entries, 2048u);
+}

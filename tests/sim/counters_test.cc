@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "sim/counters.hh"
+
+namespace sim = netchar::sim;
+
+using sim::PerfCounters;
+using sim::SlotAccount;
+using sim::SlotCategory;
+using sim::SlotNode;
+
+TEST(SlotAccountTest, TotalsAndFractions)
+{
+    SlotAccount a;
+    a[SlotNode::Retiring] = 60.0;
+    a[SlotNode::FeICache] = 30.0;
+    a[SlotNode::BeDramBound] = 10.0;
+    EXPECT_DOUBLE_EQ(a.total(), 100.0);
+    EXPECT_DOUBLE_EQ(a.fraction(SlotNode::Retiring), 0.6);
+    EXPECT_DOUBLE_EQ(a.categoryFraction(SlotCategory::Frontend), 0.3);
+    EXPECT_DOUBLE_EQ(a.categoryFraction(SlotCategory::Backend), 0.1);
+    EXPECT_DOUBLE_EQ(
+        a.categoryFraction(SlotCategory::BadSpeculation), 0.0);
+}
+
+TEST(SlotAccountTest, EmptyAccountFractionsAreZero)
+{
+    SlotAccount a;
+    EXPECT_DOUBLE_EQ(a.total(), 0.0);
+    EXPECT_DOUBLE_EQ(a.fraction(SlotNode::Retiring), 0.0);
+    EXPECT_DOUBLE_EQ(a.categoryFraction(SlotCategory::Frontend), 0.0);
+}
+
+TEST(SlotAccountTest, AddAndDeltaRoundTrip)
+{
+    SlotAccount a, b;
+    a[SlotNode::Retiring] = 5.0;
+    b[SlotNode::Retiring] = 2.0;
+    b[SlotNode::BeL3Bound] = 3.0;
+    SlotAccount sum = a;
+    sum.add(b);
+    EXPECT_DOUBLE_EQ(sum[SlotNode::Retiring], 7.0);
+    EXPECT_DOUBLE_EQ(sum[SlotNode::BeL3Bound], 3.0);
+    const auto back = sum.delta(b);
+    EXPECT_DOUBLE_EQ(back[SlotNode::Retiring], 5.0);
+    EXPECT_DOUBLE_EQ(back[SlotNode::BeL3Bound], 0.0);
+}
+
+TEST(SlotAccountTest, EveryNodeHasNameAndCategory)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(SlotNode::NumNodes); ++i) {
+        const auto node = static_cast<SlotNode>(i);
+        EXPECT_NE(sim::slotNodeName(node), "Unknown");
+        // slotCategory must be callable for every node.
+        (void)sim::slotCategory(node);
+    }
+}
+
+TEST(SlotAccountTest, CategoryPartitionIsComplete)
+{
+    // Every node belongs to exactly one category; the four category
+    // totals must sum to the overall total.
+    SlotAccount a;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(SlotNode::NumNodes); ++i)
+        a[static_cast<SlotNode>(i)] = static_cast<double>(i + 1);
+    const double sum =
+        a.categoryTotal(SlotCategory::Retiring) +
+        a.categoryTotal(SlotCategory::BadSpeculation) +
+        a.categoryTotal(SlotCategory::Frontend) +
+        a.categoryTotal(SlotCategory::Backend);
+    EXPECT_DOUBLE_EQ(sum, a.total());
+}
+
+TEST(PerfCountersTest, AddAccumulatesEveryField)
+{
+    PerfCounters a;
+    a.instructions = 10;
+    a.loads = 3;
+    a.cycles = 20.0;
+    a.prefetchesUseless = 2;
+    PerfCounters b = a;
+    b.add(a);
+    EXPECT_EQ(b.instructions, 20u);
+    EXPECT_EQ(b.loads, 6u);
+    EXPECT_DOUBLE_EQ(b.cycles, 40.0);
+    EXPECT_EQ(b.prefetchesUseless, 4u);
+}
+
+TEST(PerfCountersTest, DeltaInvertsAdd)
+{
+    PerfCounters a;
+    a.instructions = 100;
+    a.l1dMisses = 7;
+    a.memReadBytes = 640;
+    PerfCounters b = a;
+    b.add(a);
+    const auto d = b.delta(a);
+    EXPECT_EQ(d.instructions, a.instructions);
+    EXPECT_EQ(d.l1dMisses, a.l1dMisses);
+    EXPECT_EQ(d.memReadBytes, a.memReadBytes);
+}
+
+TEST(PerfCountersTest, DerivedRatios)
+{
+    PerfCounters c;
+    c.instructions = 2000;
+    c.cycles = 1000.0;
+    c.llcMisses = 4;
+    EXPECT_DOUBLE_EQ(c.cpi(), 0.5);
+    EXPECT_DOUBLE_EQ(c.ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(c.mpki(c.llcMisses), 2.0);
+    PerfCounters empty;
+    EXPECT_DOUBLE_EQ(empty.cpi(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.mpki(5), 0.0);
+}

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "sim/backend.hh"
+#include "sim/config.hh"
+#include "sim/frontend.hh"
+
+using netchar::sim::Divider;
+using netchar::sim::Dsb;
+using netchar::sim::IssueModel;
+using netchar::sim::LoopBuffer;
+using netchar::sim::PipelineParams;
+
+TEST(DsbTest, DisabledDsbNeverHits)
+{
+    Dsb dsb(0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(dsb.accessAndFill(42));
+    EXPECT_EQ(dsb.hits(), 0u);
+    EXPECT_EQ(dsb.lookups(), 10u);
+}
+
+TEST(DsbTest, HotLineHitsAfterFill)
+{
+    Dsb dsb(64, 8);
+    EXPECT_FALSE(dsb.accessAndFill(100));
+    EXPECT_TRUE(dsb.accessAndFill(100));
+    EXPECT_EQ(dsb.hits(), 1u);
+}
+
+TEST(DsbTest, CapacityEviction)
+{
+    Dsb dsb(8, 8); // one set of 8
+    for (std::uint64_t line = 0; line < 9; ++line)
+        dsb.accessAndFill(line);
+    EXPECT_FALSE(dsb.accessAndFill(0)); // evicted (LRU)
+    EXPECT_TRUE(dsb.accessAndFill(8));  // still resident
+}
+
+TEST(DsbTest, InvalidateAll)
+{
+    Dsb dsb(64, 8);
+    dsb.accessAndFill(5);
+    dsb.invalidateAll();
+    EXPECT_FALSE(dsb.accessAndFill(5));
+}
+
+TEST(LoopBufferTest, DisabledNeverHits)
+{
+    LoopBuffer lb(0);
+    EXPECT_FALSE(lb.accessAndFill(1));
+    EXPECT_FALSE(lb.accessAndFill(1));
+}
+
+TEST(LoopBufferTest, TightLoopHits)
+{
+    LoopBuffer lb(4);
+    // A 3-line loop executed twice: second iteration hits fully.
+    for (int iter = 0; iter < 2; ++iter) {
+        int hits = 0;
+        for (std::uint64_t line = 0; line < 3; ++line) {
+            if (lb.accessAndFill(line))
+                ++hits;
+        }
+        if (iter == 1) {
+            EXPECT_EQ(hits, 3);
+        }
+    }
+}
+
+TEST(LoopBufferTest, LargeLoopDoesNotFit)
+{
+    LoopBuffer lb(4);
+    for (int iter = 0; iter < 3; ++iter)
+        for (std::uint64_t line = 0; line < 8; ++line)
+            EXPECT_FALSE(lb.accessAndFill(line));
+}
+
+TEST(DividerTest, SparseDividesDoNotStall)
+{
+    Divider div(18.0);
+    EXPECT_DOUBLE_EQ(div.issue(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(div.issue(100.0), 0.0); // unit long since free
+}
+
+TEST(DividerTest, BackToBackDividesSerialize)
+{
+    Divider div(18.0);
+    EXPECT_DOUBLE_EQ(div.issue(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(div.issue(1.0), 17.0); // busy until cycle 18
+    // Third divide queues behind the second (busy until 1+17+18=36).
+    EXPECT_DOUBLE_EQ(div.issue(2.0), 34.0);
+}
+
+TEST(DividerTest, ResetClearsOccupancy)
+{
+    Divider div(18.0);
+    div.issue(0.0);
+    div.reset();
+    EXPECT_DOUBLE_EQ(div.issue(1.0), 0.0);
+}
+
+TEST(IssueModelTest, HighIlpReachesPeakSlots)
+{
+    PipelineParams pipe;
+    pipe.issueWidth = 4;
+    pipe.slotsPerCycle = 4;
+    IssueModel m(pipe, 8.0); // clamped to width
+    EXPECT_DOUBLE_EQ(m.cyclesPerInst(), 0.25);
+    EXPECT_DOUBLE_EQ(m.portStallPerInst(), 0.0);
+}
+
+TEST(IssueModelTest, LowIlpExposesPortStalls)
+{
+    PipelineParams pipe;
+    pipe.issueWidth = 4;
+    pipe.slotsPerCycle = 4;
+    IssueModel m(pipe, 1.0);
+    EXPECT_DOUBLE_EQ(m.cyclesPerInst(), 1.0);
+    EXPECT_DOUBLE_EQ(m.portStallPerInst(), 0.75);
+}
+
+TEST(IssueModelTest, IlpFloorPreventsDegenerateRates)
+{
+    PipelineParams pipe;
+    IssueModel m(pipe, 0.0);
+    EXPECT_LE(m.cyclesPerInst(), 4.0);
+}

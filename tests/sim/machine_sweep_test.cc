@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Parameterized invariant sweeps across all three Table II machine
+ * configurations: properties that must hold on ANY modeled machine,
+ * guarding the config factories and the core model jointly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/machine.hh"
+#include "stats/rng.hh"
+#include "workloads/registry.hh"
+#include "workloads/synth.hh"
+
+namespace sim = netchar::sim;
+namespace wl = netchar::wl;
+
+namespace
+{
+
+sim::MachineConfig
+configByName(const std::string &name)
+{
+    if (name == "xeon")
+        return sim::MachineConfig::intelXeonE52620V4();
+    if (name == "arm")
+        return sim::MachineConfig::armServer();
+    return sim::MachineConfig::intelCoreI99980Xe();
+}
+
+} // namespace
+
+class MachineSweepTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    sim::MachineConfig cfg_ = configByName(GetParam());
+};
+
+TEST_P(MachineSweepTest, GeometriesAreConstructible)
+{
+    // Every geometry in the config must satisfy the structural
+    // invariants the components enforce.
+    sim::Machine m(cfg_, cfg_.physicalCores);
+    EXPECT_EQ(m.coreCount(), cfg_.physicalCores);
+    EXPECT_EQ(m.llc().sliceCount(), cfg_.llcSlices);
+}
+
+TEST_P(MachineSweepTest, SmallLoopRunsAtHighIpc)
+{
+    sim::Machine m(cfg_);
+    auto &core = m.core(0);
+    core.setIlp(3.0);
+    sim::Inst inst;
+    inst.kind = sim::InstKind::Alu;
+    for (int iter = 0; iter < 2000; ++iter) {
+        for (std::uint64_t i = 0; i < 32; ++i) {
+            inst.pc = 0x400000 + i * 4;
+            core.execute(inst);
+        }
+    }
+    EXPECT_GT(core.counters().ipc(), 1.5) << cfg_.name;
+}
+
+TEST_P(MachineSweepTest, SlotIdentityHolds)
+{
+    sim::Machine m(cfg_);
+    auto &core = m.core(0);
+    core.setIlp(2.0);
+    netchar::stats::Rng rng(17);
+    for (int i = 0; i < 30000; ++i) {
+        sim::Inst inst;
+        const auto roll = rng.below(10);
+        inst.pc = 0x400000 + rng.below(8192) * 4;
+        if (roll < 2) {
+            inst.kind = sim::InstKind::Branch;
+            inst.taken = rng.chance(0.6);
+        } else if (roll < 5) {
+            inst.kind = sim::InstKind::Load;
+            inst.addr = rng.below(1 << 22);
+        } else if (roll < 6) {
+            inst.kind = sim::InstKind::Store;
+            inst.addr = rng.below(1 << 22);
+        } else {
+            inst.kind = sim::InstKind::Alu;
+        }
+        core.execute(inst);
+    }
+    const double total = core.slotAccount().total();
+    const double expected =
+        core.cycles() * cfg_.pipe.slotsPerCycle;
+    EXPECT_NEAR(total / expected, 1.0, 0.08) << cfg_.name;
+}
+
+TEST_P(MachineSweepTest, WorkloadRunsDeterministically)
+{
+    auto p = *wl::findProfile("System.Runtime");
+    auto run = [&]() {
+        sim::Machine m(cfg_);
+        wl::SynthWorkload w(p, 3, nullptr,
+                            {cfg_.codeSpreadFactor,
+                             cfg_.dataSpreadFactor});
+        w.run(m.core(0), 150'000);
+        return m.totalCounters().cycles;
+    };
+    EXPECT_EQ(run(), run()) << cfg_.name;
+}
+
+TEST_P(MachineSweepTest, LargerFootprintNeverLowersLlcTraffic)
+{
+    // Monotonicity: growing the data footprint cannot reduce LLC
+    // misses on any machine.
+    auto mpki_for = [&](std::uint64_t footprint) {
+        auto p = *wl::findProfile("mcf");
+        p.dataFootprint = footprint;
+        sim::Machine m(cfg_);
+        wl::SynthWorkload w(p, 1);
+        w.run(m.core(0), 200'000);
+        const auto snap = m.totalCounters();
+        w.run(m.core(0), 300'000);
+        const auto c = m.totalCounters().delta(snap);
+        return c.mpki(c.llcMisses);
+    };
+    const double small = mpki_for(8ULL << 20);
+    const double large = mpki_for(256ULL << 20);
+    EXPECT_GE(large, small * 0.9) << cfg_.name;
+    EXPECT_GT(large, 1.0) << cfg_.name;
+}
+
+TEST_P(MachineSweepTest, SecondsScaleWithFrequency)
+{
+    sim::Machine m(cfg_);
+    auto &core = m.core(0);
+    sim::Inst inst;
+    inst.kind = sim::InstKind::Alu;
+    inst.pc = 0x1000;
+    for (int i = 0; i < 1000; ++i)
+        core.execute(inst);
+    EXPECT_DOUBLE_EQ(m.seconds(),
+                     core.cycles() / (cfg_.maxGhz * 1e9));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweepTest,
+                         ::testing::Values("i9", "xeon", "arm"));
+
+/**
+ * Cache-size monotonicity: the same access stream on a bigger cache
+ * never misses more (LRU inclusion property for nested capacities).
+ */
+class CacheSizeSweepTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheSizeSweepTest, MissesDecreaseWithCapacity)
+{
+    const std::uint64_t size = GetParam();
+    sim::Cache small({size, 8, 64});
+    sim::Cache big({size * 4, 8, 64});
+    netchar::stats::Rng rng(23);
+    std::uint64_t small_misses = 0, big_misses = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t addr = rng.zipf(1 << 14, 0.8) * 64;
+        if (!small.access(addr, false).hit)
+            ++small_misses;
+        if (!big.access(addr, false).hit)
+            ++big_misses;
+    }
+    EXPECT_LE(big_misses, small_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheSizeSweepTest,
+                         ::testing::Values(16 * 1024, 32 * 1024,
+                                           64 * 1024, 256 * 1024));

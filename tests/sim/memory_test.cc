@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/memory.hh"
+
+using netchar::sim::DramModel;
+using netchar::sim::DramParams;
+
+TEST(DramTest, RejectsBadParams)
+{
+    DramParams p;
+    p.banks = 0;
+    EXPECT_THROW(DramModel{p}, std::invalid_argument);
+    p = DramParams{};
+    p.rowBytes = 0;
+    EXPECT_THROW(DramModel{p}, std::invalid_argument);
+}
+
+TEST(DramTest, FirstAccessMissesRow)
+{
+    DramModel dram;
+    auto out = dram.access(0x10000, false);
+    EXPECT_FALSE(out.rowHit);
+    EXPECT_EQ(dram.rowMisses(), 1u);
+}
+
+TEST(DramTest, SameRowHits)
+{
+    DramModel dram;
+    dram.access(0x10000, false);
+    auto out = dram.access(0x10040, false); // same 8 KiB row
+    EXPECT_TRUE(out.rowHit);
+    EXPECT_EQ(dram.rowMisses(), 1u);
+}
+
+TEST(DramTest, DifferentRowSameBankMisses)
+{
+    DramParams p;
+    p.banks = 16;
+    p.rowBytes = 8192;
+    DramModel dram(p);
+    dram.access(0, false);
+    // Row 16 maps to bank 0 again (row % banks).
+    auto out = dram.access(16 * 8192, false);
+    EXPECT_FALSE(out.rowHit);
+}
+
+TEST(DramTest, DifferentBanksIndependentRows)
+{
+    DramModel dram;
+    dram.access(0, false);          // bank 0, row 0
+    dram.access(8192, false);       // bank 1, row 1
+    auto out = dram.access(64, false); // bank 0 row 0 still open
+    EXPECT_TRUE(out.rowHit);
+}
+
+TEST(DramTest, BandwidthAccounting)
+{
+    DramModel dram;
+    dram.access(0, false);
+    dram.access(64, false);
+    dram.access(128, true);
+    EXPECT_EQ(dram.readBytes(), 128u);
+    EXPECT_EQ(dram.writeBytes(), 64u);
+    EXPECT_EQ(dram.accesses(), 3u);
+}
+
+TEST(DramTest, RowMissRate)
+{
+    DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.rowMissRate(), 0.0);
+    dram.access(0, false);
+    dram.access(64, false);
+    EXPECT_DOUBLE_EQ(dram.rowMissRate(), 0.5);
+}
+
+TEST(DramTest, StreamingHasHighRowHitRate)
+{
+    DramModel dram;
+    for (std::uint64_t a = 0; a < 1 << 20; a += 64)
+        dram.access(a, false);
+    EXPECT_LT(dram.rowMissRate(), 0.02);
+}
+
+TEST(DramTest, RandomAccessHasHighRowMissRate)
+{
+    DramModel dram;
+    std::uint64_t addr = 12345;
+    for (int i = 0; i < 10000; ++i) {
+        addr = addr * 6364136223846793005ULL + 1442695040888963407ULL;
+        dram.access(addr % (1ULL << 34), false);
+    }
+    EXPECT_GT(dram.rowMissRate(), 0.9);
+}
+
+TEST(DramTest, ResetClearsState)
+{
+    DramModel dram;
+    dram.access(0, false);
+    dram.reset();
+    EXPECT_EQ(dram.accesses(), 0u);
+    EXPECT_EQ(dram.readBytes(), 0u);
+    EXPECT_FALSE(dram.access(0, false).rowHit);
+}

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "stats/pca.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace ns = netchar::stats;
+
+TEST(CovarianceTest, KnownTwoByTwo)
+{
+    ns::Matrix data{{1.0, 2.0}, {3.0, 6.0}, {5.0, 10.0}};
+    auto cov = ns::covarianceMatrix(data);
+    EXPECT_NEAR(cov(0, 0), 4.0, 1e-12);
+    EXPECT_NEAR(cov(1, 1), 16.0, 1e-12);
+    EXPECT_NEAR(cov(0, 1), 8.0, 1e-12);
+    EXPECT_NEAR(cov(1, 0), 8.0, 1e-12);
+}
+
+TEST(CovarianceTest, RequiresTwoRows)
+{
+    EXPECT_THROW(ns::covarianceMatrix(ns::Matrix(1, 3)),
+                 std::invalid_argument);
+}
+
+TEST(JacobiTest, DiagonalMatrixEigenvalues)
+{
+    ns::Matrix m{{3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+    auto pairs = ns::jacobiEigenSymmetric(m);
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_NEAR(pairs[0].value, 3.0, 1e-10);
+    EXPECT_NEAR(pairs[1].value, 2.0, 1e-10);
+    EXPECT_NEAR(pairs[2].value, 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+    ns::Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+    auto pairs = ns::jacobiEigenSymmetric(m);
+    EXPECT_NEAR(pairs[0].value, 3.0, 1e-10);
+    EXPECT_NEAR(pairs[1].value, 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(pairs[0].vector[0]), std::sqrt(0.5), 1e-8);
+    EXPECT_NEAR(std::fabs(pairs[0].vector[1]), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiTest, EigenvectorsOrthonormal)
+{
+    ns::Rng rng(77);
+    const std::size_t n = 8;
+    ns::Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            m(i, j) = m(j, i) = rng.uniform(-1.0, 1.0);
+    auto pairs = ns::jacobiEigenSymmetric(m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            double dot = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                dot += pairs[i].vector[k] * pairs[j].vector[k];
+            EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(JacobiTest, ReconstructsMatrix)
+{
+    // A = V diag(lambda) V^T must reproduce the input.
+    ns::Rng rng(99);
+    const std::size_t n = 6;
+    ns::Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            m(i, j) = m(j, i) = rng.uniform(-2.0, 2.0);
+    auto pairs = ns::jacobiEigenSymmetric(m);
+    ns::Matrix recon(n, n);
+    for (const auto &p : pairs)
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                recon(i, j) += p.value * p.vector[i] * p.vector[j];
+    EXPECT_TRUE(recon.approxEquals(m, 1e-8));
+}
+
+TEST(JacobiTest, RejectsNonSquareAndAsymmetric)
+{
+    EXPECT_THROW(ns::jacobiEigenSymmetric(ns::Matrix(2, 3)),
+                 std::invalid_argument);
+    ns::Matrix bad{{1.0, 2.0}, {3.0, 1.0}};
+    EXPECT_THROW(ns::jacobiEigenSymmetric(bad), std::invalid_argument);
+}
+
+TEST(PcaTest, ExplainedVarianceSumsToOneWithFullComponents)
+{
+    ns::Rng rng(5);
+    ns::Matrix data(40, 5);
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            data(r, c) = rng.uniform(0.0, 10.0);
+    auto pca = ns::runPca(data, {.components = 5, .standardize = true});
+    EXPECT_NEAR(pca.cumulativeExplained(), 1.0, 1e-9);
+    // Eigenvalues are sorted descending.
+    for (std::size_t i = 1; i < pca.eigenvalues.size(); ++i)
+        EXPECT_LE(pca.eigenvalues[i], pca.eigenvalues[i - 1] + 1e-12);
+}
+
+TEST(PcaTest, FirstComponentCapturesDominantDirection)
+{
+    // Data varies strongly along metric 0, weakly along metric 1.
+    ns::Rng rng(6);
+    ns::Matrix data(100, 2);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        data(r, 0) = rng.normal(0.0, 10.0);
+        data(r, 1) = rng.normal(0.0, 0.1);
+    }
+    auto pca = ns::runPca(data, {.components = 2, .standardize = false});
+    EXPECT_GT(std::fabs(pca.loadings(0, 0)), 0.99);
+    EXPECT_GT(pca.explainedVariance[0], 0.99);
+}
+
+TEST(PcaTest, CorrelatedMetricsCollapseToOneComponent)
+{
+    // Two perfectly correlated metrics: one PRCO should carry ~all
+    // variance — the redundancy-removal property §IV-A relies on.
+    ns::Rng rng(7);
+    ns::Matrix data(60, 2);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        const double x = rng.uniform(0.0, 1.0);
+        data(r, 0) = x;
+        data(r, 1) = 3.0 * x + 1.0;
+    }
+    auto pca = ns::runPca(data, {.components = 2, .standardize = true});
+    EXPECT_GT(pca.explainedVariance[0], 0.999);
+}
+
+TEST(PcaTest, ScoresAreUncorrelatedAcrossComponents)
+{
+    ns::Rng rng(8);
+    ns::Matrix data(200, 4);
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            data(r, c) = rng.uniform(0.0, 1.0) +
+                (c > 0 ? 0.5 * data(r, c - 1) : 0.0);
+    auto pca = ns::runPca(data, {.components = 4, .standardize = true});
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = a + 1; b < 4; ++b) {
+            const double corr =
+                ns::pearson(pca.scores.col(a), pca.scores.col(b));
+            EXPECT_NEAR(corr, 0.0, 1e-6);
+        }
+    }
+}
+
+TEST(PcaTest, LoadingRowsAreUnitLength)
+{
+    ns::Rng rng(9);
+    ns::Matrix data(50, 6);
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            data(r, c) = rng.uniform(0.0, 5.0);
+    auto pca = ns::runPca(data, {.components = 4, .standardize = true});
+    for (std::size_t comp = 0; comp < 4; ++comp) {
+        double norm = 0.0;
+        for (std::size_t c = 0; c < 6; ++c)
+            norm += pca.loadings(comp, c) * pca.loadings(comp, c);
+        EXPECT_NEAR(norm, 1.0, 1e-9);
+    }
+}
+
+TEST(PcaTest, ComponentCountClampedToMetricCount)
+{
+    ns::Matrix data{{1.0, 2.0}, {2.0, 1.0}, {0.0, 3.0}};
+    auto pca = ns::runPca(data, {.components = 10, .standardize = true});
+    EXPECT_EQ(pca.loadings.rows(), 2u);
+}
+
+TEST(PcaTest, RejectsDegenerateInput)
+{
+    EXPECT_THROW(ns::runPca(ns::Matrix(1, 3)), std::invalid_argument);
+    EXPECT_THROW(ns::runPca(ns::Matrix(0, 0)), std::invalid_argument);
+}
+
+TEST(PcaTest, TopLoadingsSortedByMagnitude)
+{
+    ns::Rng rng(10);
+    ns::Matrix data(30, 5);
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            data(r, c) = rng.uniform(0.0, 1.0);
+    auto pca = ns::runPca(data, {.components = 2, .standardize = true});
+    auto top = ns::topLoadings(pca, 0, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_GE(std::fabs(pca.loadings(0, top[0])),
+              std::fabs(pca.loadings(0, top[1])));
+    EXPECT_GE(std::fabs(pca.loadings(0, top[1])),
+              std::fabs(pca.loadings(0, top[2])));
+    EXPECT_THROW(ns::topLoadings(pca, 5, 3), std::out_of_range);
+}
+
+/**
+ * Property sweep: for random data of various shapes, PCA invariants
+ * hold — descending eigenvalues, orthonormal loadings, explained
+ * variance in [0, 1].
+ */
+class PcaPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PcaPropertyTest, InvariantsHoldOnRandomData)
+{
+    ns::Rng rng(GetParam());
+    const std::size_t rows = 10 + rng.below(50);
+    const std::size_t cols = 2 + rng.below(10);
+    ns::Matrix data(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            data(r, c) = rng.uniform(-5.0, 5.0);
+
+    auto pca = ns::runPca(data, {.components = 4, .standardize = true});
+    const std::size_t k = pca.loadings.rows();
+    EXPECT_EQ(k, std::min<std::size_t>(4, cols));
+
+    for (std::size_t i = 1; i < k; ++i)
+        EXPECT_LE(pca.eigenvalues[i], pca.eigenvalues[i - 1] + 1e-9);
+
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a; b < k; ++b) {
+            double dot = 0.0;
+            for (std::size_t c = 0; c < cols; ++c)
+                dot += pca.loadings(a, c) * pca.loadings(b, c);
+            EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-7);
+        }
+    }
+
+    EXPECT_GE(pca.cumulativeExplained(), -1e-9);
+    EXPECT_LE(pca.cumulativeExplained(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, PcaPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

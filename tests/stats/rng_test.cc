@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hh"
+
+using netchar::stats::Rng;
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic)
+{
+    Rng base(7);
+    Rng f1 = base.fork(1);
+    Rng f2 = base.fork(2);
+    Rng f1_again = Rng(7).fork(1);
+    EXPECT_EQ(f1.next(), f1_again.next());
+    EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespected)
+{
+    Rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, BelowStaysInBound)
+{
+    Rng r(5);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below(1), 0u);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversRange)
+{
+    Rng r(6);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[r.below(8)];
+    for (int h : hits)
+        EXPECT_GT(h, 700); // expectation 1000, loose bound
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng r(8);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanConverges)
+{
+    Rng r(9);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(RngTest, NormalMomentsConverge)
+{
+    Rng r(10);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double m = sum / n;
+    const double var = sq / n - m * m;
+    EXPECT_NEAR(m, 2.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.15);
+}
+
+TEST(RngTest, JitterIsMultiplicative)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GT(r.jitter(5.0, 0.3), 0.0);
+    // sigma = 0 means no perturbation at all.
+    EXPECT_DOUBLE_EQ(r.jitter(5.0, 0.0), 5.0);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks)
+{
+    Rng r(12);
+    std::vector<int> hits(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++hits[r.zipf(100, 1.2)];
+    EXPECT_GT(hits[0], hits[10]);
+    EXPECT_GT(hits[10], hits[90]);
+}
+
+TEST(RngTest, ZipfStaysInRange)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.zipf(7, 0.8), 7u);
+    EXPECT_EQ(r.zipf(1, 1.0), 0u);
+    EXPECT_EQ(r.zipf(0, 1.0), 0u);
+}

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "stats/summary.hh"
+
+namespace ns = netchar::stats;
+
+TEST(SummaryTest, MeanBasics)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(ns::mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(ns::mean(std::vector<double>{}), 0.0);
+}
+
+TEST(SummaryTest, StddevKnownValue)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    // Sample stddev of this classic set is sqrt(32/7).
+    EXPECT_NEAR(ns::stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(ns::stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(SummaryTest, PopulationVariance)
+{
+    std::vector<double> xs{1.0, 3.0};
+    EXPECT_DOUBLE_EQ(ns::populationVariance(xs), 1.0);
+}
+
+TEST(SummaryTest, GeomeanKnownValue)
+{
+    std::vector<double> xs{1.0, 4.0, 16.0};
+    EXPECT_NEAR(ns::geomean(xs), 4.0, 1e-12);
+}
+
+TEST(SummaryTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(ns::geomean(std::vector<double>{1.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(ns::geomean(std::vector<double>{-1.0}),
+                 std::invalid_argument);
+}
+
+TEST(SummaryTest, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    std::vector<double> up{2.0, 4.0, 6.0};
+    std::vector<double> down{6.0, 4.0, 2.0};
+    EXPECT_NEAR(ns::pearson(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(ns::pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(SummaryTest, PearsonConstantSeriesIsZero)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    std::vector<double> flat{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(ns::pearson(xs, flat), 0.0);
+}
+
+TEST(SummaryTest, PearsonLengthMismatchThrows)
+{
+    std::vector<double> a{1.0, 2.0};
+    std::vector<double> b{1.0};
+    EXPECT_THROW(ns::pearson(a, b), std::invalid_argument);
+}
+
+TEST(SummaryTest, FractionalRanksWithTies)
+{
+    std::vector<double> xs{10.0, 20.0, 20.0, 5.0};
+    const auto ranks = ns::fractionalRanks(xs);
+    EXPECT_DOUBLE_EQ(ranks[3], 1.0);
+    EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+    EXPECT_DOUBLE_EQ(ranks[1], 3.5); // tie averages ranks 3 and 4
+    EXPECT_DOUBLE_EQ(ranks[2], 3.5);
+}
+
+TEST(SummaryTest, SpearmanMonotoneNonlinearIsOne)
+{
+    // x^3 is monotone: Spearman 1 even though Pearson < 1 on a
+    // skewed sample.
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 50.0};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(x * x * x);
+    EXPECT_NEAR(ns::spearman(xs, ys), 1.0, 1e-12);
+    EXPECT_NEAR(ns::spearman(ys, xs), 1.0, 1e-12);
+}
+
+TEST(SummaryTest, SpearmanAntitone)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    std::vector<double> ys{9.0, 4.0, 1.0};
+    EXPECT_NEAR(ns::spearman(xs, ys), -1.0, 1e-12);
+    std::vector<double> a{1.0};
+    std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW(ns::spearman(a, b), std::invalid_argument);
+}
+
+TEST(SummaryTest, CorrelationMatrixStructure)
+{
+    // Col 0 and col 1 perfectly correlated; col 2 constant.
+    ns::Matrix data{{1.0, 2.0, 5.0},
+                    {2.0, 4.0, 5.0},
+                    {3.0, 6.0, 5.0}};
+    const auto corr = ns::correlationMatrix(data);
+    EXPECT_EQ(corr.rows(), 3u);
+    EXPECT_DOUBLE_EQ(corr(0, 0), 1.0);
+    EXPECT_NEAR(corr(0, 1), 1.0, 1e-12);
+    EXPECT_NEAR(corr(1, 0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(corr(0, 2), 0.0); // constant column
+    EXPECT_DOUBLE_EQ(corr(2, 2), 1.0);
+}
+
+TEST(SummaryTest, SummarizeBundle)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    auto s = ns::summarize(xs);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, ColumnMeansAndStddevs)
+{
+    ns::Matrix m{{1.0, 10.0}, {3.0, 10.0}};
+    auto means = ns::columnMeans(m);
+    EXPECT_DOUBLE_EQ(means[0], 2.0);
+    EXPECT_DOUBLE_EQ(means[1], 10.0);
+    auto devs = ns::columnStddevs(m);
+    EXPECT_NEAR(devs[0], std::sqrt(2.0), 1e-12);
+    EXPECT_DOUBLE_EQ(devs[1], 0.0);
+}
+
+TEST(SummaryTest, StandardizeColumnsProducesZScores)
+{
+    ns::Matrix m{{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+    auto z = ns::standardizeColumns(m);
+    // Column 0: mean 2, sample stddev 1.
+    EXPECT_NEAR(z(0, 0), -1.0, 1e-12);
+    EXPECT_NEAR(z(1, 0), 0.0, 1e-12);
+    EXPECT_NEAR(z(2, 0), 1.0, 1e-12);
+    // Constant column maps to zeros, not NaN.
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_DOUBLE_EQ(z(r, 1), 0.0);
+}
+
+TEST(SummaryTest, StandardizedColumnsHaveUnitVariance)
+{
+    ns::Matrix m{{1.0, 9.0}, {4.0, 2.0}, {2.0, 3.0}, {8.0, 1.0}};
+    auto z = ns::standardizeColumns(m);
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+        auto column = z.col(c);
+        EXPECT_NEAR(ns::mean(column), 0.0, 1e-12);
+        EXPECT_NEAR(ns::stddev(column), 1.0, 1e-12);
+    }
+}

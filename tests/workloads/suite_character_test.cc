@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Table-driven locks on the profile corpus: the paper makes specific
+ * claims about specific benchmarks (Table IV descriptions, §V/§VI
+ * callouts); these tests pin the corresponding profile properties so
+ * future tuning cannot silently contradict the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/registry.hh"
+
+namespace wl = netchar::wl;
+
+namespace
+{
+
+wl::WorkloadProfile
+get(const char *name)
+{
+    auto p = wl::findProfile(name);
+    EXPECT_TRUE(p.has_value()) << name;
+    return *p;
+}
+
+} // namespace
+
+TEST(SuiteCharacterTest, KernelHeavyDotnetCategories)
+{
+    // §V-E: System.Net, System.Threading, System.Diagnostics behave
+    // like ASP.NET; the paper attributes that to kernel share and
+    // code footprint.
+    for (const char *name :
+         {"System.Net", "System.Threading", "System.Diagnostics"}) {
+        const auto p = get(name);
+        EXPECT_GT(p.kernelFrac, 0.2) << name;
+    }
+    EXPECT_LT(get("System.Runtime").kernelFrac, 0.1);
+    EXPECT_LT(get("System.MathBenchmarks").kernelFrac, 0.1);
+}
+
+TEST(SuiteCharacterTest, CscBenchHasTheLargestManagedCodeFootprint)
+{
+    const auto csc = get("CscBench");
+    for (const auto &p : wl::suiteProfiles(wl::Suite::DotNet)) {
+        if (p.name == "CscBench")
+            continue;
+        EXPECT_GE(csc.methods * csc.meanMethodBytes,
+                  p.methods * p.meanMethodBytes)
+            << p.name;
+    }
+}
+
+TEST(SuiteCharacterTest, MathBenchmarksUseTheDivider)
+{
+    // §VI-B2: divider-heavy applications; System.MathBenchmarks is
+    // the .NET divider representative.
+    const auto math = get("System.MathBenchmarks");
+    EXPECT_GT(math.divFrac, 5.0 * get("System.Runtime").divFrac);
+    EXPECT_LT(math.dataFootprint, 1u << 20)
+        << "math kernels have very little cache activity (§VII-B)";
+}
+
+TEST(SuiteCharacterTest, ExceptionsCategoryThrows)
+{
+    EXPECT_GT(get("Exceptions.Handling").exceptionPki, 0.5);
+    EXPECT_GT(get("System.Collections.Concurrent").contentionPki,
+              0.1);
+}
+
+TEST(SuiteCharacterTest, AspNetPayloadBenchmarksStream)
+{
+    // The 2 MB JSON in/out scenarios move big payloads.
+    for (const char *name :
+         {"MvcJsonNetOutput2M", "MvcJsonNetInput2M"}) {
+        const auto p = get(name);
+        EXPECT_GT(p.streamFrac, 0.3) << name;
+        EXPECT_GE(p.dataFootprint, 8u << 20) << name;
+    }
+    EXPECT_LT(get("Plaintext").dataFootprint, 2u << 20);
+}
+
+TEST(SuiteCharacterTest, PlaintextIsTheMostKernelBound)
+{
+    const auto plaintext = get("Plaintext");
+    EXPECT_GT(plaintext.kernelFrac, 0.5);
+}
+
+TEST(SuiteCharacterTest, SpecBranchDiversityBrackets)
+{
+    // §V-B: xalancbmk is the branchiest; FP programs are nearly
+    // branchless.
+    const auto xalanc = get("xalancbmk");
+    for (const auto &p : wl::suiteProfiles(wl::Suite::SpecCpu17))
+        EXPECT_GE(xalanc.branchFrac, p.branchFrac) << p.name;
+    EXPECT_LT(get("bwaves").branchFrac, 0.05);
+    EXPECT_LT(get("lbm").branchFrac, 0.05);
+    EXPECT_LT(get("cactuBSSN").branchFrac, 0.05);
+}
+
+TEST(SuiteCharacterTest, SpecMemoryBoundExtremes)
+{
+    // mcf: pointer chasing over the largest footprint, poorest
+    // locality and lowest ILP/MLP of the integer suite.
+    const auto mcf = get("mcf");
+    EXPECT_GE(mcf.dataFootprint, 128u << 20);
+    EXPECT_LT(mcf.dataZipf, 0.5);
+    EXPECT_LT(mcf.ilp, 1.5);
+    // exchange2: the retiring-dominated extreme.
+    const auto exch = get("exchange2");
+    EXPECT_LT(exch.dataFootprint, 1u << 20);
+    EXPECT_GT(exch.branchBias, 0.93);
+}
+
+TEST(SuiteCharacterTest, SpecFpStreams)
+{
+    for (const char *name : {"bwaves", "lbm", "fotonik3d"}) {
+        const auto p = get(name);
+        EXPECT_GT(p.streamFrac, 0.7) << name;
+        EXPECT_GT(p.mlp, 4.0) << name;
+    }
+}
+
+TEST(SuiteCharacterTest, WrfIsTheBigCodeFpProgram)
+{
+    // §V: wrf has a large code base for an FP program.
+    const auto wrf = get("wrf");
+    EXPECT_GT(wrf.methods * wrf.meanMethodBytes, 2u << 20);
+}
+
+TEST(SuiteCharacterTest, OomProneCategoriesHaveBigLiveSets)
+{
+    // Fig 14's OOM cells: System.Collections has the largest live
+    // set of the .NET categories the paper sweeps.
+    const auto collections = get("System.Collections");
+    EXPECT_GE(collections.dataFootprint, 4u << 20);
+    EXPECT_GT(collections.dataFootprint,
+              get("System.Text").dataFootprint);
+    EXPECT_GT(collections.dataFootprint,
+              get("System.Tests").dataFootprint);
+}
+
+TEST(SuiteCharacterTest, ManagedSuitesAreManagedSpecIsNot)
+{
+    for (const auto &p : wl::allProfiles()) {
+        if (p.suite == wl::Suite::SpecCpu17) {
+            EXPECT_FALSE(p.managed) << p.name;
+        } else {
+            EXPECT_TRUE(p.managed) << p.name;
+        }
+    }
+}

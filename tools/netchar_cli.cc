@@ -1,0 +1,313 @@
+/**
+ * @file
+ * `netchar` — command-line driver for the characterization toolkit.
+ *
+ *   netchar list [dotnet|aspnet|spec]
+ *   netchar characterize <benchmark> [options]
+ *   netchar topdown <benchmark> [options]
+ *   netchar suite <dotnet|aspnet|spec> [options]   (CSV/JSON export)
+ *   netchar subset <dotnet|aspnet|spec> [--size K] [options]
+ *
+ * Options:
+ *   --machine i9|xeon|arm   machine model (default i9)
+ *   --cores N               active cores (default 1)
+ *   --warmup N              warmup instructions (default 600000)
+ *   --measure N             measured instructions (default: profile)
+ *   --seed N                run seed (default 1)
+ *   --format text|csv|json  output format where applicable
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hh"
+#include "core/export.hh"
+#include "core/report.hh"
+#include "core/subset.hh"
+#include "core/topdown.hh"
+#include "workloads/registry.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string machine = "i9";
+    std::string format = "text";
+    RunOptions run;
+    std::size_t subsetSize = 8;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: netchar <command> [args]\n"
+        "  list [dotnet|aspnet|spec]        list benchmarks\n"
+        "  machines                         list machine models\n"
+        "  characterize <benchmark>         Table I metrics\n"
+        "  topdown <benchmark>              Top-Down profile\n"
+        "  suite <dotnet|aspnet|spec>       whole-suite export\n"
+        "  subset <dotnet|aspnet|spec>      representative subset\n"
+        "options: --machine i9|xeon|arm --cores N --warmup N\n"
+        "         --measure N --seed N --size K --format "
+        "text|csv|json\n");
+    return EXIT_FAILURE;
+}
+
+sim::MachineConfig
+machineFor(const std::string &name)
+{
+    if (name == "i9")
+        return sim::MachineConfig::intelCoreI99980Xe();
+    if (name == "xeon")
+        return sim::MachineConfig::intelXeonE52620V4();
+    if (name == "arm")
+        return sim::MachineConfig::armServer();
+    std::fprintf(stderr, "unknown machine '%s'\n", name.c_str());
+    std::exit(EXIT_FAILURE);
+}
+
+bool
+parseSuite(const std::string &name, wl::Suite &suite)
+{
+    if (name == "dotnet")
+        suite = wl::Suite::DotNet;
+    else if (name == "aspnet")
+        suite = wl::Suite::AspNet;
+    else if (name == "spec")
+        suite = wl::Suite::SpecCpu17;
+    else
+        return false;
+    return true;
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int first)
+{
+    CliOptions opts;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(EXIT_FAILURE);
+            }
+            return argv[++i];
+        };
+        if (arg == "--machine")
+            opts.machine = next();
+        else if (arg == "--cores")
+            opts.run.cores =
+                static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--warmup")
+            opts.run.warmupInstructions = std::stoull(next());
+        else if (arg == "--measure")
+            opts.run.measuredInstructions = std::stoull(next());
+        else if (arg == "--seed")
+            opts.run.seed = std::stoull(next());
+        else if (arg == "--size")
+            opts.subsetSize = std::stoull(next());
+        else if (arg == "--format")
+            opts.format = next();
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            std::exit(EXIT_FAILURE);
+        }
+    }
+    return opts;
+}
+
+int
+cmdMachines()
+{
+    TextTable table({"Key", "Name", "Cores", "L2", "LLC", "Slices",
+                     "Max GHz"});
+    const struct
+    {
+        const char *key;
+        sim::MachineConfig cfg;
+    } machines[] = {
+        {"i9", sim::MachineConfig::intelCoreI99980Xe()},
+        {"xeon", sim::MachineConfig::intelXeonE52620V4()},
+        {"arm", sim::MachineConfig::armServer()},
+    };
+    for (const auto &m : machines) {
+        table.addRow(
+            {m.key, m.cfg.name,
+             std::to_string(m.cfg.physicalCores) + "/" +
+                 std::to_string(m.cfg.logicalCores),
+             std::to_string(m.cfg.l2.sizeBytes / 1024) + "KiB",
+             std::to_string(m.cfg.llc.sizeBytes / (1024 * 1024)) +
+                 "MiB",
+             std::to_string(m.cfg.llcSlices),
+             fmtFixed(m.cfg.maxGhz, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    return EXIT_SUCCESS;
+}
+
+int
+cmdList(const std::string &filter)
+{
+    std::vector<wl::WorkloadProfile> profiles;
+    wl::Suite suite;
+    if (filter.empty()) {
+        profiles = wl::allProfiles();
+    } else if (parseSuite(filter, suite)) {
+        profiles = wl::suiteProfiles(suite);
+    } else {
+        return usage();
+    }
+    for (const auto &p : profiles)
+        std::printf("%-38s %-11s %s\n", p.name.c_str(),
+                    wl::suiteName(p.suite).c_str(),
+                    p.description.c_str());
+    return EXIT_SUCCESS;
+}
+
+int
+cmdCharacterize(const std::string &name, const CliOptions &opts,
+                bool topdown_view)
+{
+    const auto profile = wl::findProfile(name);
+    if (!profile) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+        return EXIT_FAILURE;
+    }
+    Characterizer ch(machineFor(opts.machine));
+    const auto result = ch.run(*profile, opts.run);
+
+    if (opts.format == "json") {
+        std::printf("%s\n", runResultJson(name, result).c_str());
+        return EXIT_SUCCESS;
+    }
+    if (opts.format == "csv") {
+        std::printf("%s", topdown_view
+                              ? topdownCsv({name}, {result}).c_str()
+                              : metricsCsv({name}, {result}).c_str());
+        return EXIT_SUCCESS;
+    }
+    if (topdown_view) {
+        const auto td = TopDownProfile::fromSlots(result.slots);
+        std::printf(
+            "%s",
+            barChart(name + " Top-Down level 1",
+                     {{"Retiring", td.level1.retiring},
+                      {"Bad_Speculation", td.level1.badSpeculation},
+                      {"Frontend_Bound", td.level1.frontendBound},
+                      {"Backend_Bound", td.level1.backendBound}},
+                     40, 1.0)
+                .c_str());
+        std::vector<Bar> fe, be;
+        for (const auto &row : frontendRows(td))
+            fe.push_back({row.label, row.value});
+        for (const auto &row : backendRows(td))
+            be.push_back({row.label, row.value});
+        std::printf("%s", barChart("Frontend shares", fe, 40, 1.0)
+                              .c_str());
+        std::printf("%s",
+                    barChart("Backend shares", be, 40, 1.0).c_str());
+    } else {
+        TextTable table({"Metric", "Value", "Unit"});
+        for (const auto &info : metricTable()) {
+            table.addRow(
+                {std::string(info.name),
+                 fmtFixed(result.metrics[static_cast<std::size_t>(
+                              info.id)],
+                          3),
+                 std::string(info.unit)});
+        }
+        std::printf("%s", table.render().c_str());
+    }
+    return EXIT_SUCCESS;
+}
+
+int
+cmdSuite(const std::string &suite_name, const CliOptions &opts)
+{
+    wl::Suite suite;
+    if (!parseSuite(suite_name, suite))
+        return usage();
+    const auto profiles = wl::suiteProfiles(suite);
+    Characterizer ch(machineFor(opts.machine));
+
+    std::vector<std::string> names;
+    std::vector<RunResult> results;
+    for (const auto &p : profiles) {
+        std::fprintf(stderr, "  %s ...\n", p.name.c_str());
+        names.push_back(p.name);
+        results.push_back(ch.run(p, opts.run));
+    }
+    if (opts.format == "json")
+        std::printf("%s\n", suiteJson(names, results).c_str());
+    else
+        std::printf("%s", metricsCsv(names, results).c_str());
+    return EXIT_SUCCESS;
+}
+
+int
+cmdSubset(const std::string &suite_name, const CliOptions &opts)
+{
+    wl::Suite suite;
+    if (!parseSuite(suite_name, suite))
+        return usage();
+    const auto profiles = wl::suiteProfiles(suite);
+    Characterizer ch(machineFor(opts.machine));
+
+    std::vector<MetricVector> rows;
+    for (const auto &p : profiles) {
+        std::fprintf(stderr, "  %s ...\n", p.name.c_str());
+        rows.push_back(ch.run(p, opts.run).metrics);
+    }
+    SubsetOptions sopts;
+    sopts.subsetSize = opts.subsetSize;
+    const auto subset = buildSubset(rows, sopts);
+    std::printf("# representative subset (%zu of %zu), PRCO "
+                "variance %s\n",
+                subset.representatives.size(), profiles.size(),
+                fmtPercent(subset.pca.cumulativeExplained()).c_str());
+    for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+        std::printf("%s  (cluster of %zu)\n",
+                    profiles[subset.representatives[c]].name.c_str(),
+                    subset.clusters[c].size());
+    }
+    return EXIT_SUCCESS;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "list")
+        return cmdList(argc > 2 ? argv[2] : "");
+    if (cmd == "machines")
+        return cmdMachines();
+    if (argc < 3)
+        return usage();
+    const std::string target = argv[2];
+    const auto opts = parseOptions(argc, argv, 3);
+
+    if (cmd == "characterize")
+        return cmdCharacterize(target, opts, false);
+    if (cmd == "topdown")
+        return cmdCharacterize(target, opts, true);
+    if (cmd == "suite")
+        return cmdSuite(target, opts);
+    if (cmd == "subset")
+        return cmdSubset(target, opts);
+    return usage();
+}
