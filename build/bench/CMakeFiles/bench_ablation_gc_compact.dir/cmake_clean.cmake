@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gc_compact.dir/bench_ablation_gc_compact.cc.o"
+  "CMakeFiles/bench_ablation_gc_compact.dir/bench_ablation_gc_compact.cc.o.d"
+  "bench_ablation_gc_compact"
+  "bench_ablation_gc_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gc_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

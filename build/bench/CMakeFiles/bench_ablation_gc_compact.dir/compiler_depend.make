@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_gc_compact.
+# This may be replaced when dependencies are built.

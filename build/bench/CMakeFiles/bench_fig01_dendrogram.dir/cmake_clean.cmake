@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_dendrogram.dir/bench_fig01_dendrogram.cc.o"
+  "CMakeFiles/bench_fig01_dendrogram.dir/bench_fig01_dendrogram.cc.o.d"
+  "bench_fig01_dendrogram"
+  "bench_fig01_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_kernel_frac.dir/bench_fig03_kernel_frac.cc.o"
+  "CMakeFiles/bench_fig03_kernel_frac.dir/bench_fig03_kernel_frac.cc.o.d"
+  "bench_fig03_kernel_frac"
+  "bench_fig03_kernel_frac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_kernel_frac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

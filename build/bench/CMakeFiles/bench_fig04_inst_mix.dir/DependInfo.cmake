@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_inst_mix.cc" "bench/CMakeFiles/bench_fig04_inst_mix.dir/bench_fig04_inst_mix.cc.o" "gcc" "bench/CMakeFiles/bench_fig04_inst_mix.dir/bench_fig04_inst_mix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/netchar_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/netchar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/netchar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/netchar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netchar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_mem_pca.dir/bench_fig06_mem_pca.cc.o"
+  "CMakeFiles/bench_fig06_mem_pca.dir/bench_fig06_mem_pca.cc.o.d"
+  "bench_fig06_mem_pca"
+  "bench_fig06_mem_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_mem_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

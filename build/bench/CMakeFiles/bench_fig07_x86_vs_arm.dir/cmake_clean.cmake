@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_x86_vs_arm.dir/bench_fig07_x86_vs_arm.cc.o"
+  "CMakeFiles/bench_fig07_x86_vs_arm.dir/bench_fig07_x86_vs_arm.cc.o.d"
+  "bench_fig07_x86_vs_arm"
+  "bench_fig07_x86_vs_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_x86_vs_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

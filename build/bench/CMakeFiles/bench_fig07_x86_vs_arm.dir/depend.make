@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_x86_vs_arm.
+# This may be replaced when dependencies are built.

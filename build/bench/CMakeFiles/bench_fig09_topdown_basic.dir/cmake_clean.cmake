@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_topdown_basic.dir/bench_fig09_topdown_basic.cc.o"
+  "CMakeFiles/bench_fig09_topdown_basic.dir/bench_fig09_topdown_basic.cc.o.d"
+  "bench_fig09_topdown_basic"
+  "bench_fig09_topdown_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_topdown_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_topdown_detail.dir/bench_fig10_topdown_detail.cc.o"
+  "CMakeFiles/bench_fig10_topdown_detail.dir/bench_fig10_topdown_detail.cc.o.d"
+  "bench_fig10_topdown_detail"
+  "bench_fig10_topdown_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_topdown_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scaling_topdown.dir/bench_fig11_scaling_topdown.cc.o"
+  "CMakeFiles/bench_fig11_scaling_topdown.dir/bench_fig11_scaling_topdown.cc.o.d"
+  "bench_fig11_scaling_topdown"
+  "bench_fig11_scaling_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scaling_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

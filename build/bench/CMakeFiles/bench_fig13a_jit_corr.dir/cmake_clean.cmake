@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13a_jit_corr.dir/bench_fig13a_jit_corr.cc.o"
+  "CMakeFiles/bench_fig13a_jit_corr.dir/bench_fig13a_jit_corr.cc.o.d"
+  "bench_fig13a_jit_corr"
+  "bench_fig13a_jit_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13a_jit_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

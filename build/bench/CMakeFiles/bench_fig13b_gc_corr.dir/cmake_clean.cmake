@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b_gc_corr.dir/bench_fig13b_gc_corr.cc.o"
+  "CMakeFiles/bench_fig13b_gc_corr.dir/bench_fig13b_gc_corr.cc.o.d"
+  "bench_fig13b_gc_corr"
+  "bench_fig13b_gc_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_gc_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metric_redundancy.dir/bench_metric_redundancy.cc.o"
+  "CMakeFiles/bench_metric_redundancy.dir/bench_metric_redundancy.cc.o.d"
+  "bench_metric_redundancy"
+  "bench_metric_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metric_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pca_loadings.dir/bench_table3_pca_loadings.cc.o"
+  "CMakeFiles/bench_table3_pca_loadings.dir/bench_table3_pca_loadings.cc.o.d"
+  "bench_table3_pca_loadings"
+  "bench_table3_pca_loadings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pca_loadings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

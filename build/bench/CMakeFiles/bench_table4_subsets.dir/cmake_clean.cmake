@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_subsets.dir/bench_table4_subsets.cc.o"
+  "CMakeFiles/bench_table4_subsets.dir/bench_table4_subsets.cc.o.d"
+  "bench_table4_subsets"
+  "bench_table4_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

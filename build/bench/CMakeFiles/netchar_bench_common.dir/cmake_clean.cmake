@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar_bench_common.dir/common.cc.o"
+  "CMakeFiles/netchar_bench_common.dir/common.cc.o.d"
+  "libnetchar_bench_common.a"
+  "libnetchar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

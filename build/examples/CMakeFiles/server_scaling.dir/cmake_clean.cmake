@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_scaling.dir/server_scaling.cpp.o"
+  "CMakeFiles/server_scaling.dir/server_scaling.cpp.o.d"
+  "server_scaling"
+  "server_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_subsetting.dir/suite_subsetting.cpp.o"
+  "CMakeFiles/suite_subsetting.dir/suite_subsetting.cpp.o.d"
+  "suite_subsetting"
+  "suite_subsetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart" "SeekUnroll")
+set_tests_properties(example.quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "Top-Down level 1" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")

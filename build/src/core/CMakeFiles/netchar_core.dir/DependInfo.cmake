@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterize.cc" "src/core/CMakeFiles/netchar_core.dir/characterize.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/characterize.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/netchar_core.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/correlation.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/netchar_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/export.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/netchar_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/netchar_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/report.cc.o.d"
+  "/root/repo/src/core/subset.cc" "src/core/CMakeFiles/netchar_core.dir/subset.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/subset.cc.o.d"
+  "/root/repo/src/core/topdown.cc" "src/core/CMakeFiles/netchar_core.dir/topdown.cc.o" "gcc" "src/core/CMakeFiles/netchar_core.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netchar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/netchar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/netchar_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

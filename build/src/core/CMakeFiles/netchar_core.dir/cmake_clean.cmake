@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar_core.dir/characterize.cc.o"
+  "CMakeFiles/netchar_core.dir/characterize.cc.o.d"
+  "CMakeFiles/netchar_core.dir/correlation.cc.o"
+  "CMakeFiles/netchar_core.dir/correlation.cc.o.d"
+  "CMakeFiles/netchar_core.dir/export.cc.o"
+  "CMakeFiles/netchar_core.dir/export.cc.o.d"
+  "CMakeFiles/netchar_core.dir/metrics.cc.o"
+  "CMakeFiles/netchar_core.dir/metrics.cc.o.d"
+  "CMakeFiles/netchar_core.dir/report.cc.o"
+  "CMakeFiles/netchar_core.dir/report.cc.o.d"
+  "CMakeFiles/netchar_core.dir/subset.cc.o"
+  "CMakeFiles/netchar_core.dir/subset.cc.o.d"
+  "CMakeFiles/netchar_core.dir/topdown.cc.o"
+  "CMakeFiles/netchar_core.dir/topdown.cc.o.d"
+  "libnetchar_core.a"
+  "libnetchar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

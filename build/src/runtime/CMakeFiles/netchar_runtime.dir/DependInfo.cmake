@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/clr.cc" "src/runtime/CMakeFiles/netchar_runtime.dir/clr.cc.o" "gcc" "src/runtime/CMakeFiles/netchar_runtime.dir/clr.cc.o.d"
+  "/root/repo/src/runtime/events.cc" "src/runtime/CMakeFiles/netchar_runtime.dir/events.cc.o" "gcc" "src/runtime/CMakeFiles/netchar_runtime.dir/events.cc.o.d"
+  "/root/repo/src/runtime/gc.cc" "src/runtime/CMakeFiles/netchar_runtime.dir/gc.cc.o" "gcc" "src/runtime/CMakeFiles/netchar_runtime.dir/gc.cc.o.d"
+  "/root/repo/src/runtime/heap.cc" "src/runtime/CMakeFiles/netchar_runtime.dir/heap.cc.o" "gcc" "src/runtime/CMakeFiles/netchar_runtime.dir/heap.cc.o.d"
+  "/root/repo/src/runtime/jit.cc" "src/runtime/CMakeFiles/netchar_runtime.dir/jit.cc.o" "gcc" "src/runtime/CMakeFiles/netchar_runtime.dir/jit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netchar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

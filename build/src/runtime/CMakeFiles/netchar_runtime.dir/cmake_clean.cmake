@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar_runtime.dir/clr.cc.o"
+  "CMakeFiles/netchar_runtime.dir/clr.cc.o.d"
+  "CMakeFiles/netchar_runtime.dir/events.cc.o"
+  "CMakeFiles/netchar_runtime.dir/events.cc.o.d"
+  "CMakeFiles/netchar_runtime.dir/gc.cc.o"
+  "CMakeFiles/netchar_runtime.dir/gc.cc.o.d"
+  "CMakeFiles/netchar_runtime.dir/heap.cc.o"
+  "CMakeFiles/netchar_runtime.dir/heap.cc.o.d"
+  "CMakeFiles/netchar_runtime.dir/jit.cc.o"
+  "CMakeFiles/netchar_runtime.dir/jit.cc.o.d"
+  "libnetchar_runtime.a"
+  "libnetchar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

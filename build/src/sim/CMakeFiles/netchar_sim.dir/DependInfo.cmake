@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backend.cc" "src/sim/CMakeFiles/netchar_sim.dir/backend.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/backend.cc.o.d"
+  "/root/repo/src/sim/branch.cc" "src/sim/CMakeFiles/netchar_sim.dir/branch.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/branch.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/netchar_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/netchar_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/netchar_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/sim/CMakeFiles/netchar_sim.dir/counters.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/counters.cc.o.d"
+  "/root/repo/src/sim/frontend.cc" "src/sim/CMakeFiles/netchar_sim.dir/frontend.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/frontend.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/netchar_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/netchar_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/sim/CMakeFiles/netchar_sim.dir/noc.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/noc.cc.o.d"
+  "/root/repo/src/sim/prefetch.cc" "src/sim/CMakeFiles/netchar_sim.dir/prefetch.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/prefetch.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/netchar_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/netchar_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

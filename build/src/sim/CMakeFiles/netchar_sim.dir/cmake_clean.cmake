@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar_sim.dir/backend.cc.o"
+  "CMakeFiles/netchar_sim.dir/backend.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/branch.cc.o"
+  "CMakeFiles/netchar_sim.dir/branch.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/cache.cc.o"
+  "CMakeFiles/netchar_sim.dir/cache.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/config.cc.o"
+  "CMakeFiles/netchar_sim.dir/config.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/core.cc.o"
+  "CMakeFiles/netchar_sim.dir/core.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/counters.cc.o"
+  "CMakeFiles/netchar_sim.dir/counters.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/frontend.cc.o"
+  "CMakeFiles/netchar_sim.dir/frontend.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/machine.cc.o"
+  "CMakeFiles/netchar_sim.dir/machine.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/memory.cc.o"
+  "CMakeFiles/netchar_sim.dir/memory.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/noc.cc.o"
+  "CMakeFiles/netchar_sim.dir/noc.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/prefetch.cc.o"
+  "CMakeFiles/netchar_sim.dir/prefetch.cc.o.d"
+  "CMakeFiles/netchar_sim.dir/tlb.cc.o"
+  "CMakeFiles/netchar_sim.dir/tlb.cc.o.d"
+  "libnetchar_sim.a"
+  "libnetchar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar_stats.dir/cluster.cc.o"
+  "CMakeFiles/netchar_stats.dir/cluster.cc.o.d"
+  "CMakeFiles/netchar_stats.dir/matrix.cc.o"
+  "CMakeFiles/netchar_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/netchar_stats.dir/pca.cc.o"
+  "CMakeFiles/netchar_stats.dir/pca.cc.o.d"
+  "CMakeFiles/netchar_stats.dir/summary.cc.o"
+  "CMakeFiles/netchar_stats.dir/summary.cc.o.d"
+  "libnetchar_stats.a"
+  "libnetchar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aspnet.cc" "src/workloads/CMakeFiles/netchar_workloads.dir/aspnet.cc.o" "gcc" "src/workloads/CMakeFiles/netchar_workloads.dir/aspnet.cc.o.d"
+  "/root/repo/src/workloads/dotnet.cc" "src/workloads/CMakeFiles/netchar_workloads.dir/dotnet.cc.o" "gcc" "src/workloads/CMakeFiles/netchar_workloads.dir/dotnet.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "src/workloads/CMakeFiles/netchar_workloads.dir/profile.cc.o" "gcc" "src/workloads/CMakeFiles/netchar_workloads.dir/profile.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/netchar_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/netchar_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/netchar_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/netchar_workloads.dir/spec.cc.o.d"
+  "/root/repo/src/workloads/synth.cc" "src/workloads/CMakeFiles/netchar_workloads.dir/synth.cc.o" "gcc" "src/workloads/CMakeFiles/netchar_workloads.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netchar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/netchar_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar_workloads.dir/aspnet.cc.o"
+  "CMakeFiles/netchar_workloads.dir/aspnet.cc.o.d"
+  "CMakeFiles/netchar_workloads.dir/dotnet.cc.o"
+  "CMakeFiles/netchar_workloads.dir/dotnet.cc.o.d"
+  "CMakeFiles/netchar_workloads.dir/profile.cc.o"
+  "CMakeFiles/netchar_workloads.dir/profile.cc.o.d"
+  "CMakeFiles/netchar_workloads.dir/registry.cc.o"
+  "CMakeFiles/netchar_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/netchar_workloads.dir/spec.cc.o"
+  "CMakeFiles/netchar_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/netchar_workloads.dir/synth.cc.o"
+  "CMakeFiles/netchar_workloads.dir/synth.cc.o.d"
+  "libnetchar_workloads.a"
+  "libnetchar_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetchar_workloads.a"
+)

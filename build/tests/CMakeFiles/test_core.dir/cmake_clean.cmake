@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/characterize_test.cc.o"
+  "CMakeFiles/test_core.dir/core/characterize_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/export_test.cc.o"
+  "CMakeFiles/test_core.dir/core/export_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cc.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cc.o"
+  "CMakeFiles/test_core.dir/core/report_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/subset_topdown_test.cc.o"
+  "CMakeFiles/test_core.dir/core/subset_topdown_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

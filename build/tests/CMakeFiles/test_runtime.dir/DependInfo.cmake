@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/heap_gc_test.cc" "tests/CMakeFiles/test_runtime.dir/runtime/heap_gc_test.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/heap_gc_test.cc.o.d"
+  "/root/repo/tests/runtime/jit_clr_test.cc" "tests/CMakeFiles/test_runtime.dir/runtime/jit_clr_test.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/jit_clr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netchar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/netchar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/netchar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netchar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/branch_test.cc" "tests/CMakeFiles/test_sim.dir/sim/branch_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/branch_test.cc.o.d"
+  "/root/repo/tests/sim/cache_test.cc" "tests/CMakeFiles/test_sim.dir/sim/cache_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/cache_test.cc.o.d"
+  "/root/repo/tests/sim/core_test.cc" "tests/CMakeFiles/test_sim.dir/sim/core_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/core_test.cc.o.d"
+  "/root/repo/tests/sim/counters_test.cc" "tests/CMakeFiles/test_sim.dir/sim/counters_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/counters_test.cc.o.d"
+  "/root/repo/tests/sim/frontend_backend_test.cc" "tests/CMakeFiles/test_sim.dir/sim/frontend_backend_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/frontend_backend_test.cc.o.d"
+  "/root/repo/tests/sim/machine_sweep_test.cc" "tests/CMakeFiles/test_sim.dir/sim/machine_sweep_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/machine_sweep_test.cc.o.d"
+  "/root/repo/tests/sim/memory_test.cc" "tests/CMakeFiles/test_sim.dir/sim/memory_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/memory_test.cc.o.d"
+  "/root/repo/tests/sim/noc_test.cc" "tests/CMakeFiles/test_sim.dir/sim/noc_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/noc_test.cc.o.d"
+  "/root/repo/tests/sim/prefetch_test.cc" "tests/CMakeFiles/test_sim.dir/sim/prefetch_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/prefetch_test.cc.o.d"
+  "/root/repo/tests/sim/tlb_test.cc" "tests/CMakeFiles/test_sim.dir/sim/tlb_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netchar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/netchar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/netchar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netchar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netchar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

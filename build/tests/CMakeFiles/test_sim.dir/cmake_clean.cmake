@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/branch_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/branch_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/cache_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/cache_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/core_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/core_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/counters_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/counters_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/frontend_backend_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/frontend_backend_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/machine_sweep_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/machine_sweep_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/memory_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/memory_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/noc_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/noc_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/prefetch_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/prefetch_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/tlb_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/tlb_test.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

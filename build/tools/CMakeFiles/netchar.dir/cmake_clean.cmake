@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netchar.dir/netchar_cli.cc.o"
+  "CMakeFiles/netchar.dir/netchar_cli.cc.o.d"
+  "netchar"
+  "netchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

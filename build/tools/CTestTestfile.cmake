@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.usage "/root/repo/build/tools/netchar")
+set_tests_properties(cli.usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.list "/root/repo/build/tools/netchar" "list" "spec")
+set_tests_properties(cli.list PROPERTIES  PASS_REGULAR_EXPRESSION "mcf" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.characterize "/root/repo/build/tools/netchar" "characterize" "SeekUnroll" "--warmup" "100000" "--measure" "100000")
+set_tests_properties(cli.characterize PROPERTIES  PASS_REGULAR_EXPRESSION "LLC misses" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.json "/root/repo/build/tools/netchar" "characterize" "SeekUnroll" "--warmup" "100000" "--measure" "100000" "--format" "json")
+set_tests_properties(cli.json PROPERTIES  PASS_REGULAR_EXPRESSION "\"topdown\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
