@@ -1,7 +1,10 @@
 #include "core/characterize.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 
+#include "core/executor.hh"
 #include "sim/machine.hh"
 #include "workloads/synth.hh"
 
@@ -209,6 +212,101 @@ Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
     out.reserve(profiles.size());
     for (const auto &p : profiles)
         out.push_back(run(p, options));
+    return out;
+}
+
+double
+SuiteRunStats::utilization() const
+{
+    const double capacity = static_cast<double>(jobs) * wallSeconds;
+    return capacity > 0.0 ? busySeconds / capacity : 0.0;
+}
+
+unsigned
+SuiteRunStats::retriedRuns() const
+{
+    unsigned n = 0;
+    for (const auto &r : runs)
+        n += r.attempts > 1 ? 1 : 0;
+    return n;
+}
+
+unsigned
+SuiteRunStats::failedRuns() const
+{
+    unsigned n = 0;
+    for (const auto &r : runs)
+        n += r.succeeded ? 0 : 1;
+    return n;
+}
+
+std::vector<RunResult>
+Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
+                      const RunOptions &options, const Parallelism &par,
+                      SuiteRunStats *stats) const
+{
+    using Clock = std::chrono::steady_clock;
+    const std::size_t n = profiles.size();
+    unsigned jobs = par.jobs != 0
+        ? par.jobs
+        : std::max(1u, std::thread::hardware_concurrency());
+    const unsigned attempts = std::max(1u, par.maxAttempts);
+
+    std::vector<RunResult> out(n);
+    std::vector<RunLedgerEntry> ledger(n);
+
+    // Results land at their input index, so ordering (and output
+    // bytes) are independent of scheduling; see the header contract.
+    const auto run_one = [&](std::size_t i) {
+        const auto t0 = Clock::now();
+        RunLedgerEntry entry;
+        entry.benchmark = profiles[i].name;
+        entry.index = i;
+        for (unsigned a = 1; a <= attempts; ++a) {
+            entry.attempts = a;
+            try {
+                out[i] = run(profiles[i], options);
+                entry.succeeded = true;
+                entry.error.clear();
+                break;
+            } catch (const std::exception &ex) {
+                entry.succeeded = false;
+                entry.error = ex.what();
+            } catch (...) {
+                entry.succeeded = false;
+                entry.error = "unknown exception";
+            }
+        }
+        entry.worker = Executor::workerId();
+        entry.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        ledger[i] = std::move(entry);
+    };
+
+    const auto sweep_start = Clock::now();
+    std::uint64_t steals = 0;
+    if (jobs <= 1 || n <= 1) {
+        jobs = 1;
+        for (std::size_t i = 0; i < n; ++i)
+            run_one(i);
+    } else {
+        Executor executor(jobs);
+        executor.forEach(n, run_one);
+        steals = executor.stealCount();
+    }
+
+    if (stats) {
+        SuiteRunStats s;
+        s.jobs = jobs;
+        s.wallSeconds = std::chrono::duration<double>(
+                            Clock::now() - sweep_start)
+                            .count();
+        for (const auto &e : ledger)
+            s.busySeconds += e.wallSeconds;
+        s.steals = steals;
+        s.runs = std::move(ledger);
+        *stats = std::move(s);
+    }
     return out;
 }
 

@@ -77,6 +77,58 @@ struct IntervalSample
     rt::RuntimeEventCounts events;
 };
 
+/** Fan-out policy for suite-scale sweeps (runAll). */
+struct Parallelism
+{
+    /** Concurrent runs; 1 = serial on the calling thread, 0 = one
+     *  per hardware thread. */
+    unsigned jobs = 1;
+    /** Total attempts per run: a run whose workload throws is
+     *  retried until it succeeds or attempts are exhausted (the
+     *  default retries once). Minimum 1. */
+    unsigned maxAttempts = 2;
+};
+
+/** Run-ledger entry: what happened to one (profile, seed) run. */
+struct RunLedgerEntry
+{
+    std::string benchmark;
+    /** Position in the input profile list (== result index). */
+    std::size_t index = 0;
+    /** Attempts consumed (1 = clean first run). */
+    unsigned attempts = 1;
+    bool succeeded = true;
+    /** what() of the last failed attempt; empty when clean. */
+    std::string error;
+    /** Host wall seconds spent on this run, all attempts. */
+    double wallSeconds = 0.0;
+    /** Executor worker that ran it (-1 for the serial path). */
+    int worker = -1;
+};
+
+/** Observability surface of one runAll sweep. */
+struct SuiteRunStats
+{
+    /** Jobs actually used (after resolving jobs == 0). */
+    unsigned jobs = 1;
+    /** Host wall seconds for the whole sweep. */
+    double wallSeconds = 0.0;
+    /** Sum of per-run wall seconds (work actually done). */
+    double busySeconds = 0.0;
+    /** Executor steal count (0 on the serial path). */
+    std::uint64_t steals = 0;
+    /** One entry per input profile, in input order. */
+    std::vector<RunLedgerEntry> runs;
+
+    /** busy / (jobs x wall): 1.0 = every job busy the whole sweep. */
+    double utilization() const;
+    /** Runs that needed more than one attempt. */
+    unsigned retriedRuns() const;
+    /** Runs that failed every attempt (their RunResult is
+     *  default-constructed). */
+    unsigned failedRuns() const;
+};
+
 /**
  * Measurement harness bound to one machine configuration. Stateless
  * across run() calls: every run builds a fresh machine.
@@ -126,6 +178,30 @@ class Characterizer
     std::vector<RunResult>
     runAll(const std::vector<wl::WorkloadProfile> &profiles,
            const RunOptions &options = {}) const;
+
+    /**
+     * As runAll(), fanned out over a work-stealing Executor.
+     *
+     * Every run builds a fresh sim::Machine, workload set and CLR and
+     * draws from its own seeded RNG streams; runs share no mutable
+     * state (asserted by tests/core/executor_test.cc, documented in
+     * docs/ARCHITECTURE.md). Results are therefore independent of
+     * `par.jobs` and returned in input order — `jobs = N` output is
+     * byte-identical to `jobs = 1`.
+     *
+     * A run whose workload throws is caught, recorded in the ledger
+     * and retried (par.maxAttempts total attempts) instead of
+     * aborting the sweep; a run that fails every attempt leaves a
+     * default-constructed RunResult at its slot and is flagged in
+     * `stats` (always check failedRuns() when passing stats).
+     *
+     * @param par Fan-out policy (jobs, retry budget).
+     * @param stats Optional run ledger, overwritten on return.
+     */
+    std::vector<RunResult>
+    runAll(const std::vector<wl::WorkloadProfile> &profiles,
+           const RunOptions &options, const Parallelism &par,
+           SuiteRunStats *stats = nullptr) const;
 
   private:
     wl::WorkloadProfile applyOverrides(const wl::WorkloadProfile &p,

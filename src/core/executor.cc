@@ -1,0 +1,185 @@
+#include "core/executor.hh"
+
+#include <algorithm>
+
+namespace netchar
+{
+
+namespace
+{
+
+/** Worker index of this thread; see Executor::workerId(). */
+thread_local int tls_worker_id = -1;
+
+/** RAII worker-id assignment for helping threads. */
+struct ScopedWorkerId
+{
+    int previous;
+    explicit ScopedWorkerId(int id) : previous(tls_worker_id)
+    {
+        tls_worker_id = id;
+    }
+    ~ScopedWorkerId() { tls_worker_id = previous; }
+};
+
+} // namespace
+
+int
+Executor::workerId()
+{
+    return tls_worker_id;
+}
+
+Executor::Executor(unsigned concurrency)
+{
+    if (concurrency == 0)
+        concurrency =
+            std::max(1u, std::thread::hardware_concurrency());
+    queues_.reserve(concurrency);
+    for (unsigned i = 0; i < concurrency; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    // The submitting thread owns the last queue; spawn the rest.
+    workers_.reserve(concurrency - 1);
+    for (unsigned i = 0; i + 1 < concurrency; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+Executor::~Executor()
+{
+    stop_.store(true);
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+Executor::execute(std::size_t index)
+{
+    Batch &batch = *batch_;
+    try {
+        (*batch.fn)(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.errorMutex);
+        batch.errors.emplace_back(index, std::current_exception());
+    }
+    if (batch.remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(doneMutex_);
+        done_.notify_all();
+    }
+}
+
+bool
+Executor::runOne(unsigned self)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    // Own queue first (LIFO: freshest block, best locality) ...
+    if (self < n) {
+        Queue &own = *queues_[self];
+        std::unique_lock<std::mutex> lock(own.mutex);
+        if (!own.items.empty()) {
+            const std::size_t index = own.items.back();
+            own.items.pop_back();
+            lock.unlock();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            execute(index);
+            return true;
+        }
+    }
+    // ... then steal FIFO from the next victim with work.
+    for (unsigned off = 0; off < n; ++off) {
+        const unsigned victim = (self + 1 + off) % n;
+        if (victim == self)
+            continue;
+        Queue &q = *queues_[victim];
+        std::unique_lock<std::mutex> lock(q.mutex);
+        if (q.items.empty())
+            continue;
+        const std::size_t index = q.items.front();
+        q.items.pop_front();
+        lock.unlock();
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        execute(index);
+        return true;
+    }
+    return false;
+}
+
+void
+Executor::workerLoop(unsigned self)
+{
+    ScopedWorkerId id(static_cast<int>(self));
+    while (true) {
+        if (runOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(wakeMutex_);
+        wake_.wait(lock, [this] {
+            return stop_.load() ||
+                   queued_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stop_.load() &&
+            queued_.load(std::memory_order_relaxed) == 0)
+            return;
+    }
+}
+
+void
+Executor::forEach(std::size_t n,
+                  const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> submit(submitMutex_);
+
+    Batch batch;
+    batch.fn = &fn;
+    batch.remaining.store(n);
+    batch_ = &batch;
+
+    // Shard contiguous index blocks across the executor queues so
+    // the common case is each executor draining its own block;
+    // stealing only kicks in when blocks run imbalanced.
+    const std::size_t q = queues_.size();
+    const std::size_t block = (n + q - 1) / q;
+    for (std::size_t w = 0; w < q; ++w) {
+        const std::size_t lo = w * block;
+        const std::size_t hi = std::min(n, lo + block);
+        if (lo >= hi)
+            continue;
+        std::lock_guard<std::mutex> lock(queues_[w]->mutex);
+        for (std::size_t i = lo; i < hi; ++i)
+            queues_[w]->items.push_back(i);
+    }
+    queued_.fetch_add(n, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+    }
+    wake_.notify_all();
+
+    // The submitting thread works its own queue (the last one).
+    {
+        ScopedWorkerId id(static_cast<int>(q - 1));
+        while (runOne(static_cast<unsigned>(q - 1))) {
+        }
+    }
+    {
+        std::unique_lock<std::mutex> lock(doneMutex_);
+        done_.wait(lock,
+                   [&batch] { return batch.remaining.load() == 0; });
+    }
+    batch_ = nullptr;
+
+    if (!batch.errors.empty()) {
+        auto lowest = std::min_element(
+            batch.errors.begin(), batch.errors.end(),
+            [](const auto &a, const auto &b) {
+                return a.first < b.first;
+            });
+        std::rethrow_exception(lowest->second);
+    }
+}
+
+} // namespace netchar

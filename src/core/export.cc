@@ -161,6 +161,49 @@ runResultJson(const std::string &name, const RunResult &result)
 }
 
 std::string
+suiteStatsCsv(const SuiteRunStats &stats)
+{
+    std::ostringstream os;
+    os << "index,benchmark,attempts,succeeded,wall_seconds,worker,"
+          "error\n";
+    for (const auto &r : stats.runs) {
+        os << r.index << ',' << csvField(r.benchmark) << ','
+           << r.attempts << ',' << (r.succeeded ? 1 : 0) << ','
+           << num(r.wallSeconds) << ',' << r.worker << ','
+           << csvField(r.error) << '\n';
+    }
+    return os.str();
+}
+
+std::string
+suiteStatsJson(const SuiteRunStats &stats)
+{
+    std::ostringstream os;
+    os << "{\"jobs\":" << stats.jobs << ',';
+    os << "\"wall_seconds\":" << num(stats.wallSeconds) << ',';
+    os << "\"busy_seconds\":" << num(stats.busySeconds) << ',';
+    os << "\"utilization\":" << num(stats.utilization()) << ',';
+    os << "\"steals\":" << stats.steals << ',';
+    os << "\"retried_runs\":" << stats.retriedRuns() << ',';
+    os << "\"failed_runs\":" << stats.failedRuns() << ',';
+    os << "\"runs\":[";
+    for (std::size_t i = 0; i < stats.runs.size(); ++i) {
+        const auto &r = stats.runs[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"index\":" << r.index << ",\"benchmark\":\""
+           << jsonEscape(r.benchmark) << "\",\"attempts\":"
+           << r.attempts << ",\"succeeded\":"
+           << (r.succeeded ? "true" : "false")
+           << ",\"wall_seconds\":" << num(r.wallSeconds)
+           << ",\"worker\":" << r.worker << ",\"error\":\""
+           << jsonEscape(r.error) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
 suiteJson(const std::vector<std::string> &names,
           const std::vector<RunResult> &results)
 {

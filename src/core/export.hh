@@ -49,6 +49,20 @@ std::string runResultJson(const std::string &name,
 std::string suiteJson(const std::vector<std::string> &names,
                       const std::vector<RunResult> &results);
 
+/**
+ * CSV of the run ledger: one row per run
+ * (index,benchmark,attempts,succeeded,wall_seconds,worker,error),
+ * in input order.
+ */
+std::string suiteStatsCsv(const SuiteRunStats &stats);
+
+/**
+ * JSON document of one sweep's SuiteRunStats: engine aggregates
+ * (jobs, wall/busy seconds, utilization, steals, retried/failed run
+ * counts) plus the per-run ledger array.
+ */
+std::string suiteStatsJson(const SuiteRunStats &stats);
+
 /** Escape a string for embedding in a JSON document. */
 std::string jsonEscape(const std::string &raw);
 

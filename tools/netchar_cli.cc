@@ -8,13 +8,8 @@
  *   netchar suite <dotnet|aspnet|spec> [options]   (CSV/JSON export)
  *   netchar subset <dotnet|aspnet|spec> [--size K] [options]
  *
- * Options:
- *   --machine i9|xeon|arm   machine model (default i9)
- *   --cores N               active cores (default 1)
- *   --warmup N              warmup instructions (default 600000)
- *   --measure N             measured instructions (default: profile)
- *   --seed N                run seed (default 1)
- *   --format text|csv|json  output format where applicable
+ * docs/CLI.md documents every subcommand, option, exit code and an
+ * example transcript per command; keep it in sync with usage().
  */
 
 #include <cstdio>
@@ -40,6 +35,8 @@ struct CliOptions
     std::string machine = "i9";
     std::string format = "text";
     RunOptions run;
+    Parallelism par;
+    bool stats = false;
     std::size_t subsetSize = 8;
 };
 
@@ -55,9 +52,19 @@ usage()
         "  topdown <benchmark>              Top-Down profile\n"
         "  suite <dotnet|aspnet|spec>       whole-suite export\n"
         "  subset <dotnet|aspnet|spec>      representative subset\n"
-        "options: --machine i9|xeon|arm --cores N --warmup N\n"
-        "         --measure N --seed N --size K --format "
-        "text|csv|json\n");
+        "run options (characterize/topdown/suite/subset):\n"
+        "  --machine i9|xeon|arm   machine model (default i9)\n"
+        "  --cores N               active cores (default 1)\n"
+        "  --warmup N              warmup instructions\n"
+        "  --measure N             measured instructions\n"
+        "  --seed N                run seed (default 1)\n"
+        "command-specific options:\n"
+        "  --format text|csv|json  characterize/topdown/suite only\n"
+        "  --jobs N                suite/subset: parallel runs\n"
+        "                          (0 = one per hardware thread)\n"
+        "  --stats                 suite: run ledger on stderr\n"
+        "  --size K                subset: subset size (default 8)\n"
+        "see docs/CLI.md for exit codes and example transcripts\n");
     return EXIT_FAILURE;
 }
 
@@ -102,28 +109,80 @@ parseOptions(int argc, char **argv, int first)
             }
             return argv[++i];
         };
+        auto nextNumber = [&]() -> std::uint64_t {
+            const std::string value = next();
+            try {
+                std::size_t used = 0;
+                const std::uint64_t n = std::stoull(value, &used);
+                if (used == value.size())
+                    return n;
+            } catch (const std::exception &) {
+            }
+            std::fprintf(stderr,
+                         "netchar: %s expects a number, got '%s'\n",
+                         arg.c_str(), value.c_str());
+            std::exit(EXIT_FAILURE);
+        };
         if (arg == "--machine")
             opts.machine = next();
         else if (arg == "--cores")
-            opts.run.cores =
-                static_cast<unsigned>(std::stoul(next()));
+            opts.run.cores = static_cast<unsigned>(nextNumber());
         else if (arg == "--warmup")
-            opts.run.warmupInstructions = std::stoull(next());
+            opts.run.warmupInstructions = nextNumber();
         else if (arg == "--measure")
-            opts.run.measuredInstructions = std::stoull(next());
+            opts.run.measuredInstructions = nextNumber();
         else if (arg == "--seed")
-            opts.run.seed = std::stoull(next());
+            opts.run.seed = nextNumber();
         else if (arg == "--size")
-            opts.subsetSize = std::stoull(next());
+            opts.subsetSize = nextNumber();
         else if (arg == "--format")
             opts.format = next();
+        else if (arg == "--jobs")
+            opts.par.jobs = static_cast<unsigned>(nextNumber());
+        else if (arg == "--stats")
+            opts.stats = true;
         else {
-            std::fprintf(stderr, "unknown option '%s'\n",
+            // Name the offending flag first, then the usage block,
+            // so the error survives a scrolled-off screen.
+            std::fprintf(stderr, "netchar: unknown option '%s'\n\n",
                          arg.c_str());
-            std::exit(EXIT_FAILURE);
+            std::exit(usage());
         }
     }
     return opts;
+}
+
+/** Render the run ledger to stderr (text table, CSV or JSON). */
+void
+printStats(const SuiteRunStats &stats, const std::string &format)
+{
+    if (format == "csv") {
+        std::fprintf(stderr, "%s", suiteStatsCsv(stats).c_str());
+        return;
+    }
+    if (format == "json") {
+        std::fprintf(stderr, "%s\n", suiteStatsJson(stats).c_str());
+        return;
+    }
+    TextTable table(
+        {"#", "Benchmark", "Attempts", "Ok", "Wall s", "Worker"});
+    for (const auto &r : stats.runs) {
+        table.addRow({std::to_string(r.index), r.benchmark,
+                      std::to_string(r.attempts),
+                      r.succeeded ? "yes" : "NO",
+                      fmtFixed(r.wallSeconds, 3),
+                      std::to_string(r.worker)});
+    }
+    std::fprintf(stderr, "%s", table.render().c_str());
+    std::fprintf(
+        stderr,
+        "jobs %u  wall %ss  busy %ss  utilization %s  steals %llu  "
+        "retried %u  failed %u\n",
+        stats.jobs, fmtFixed(stats.wallSeconds, 3).c_str(),
+        fmtFixed(stats.busySeconds, 3).c_str(),
+        fmtPercent(stats.utilization()).c_str(),
+        static_cast<unsigned long long>(stats.steals),
+        stats.retriedRuns(), stats.failedRuns());
 }
 
 int
@@ -241,17 +300,31 @@ cmdSuite(const std::string &suite_name, const CliOptions &opts)
     Characterizer ch(machineFor(opts.machine));
 
     std::vector<std::string> names;
-    std::vector<RunResult> results;
-    for (const auto &p : profiles) {
-        std::fprintf(stderr, "  %s ...\n", p.name.c_str());
+    for (const auto &p : profiles)
         names.push_back(p.name);
-        results.push_back(ch.run(p, opts.run));
-    }
+    if (opts.par.jobs)
+        std::fprintf(stderr, "  %zu benchmarks, %u job(s) ...\n",
+                     profiles.size(), opts.par.jobs);
+    else
+        std::fprintf(stderr, "  %zu benchmarks, auto jobs ...\n",
+                     profiles.size());
+    SuiteRunStats stats;
+    const auto results =
+        ch.runAll(profiles, opts.run, opts.par, &stats);
     if (opts.format == "json")
         std::printf("%s\n", suiteJson(names, results).c_str());
     else
         std::printf("%s", metricsCsv(names, results).c_str());
-    return EXIT_SUCCESS;
+    if (opts.stats)
+        printStats(stats, opts.format);
+    for (const auto &r : stats.runs) {
+        if (!r.succeeded)
+            std::fprintf(stderr,
+                         "warning: %s failed after %u attempts: %s\n",
+                         r.benchmark.c_str(), r.attempts,
+                         r.error.c_str());
+    }
+    return stats.failedRuns() == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
 }
 
 int
@@ -263,11 +336,29 @@ cmdSubset(const std::string &suite_name, const CliOptions &opts)
     const auto profiles = wl::suiteProfiles(suite);
     Characterizer ch(machineFor(opts.machine));
 
-    std::vector<MetricVector> rows;
-    for (const auto &p : profiles) {
-        std::fprintf(stderr, "  %s ...\n", p.name.c_str());
-        rows.push_back(ch.run(p, opts.run).metrics);
+    if (opts.par.jobs)
+        std::fprintf(stderr, "  %zu benchmarks, %u job(s) ...\n",
+                     profiles.size(), opts.par.jobs);
+    else
+        std::fprintf(stderr, "  %zu benchmarks, auto jobs ...\n",
+                     profiles.size());
+    SuiteRunStats stats;
+    const auto results =
+        ch.runAll(profiles, opts.run, opts.par, &stats);
+    if (stats.failedRuns() > 0) {
+        for (const auto &r : stats.runs) {
+            if (!r.succeeded)
+                std::fprintf(stderr,
+                             "error: %s failed after %u attempts: "
+                             "%s\n",
+                             r.benchmark.c_str(), r.attempts,
+                             r.error.c_str());
+        }
+        return EXIT_FAILURE;
     }
+    std::vector<MetricVector> rows;
+    for (const auto &r : results)
+        rows.push_back(r.metrics);
     SubsetOptions sopts;
     sopts.subsetSize = opts.subsetSize;
     const auto subset = buildSubset(rows, sopts);
