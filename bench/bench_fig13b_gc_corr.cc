@@ -26,6 +26,7 @@
 #include "core/correlation.hh"
 #include "core/report.hh"
 #include "stats/summary.hh"
+#include "trace/analyzer.hh"
 
 using namespace netchar;
 
@@ -96,6 +97,11 @@ main()
         static_cast<double>(bench::scaledInstructions(120'000));
     const std::size_t samples = 60;
 
+    // One capture per benchmark; the interval series is a re-slice.
+    TraceOptions topts;
+    topts.measuredCycles =
+        interval_cycles * static_cast<double>(samples + 4);
+
     std::map<std::string, std::vector<double>> same;
     std::vector<double> lag_llc, lag_ipc;
     PrePost llc_pp, ipc_pp, inst_pp;
@@ -111,8 +117,9 @@ main()
         // intervals, as in the paper's small-heap configuration.
         o.gcMode = rt::GcMode::Server;
         o.maxHeapBytes = profile.dataFootprint * 2;
-        const auto series =
-            ch.sampleCycles(profile, o, interval_cycles, samples);
+        const auto cap = ch.capture(profile, o, topts);
+        const auto series = trace::TraceAnalyzer(cap.trace)
+                                .reslice(interval_cycles, samples);
         for (const auto &row : correlateEvents(
                  series, rt::RuntimeEventType::GcTriggered))
             same[row.name].push_back(row.r);

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tracing overhead check: wall time of traced captures vs plain runs
+ * over the Table IV .NET subset. The acceptance target is <= 10%
+ * overhead — trace emission is a clock read plus a fixed-size ring
+ * push, and counter records land once per advance chunk, so the cost
+ * stays flat per instruction simulated.
+ *
+ * Exit code is 0 when overhead is within the target, 1 otherwise, so
+ * the check can gate CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.hh"
+#include "core/characterize.hh"
+#include "core/report.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::fprintf(stderr, "Trace overhead: capture vs plain run\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = bench::tableIvDotnet();
+    const RunOptions opts = bench::standardOptions();
+    const int reps = bench::quickMode() ? 1 : 3;
+
+    // Warm both paths once so first-touch allocation noise does not
+    // land on either side of the comparison.
+    ch.run(profiles.front(), opts);
+    ch.capture(profiles.front(), opts);
+
+    double plain_s = 0.0, traced_s = 0.0;
+    std::uint64_t events = 0, records = 0;
+    for (int r = 0; r < reps; ++r) {
+        for (const auto &p : profiles) {
+            const auto t0 = Clock::now();
+            const auto plain = ch.run(p, opts);
+            plain_s += secondsSince(t0);
+
+            const auto t1 = Clock::now();
+            const auto cap = ch.capture(p, opts);
+            traced_s += secondsSince(t1);
+            events += cap.trace.events.totalPushed();
+            records += cap.trace.samples.totalPushed();
+
+            if (cap.result.counters.instructions !=
+                plain.counters.instructions) {
+                std::fprintf(stderr,
+                             "  %s: traced window diverged!\n",
+                             p.name.c_str());
+                return 1;
+            }
+        }
+    }
+
+    const double overhead =
+        plain_s > 0.0 ? (traced_s - plain_s) / plain_s : 0.0;
+    std::printf("Trace overhead over the .NET subset (%d rep(s))\n\n",
+                reps);
+    TextTable table({"Path", "Wall s", "Events", "Counter records"});
+    table.addRow({"plain run", fmtFixed(plain_s, 3), "-", "-"});
+    table.addRow({"traced capture", fmtFixed(traced_s, 3),
+                  std::to_string(events), std::to_string(records)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("overhead: %+.1f%% (target: <= 10%%)\n",
+                100.0 * overhead);
+    if (overhead > 0.10) {
+        std::printf("FAIL: tracing exceeded the overhead budget\n");
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "core/executor.hh"
 #include "sim/machine.hh"
+#include "trace/recorder.hh"
 #include "workloads/synth.hh"
 
 namespace netchar
@@ -200,6 +201,119 @@ Characterizer::sampleCycles(const wl::WorkloadProfile &raw_profile,
         prev_slots = slots;
         prev_events = events;
         out.push_back(s);
+    }
+    return out;
+}
+
+CaptureResult
+Characterizer::capture(const wl::WorkloadProfile &raw_profile,
+                       const RunOptions &options,
+                       const TraceOptions &topts) const
+{
+    const auto profile = applyOverrides(raw_profile, options);
+    Rig rig = buildRig(config_, profile, options);
+
+    rig.advance(options.warmupInstructions, options.quantum);
+
+    CaptureResult out;
+    out.trace.benchmark = profile.name;
+    out.trace.machine = config_.name;
+    out.trace.ghz = config_.maxGhz;
+    out.trace.seed = options.seed;
+    const std::uint64_t chunk = topts.chunkInstructions > 0
+        ? topts.chunkInstructions
+        : std::max<std::uint64_t>(500, options.quantum / 16);
+    out.trace.chunkInstructions = chunk;
+    out.trace.events =
+        trace::TraceBuffer<trace::TraceEvent>(topts.bufferEvents);
+    out.trace.samples =
+        trace::TraceBuffer<trace::CounterRecord>(topts.bufferSamples);
+
+    // Attach after warmup: the trace covers the measured window only.
+    trace::TraceRecorder recorder(&out.trace.events,
+                                  rig.machine.get());
+    if (rig.clr)
+        rig.clr->trace().setRecorder(&recorder);
+    rig.machine->attachTrace(&recorder, &out.trace.samples);
+
+    const auto snap_counters = rig.machine->totalCounters();
+    const auto snap_slots = rig.machine->totalSlots();
+    const auto snap_events = rig.clr
+        ? rig.clr->trace().counts()
+        : rt::RuntimeEventCounts{};
+    const double snap_seconds = rig.machine->seconds();
+
+    // S0: the post-warmup baseline record every re-slice starts from.
+    rig.machine->emitCounterSample();
+
+    if (topts.measuredCycles > 0.0) {
+        // Fixed-cycle span on the exact chunk grid live cycle
+        // sampling advances on, so re-slices reproduce sampleCycles
+        // boundaries bit-for-bit.
+        const double target =
+            snap_counters.cycles + topts.measuredCycles;
+        while (rig.machine->totalCounters().cycles < target) {
+            rig.advance(chunk, chunk);
+            rig.machine->emitCounterSample();
+        }
+    } else {
+        const std::uint64_t measured = options.measuredInstructions > 0
+            ? options.measuredInstructions
+            : profile.instructions;
+        std::uint64_t done = 0;
+        while (done < measured) {
+            const std::uint64_t step =
+                std::min<std::uint64_t>(chunk, measured - done);
+            rig.advance(step, step);
+            done += step;
+            rig.machine->emitCounterSample();
+        }
+    }
+
+    if (rig.clr)
+        rig.clr->trace().setRecorder(nullptr);
+    rig.machine->attachTrace(nullptr, nullptr);
+
+    RunResult &result = out.result;
+    result.counters =
+        rig.machine->totalCounters().delta(snap_counters);
+    result.slots = rig.machine->totalSlots().delta(snap_slots);
+    result.events = rig.clr
+        ? rig.clr->trace().counts().delta(snap_events)
+        : rt::RuntimeEventCounts{};
+    result.seconds = rig.machine->seconds() - snap_seconds;
+    result.metrics = computeMetrics(result.counters, result.events,
+                                    profile.cpuUtil, result.seconds);
+    result.instructionsPerSecond = result.seconds > 0.0
+        ? static_cast<double>(result.counters.instructions) /
+              result.seconds
+        : 0.0;
+    return out;
+}
+
+std::vector<CaptureResult>
+Characterizer::captureAll(
+    const std::vector<wl::WorkloadProfile> &profiles,
+    const RunOptions &options, const TraceOptions &topts,
+    const Parallelism &par) const
+{
+    const std::size_t n = profiles.size();
+    const unsigned jobs = par.jobs != 0
+        ? par.jobs
+        : std::max(1u, std::thread::hardware_concurrency());
+
+    // Each capture owns a private rig and private rings, so traces
+    // are independent of scheduling, like runAll() results.
+    std::vector<CaptureResult> out(n);
+    const auto run_one = [&](std::size_t i) {
+        out[i] = capture(profiles[i], options, topts);
+    };
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            run_one(i);
+    } else {
+        Executor executor(jobs);
+        executor.forEach(n, run_one);
     }
     return out;
 }

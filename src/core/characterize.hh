@@ -20,6 +20,8 @@
 #include "sim/config.hh"
 #include "sim/counters.hh"
 #include "sim/noc.hh"
+#include "trace/sample.hh"
+#include "trace/trace.hh"
 #include "workloads/profile.hh"
 
 namespace netchar
@@ -69,12 +71,36 @@ struct RunResult
     double instructionsPerSecond = 0.0;
 };
 
-/** One interval sample of a run (the §VII correlation studies). */
-struct IntervalSample
+// IntervalSample moved to trace/sample.hh (shared with the trace
+// layer's re-slicing); included above, still namespace netchar.
+
+/** Knobs for one trace capture (see Characterizer::capture). */
+struct TraceOptions
 {
-    sim::PerfCounters counters;
-    sim::SlotAccount slots;
-    rt::RuntimeEventCounts events;
+    /** Event ring capacity (drop-oldest beyond this). */
+    std::size_t bufferEvents = 65'536;
+    /** Counter-record ring capacity. */
+    std::size_t bufferSamples = 65'536;
+    /**
+     * Instructions per core between counter records (the sampling
+     * cadence); 0 = max(500, quantum / 16), the exact chunk grid
+     * live cycle sampling advances on — the basis of the re-slice
+     * parity guarantee.
+     */
+    std::uint64_t chunkInstructions = 0;
+    /**
+     * When > 0, measure until this many aggregate cycles elapsed
+     * instead of a fixed instruction count — the trace analogue of
+     * sampleCycles' fixed-cycle windows.
+     */
+    double measuredCycles = 0.0;
+};
+
+/** A captured trace plus the run's aggregate measurement. */
+struct CaptureResult
+{
+    trace::Trace trace;
+    RunResult result;
 };
 
 /** Fan-out policy for suite-scale sweeps (runAll). */
@@ -171,6 +197,33 @@ class Characterizer
     sampleCycles(const wl::WorkloadProfile &profile,
                  const RunOptions &options,
                  double interval_cycles, std::size_t samples) const;
+
+    /**
+     * Run one benchmark with timeline tracing: after warmup, every
+     * CLR event lands timestamped in a bounded ring and a cumulative
+     * counter record is emitted at each advance chunk. The returned
+     * RunResult is derived from the same snapshots run() takes, and
+     * the trace re-slices (trace::TraceAnalyzer) into IntervalSample
+     * series at any interval — at the legacy interval, bit-identical
+     * to sampleCycles() when topts.measuredCycles spans it.
+     *
+     * Deterministic: the trace is byte-identical for a given
+     * (profile, machine config, options) regardless of host load or
+     * how many captures run concurrently (each rig's buffers are
+     * private and timestamps come from simulated time).
+     */
+    CaptureResult capture(const wl::WorkloadProfile &profile,
+                          const RunOptions &options = {},
+                          const TraceOptions &topts = {}) const;
+
+    /**
+     * Capture a whole list of profiles, fanned out like runAll():
+     * results are in input order and independent of par.jobs.
+     */
+    std::vector<CaptureResult>
+    captureAll(const std::vector<wl::WorkloadProfile> &profiles,
+               const RunOptions &options, const TraceOptions &topts,
+               const Parallelism &par = {}) const;
 
     /**
      * Characterize a whole list of profiles (one row per benchmark).

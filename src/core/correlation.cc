@@ -1,6 +1,7 @@
 #include "core/correlation.hh"
 
 #include "stats/summary.hh"
+#include "trace/analyzer.hh"
 
 namespace netchar
 {
@@ -109,6 +110,15 @@ correlateEvents(const std::vector<IntervalSample> &samples,
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+std::vector<CorrelationRow>
+correlateTrace(const trace::Trace &trace, rt::RuntimeEventType type,
+               double interval_cycles, std::size_t max_samples)
+{
+    const trace::TraceAnalyzer analyzer(trace);
+    return correlateEvents(
+        analyzer.reslice(interval_cycles, max_samples), type);
 }
 
 } // namespace netchar

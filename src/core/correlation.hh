@@ -13,6 +13,7 @@
 
 #include "core/characterize.hh"
 #include "runtime/events.hh"
+#include "trace/trace.hh"
 
 namespace netchar
 {
@@ -63,6 +64,18 @@ struct CorrelationRow
 std::vector<CorrelationRow>
 correlateEvents(const std::vector<IntervalSample> &samples,
                 rt::RuntimeEventType type);
+
+/**
+ * Figure 13 from a captured trace: re-slice the trace into
+ * IntervalSample series at `interval_cycles` (trace::TraceAnalyzer)
+ * and correlate. One capture serves every interval width — the 0.1 /
+ * 1 / 10 ms sensitivity study no longer re-runs the benchmark.
+ *
+ * @param max_samples Cap on the number of intervals (all by default).
+ */
+std::vector<CorrelationRow>
+correlateTrace(const trace::Trace &trace, rt::RuntimeEventType type,
+               double interval_cycles, std::size_t max_samples = SIZE_MAX);
 
 } // namespace netchar
 

@@ -14,6 +14,7 @@
 
 #include "core/characterize.hh"
 #include "core/topdown.hh"
+#include "stats/textio.hh" // jsonEscape / csvField (shared helpers)
 
 namespace netchar
 {
@@ -62,12 +63,6 @@ std::string suiteStatsCsv(const SuiteRunStats &stats);
  * counts) plus the per-run ledger array.
  */
 std::string suiteStatsJson(const SuiteRunStats &stats);
-
-/** Escape a string for embedding in a JSON document. */
-std::string jsonEscape(const std::string &raw);
-
-/** Quote a CSV field when needed (RFC 4180). */
-std::string csvField(const std::string &raw);
 
 } // namespace netchar
 

@@ -18,13 +18,17 @@ Clr::allocate(std::uint64_t bytes)
     if (gc_.shouldCollect(heap_)) {
         result.gcTriggered = true;
         result.gcWork = gc_.collect(heap_);
-        trace_.record(RuntimeEventType::GcTriggered);
+        trace_.record(RuntimeEventType::GcTriggered,
+                      result.gcWork.instructions,
+                      result.gcWork.bytesScanned);
     }
     result.address = heap_.allocate(bytes);
     allocTickAccum_ += bytes;
     while (allocTickAccum_ >= config_.allocTickBytes) {
         allocTickAccum_ -= config_.allocTickBytes;
-        trace_.record(RuntimeEventType::GcAllocationTick);
+        trace_.record(RuntimeEventType::GcAllocationTick,
+                      config_.allocTickBytes,
+                      heap_.allocatedSinceGc());
     }
     return result;
 }
@@ -34,7 +38,8 @@ Clr::invokeMethod(unsigned index)
 {
     JitOutcome out = jit_.invoke(index);
     if (out.jitted)
-        trace_.record(RuntimeEventType::JitStarted);
+        trace_.record(RuntimeEventType::JitStarted, index,
+                      out.compileInstructions);
     return out;
 }
 

@@ -55,13 +55,16 @@ class Clr
 
     /**
      * Allocate managed memory; may trigger a collection first, per
-     * the GC policy. Records AllocationTick and GC/Triggered events.
+     * the GC policy. Records AllocationTick events (payload: tick
+     * size, bytes allocated since the last GC) and GC/Triggered
+     * events (payload: collector instructions, bytes scanned).
      */
     AllocResult allocate(std::uint64_t bytes);
 
     /**
      * Invoke a method through the JIT; compiles on demand and records
-     * Method/JittingStarted events.
+     * Method/JittingStarted events (payload: method index, compiler
+     * instructions).
      */
     JitOutcome invokeMethod(unsigned index);
 

@@ -1,7 +1,21 @@
 #include "runtime/events.hh"
 
+#include "trace/recorder.hh"
+
 namespace netchar::rt
 {
+
+namespace
+{
+
+/** a - b, saturating at 0 (snapshot deltas must never wrap). */
+std::uint64_t
+satSub(std::uint64_t a, std::uint64_t b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace
 
 std::string_view
 runtimeEventName(RuntimeEventType type)
@@ -30,11 +44,13 @@ RuntimeEventCounts
 RuntimeEventCounts::delta(const RuntimeEventCounts &since) const
 {
     RuntimeEventCounts d;
-    d.gcTriggered = gcTriggered - since.gcTriggered;
-    d.gcAllocationTick = gcAllocationTick - since.gcAllocationTick;
-    d.jitStarted = jitStarted - since.jitStarted;
-    d.exceptionStart = exceptionStart - since.exceptionStart;
-    d.contentionStart = contentionStart - since.contentionStart;
+    d.gcTriggered = satSub(gcTriggered, since.gcTriggered);
+    d.gcAllocationTick =
+        satSub(gcAllocationTick, since.gcAllocationTick);
+    d.jitStarted = satSub(jitStarted, since.jitStarted);
+    d.exceptionStart = satSub(exceptionStart, since.exceptionStart);
+    d.contentionStart =
+        satSub(contentionStart, since.contentionStart);
     return d;
 }
 
@@ -62,7 +78,8 @@ RuntimeEventCounts::pki(RuntimeEventType type,
 }
 
 void
-EventTrace::record(RuntimeEventType type)
+EventTrace::record(RuntimeEventType type, std::uint64_t arg0,
+                   std::uint64_t arg1)
 {
     switch (type) {
       case RuntimeEventType::GcTriggered:
@@ -81,8 +98,10 @@ EventTrace::record(RuntimeEventType type)
         ++counts_.contentionStart;
         break;
       default:
-        break;
+        return; // NumTypes misuse guard: no count, no emission
     }
+    if (recorder_)
+        recorder_->emit(toTraceEventKind(type), arg0, arg1);
 }
 
 } // namespace netchar::rt

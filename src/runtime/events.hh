@@ -7,6 +7,11 @@
  * Exception/Start and Contention/Start. EventTrace accumulates them
  * and supports snapshot/delta, which the §VII correlation study uses
  * to build 1 ms sample series.
+ *
+ * When a trace::TraceRecorder is attached, every record() call also
+ * emits a timestamped TraceEvent into the capture's ring buffer; the
+ * aggregate counts here are then exactly the cheap derived view of
+ * that stream (asserted by tests/runtime/events_test.cc).
  */
 
 #ifndef NETCHAR_RUNTIME_EVENTS_HH
@@ -14,6 +19,13 @@
 
 #include <cstdint>
 #include <string_view>
+
+#include "trace/event.hh"
+
+namespace netchar::trace
+{
+class TraceRecorder;
+}
 
 namespace netchar::rt
 {
@@ -32,6 +44,14 @@ enum class RuntimeEventType : std::size_t
 /** Short LTTng-style name of an event type. */
 std::string_view runtimeEventName(RuntimeEventType type);
 
+/** Timeline event kind of a runtime event type (1:1 by value). */
+constexpr trace::TraceEventKind
+toTraceEventKind(RuntimeEventType type)
+{
+    return static_cast<trace::TraceEventKind>(
+        static_cast<std::size_t>(type));
+}
+
 /** Plain aggregate of event counts, with add/delta for sampling. */
 struct RuntimeEventCounts
 {
@@ -42,6 +62,12 @@ struct RuntimeEventCounts
     std::uint64_t contentionStart = 0;
 
     void add(const RuntimeEventCounts &other);
+
+    /**
+     * Elementwise difference for interval sampling. Saturates at 0
+     * per field when `since` is ahead (a stale or mismatched
+     * snapshot) instead of underflow-wrapping to huge counts.
+     */
     RuntimeEventCounts delta(const RuntimeEventCounts &since) const;
 
     /** Count for one event type. */
@@ -59,17 +85,35 @@ struct RuntimeEventCounts
 class EventTrace
 {
   public:
-    /** Record one occurrence of an event. */
-    void record(RuntimeEventType type);
+    /**
+     * Record one occurrence of an event, bumping the aggregate count
+     * and, when a recorder is attached, emitting a timestamped
+     * TraceEvent with the given payload. RuntimeEventType::NumTypes
+     * is a misuse guard: it is silently ignored.
+     */
+    void record(RuntimeEventType type, std::uint64_t arg0 = 0,
+                std::uint64_t arg1 = 0);
 
     /** Cumulative counts since construction or reset. */
     const RuntimeEventCounts &counts() const { return counts_; }
 
-    /** Zero all counts. */
+    /** Zero all counts (keeps any attached recorder). */
     void reset() { counts_ = RuntimeEventCounts{}; }
+
+    /**
+     * Attach (or detach with nullptr) the timeline recorder events
+     * are mirrored into. Not owned; must outlive the attachment.
+     */
+    void setRecorder(trace::TraceRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+    trace::TraceRecorder *recorder() const { return recorder_; }
 
   private:
     RuntimeEventCounts counts_;
+    trace::TraceRecorder *recorder_ = nullptr;
 };
 
 } // namespace netchar::rt

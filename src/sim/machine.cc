@@ -57,6 +57,37 @@ Machine::totalSlots() const
 }
 
 double
+Machine::cycles() const
+{
+    double total = 0.0;
+    for (const auto &core : cores_)
+        total += core->cycles();
+    return total;
+}
+
+std::uint64_t
+Machine::instructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->counters().instructions;
+    return total;
+}
+
+void
+Machine::emitCounterSample()
+{
+    if (!traceSamples_)
+        return;
+    trace::CounterRecord record;
+    record.counters = totalCounters();
+    record.slots = totalSlots();
+    record.eventSeq =
+        traceRecorder_ ? traceRecorder_->eventsPushed() : 0;
+    traceSamples_->push(record);
+}
+
+double
 Machine::seconds() const
 {
     double max_cycles = 0.0;

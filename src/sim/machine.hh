@@ -17,6 +17,8 @@
 #include "sim/counters.hh"
 #include "sim/memory.hh"
 #include "sim/noc.hh"
+#include "trace/counter_record.hh"
+#include "trace/recorder.hh"
 
 namespace netchar::sim
 {
@@ -24,8 +26,12 @@ namespace netchar::sim
 /**
  * One simulated machine instance. Cores are created up front per the
  * requested active-core count; all share the LlcNoc and DramModel.
+ *
+ * The machine is also the TraceClock of a capture: timeline events are
+ * stamped with its aggregate simulated cycles/instructions, and
+ * emitCounterSample() snapshots all counters onto an attached trace.
  */
-class Machine
+class Machine : public trace::TraceClock
 {
   public:
     /**
@@ -64,6 +70,31 @@ class Machine
     /** Sum of all cores' Top-Down slot accounts. */
     SlotAccount totalSlots() const;
 
+    /** TraceClock: aggregate core cycles (= totalCounters().cycles). */
+    double cycles() const override;
+
+    /** TraceClock: aggregate instructions retired. */
+    std::uint64_t instructions() const override;
+
+    /**
+     * Attach (or detach with nullptrs) a capture: emitCounterSample()
+     * pushes records into `samples`, stamped with `recorder`'s event
+     * watermark so re-slices bucket runtime events exactly as live
+     * sampling did. Neither pointer is owned.
+     */
+    void attachTrace(const trace::TraceRecorder *recorder,
+                     trace::TraceBuffer<trace::CounterRecord> *samples)
+    {
+        traceRecorder_ = recorder;
+        traceSamples_ = samples;
+    }
+
+    /**
+     * Push one cumulative counter record onto the attached trace
+     * (no-op when none is attached).
+     */
+    void emitCounterSample();
+
     /**
      * Wall-clock seconds of the run: the slowest core's cycles divided
      * by the max turbo frequency (single-threaded runs turbo).
@@ -83,6 +114,8 @@ class Machine
     /** The process page table, shared by all cores. */
     std::unordered_set<std::uint64_t> processPages_;
     std::vector<std::unique_ptr<Core>> cores_;
+    const trace::TraceRecorder *traceRecorder_ = nullptr;
+    trace::TraceBuffer<trace::CounterRecord> *traceSamples_ = nullptr;
 };
 
 } // namespace netchar::sim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared text-serialization helpers: JSON string escaping and RFC
+ * 4180 CSV field quoting.
+ *
+ * These lived in core/export until the trace exporters needed them
+ * too; they sit in the base stats library so every layer (core
+ * exports, trace exports) can share one definition. They stay in
+ * namespace netchar — they are repo-wide vocabulary, not statistics.
+ */
+
+#ifndef NETCHAR_STATS_TEXTIO_HH
+#define NETCHAR_STATS_TEXTIO_HH
+
+#include <string>
+
+namespace netchar
+{
+
+/**
+ * Escape a string for embedding in a JSON document. Control
+ * characters become \uXXXX escapes; non-ASCII UTF-8 bytes pass
+ * through unchanged (JSON is UTF-8).
+ */
+std::string jsonEscape(const std::string &raw);
+
+/** Quote a CSV field when needed (RFC 4180). */
+std::string csvField(const std::string &raw);
+
+} // namespace netchar
+
+#endif // NETCHAR_STATS_TEXTIO_HH

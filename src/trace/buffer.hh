@@ -1,0 +1,120 @@
+/**
+ * @file
+ * TraceBuffer: fixed-capacity ring buffer with a drop-oldest spill
+ * policy and an observable loss counter.
+ *
+ * Low-overhead, bounded-memory event capture is what makes trace data
+ * trustworthy (cf. nanoBench): a trace must never grow without bound
+ * mid-run, and any loss must be visible to the analysis instead of
+ * silently skewing it. The buffer therefore:
+ *
+ *  - never holds more than `capacity()` entries (memory is O(N));
+ *  - drops the OLDEST entry on overflow (the most recent window is
+ *    the one analyses usually want);
+ *  - counts every drop, and numbers entries with a global sequence
+ *    so consumers can tell exactly which prefix was lost.
+ *
+ * Entries are numbered 1..totalPushed(); the retained suffix is
+ * (dropped(), totalPushed()], with at(i) holding sequence number
+ * dropped() + i + 1. Internal storage grows lazily but its reserve is
+ * clamped to the capacity, so memoryBytes() <= capacity * sizeof(T).
+ */
+
+#ifndef NETCHAR_TRACE_BUFFER_HH
+#define NETCHAR_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace netchar::trace
+{
+
+/** Bounded ring of trace records (drop-oldest on overflow). */
+template <typename T>
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+
+    /** @param capacity Maximum retained entries (0 = retain none). */
+    explicit TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Maximum retained entries. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries currently retained (<= capacity). */
+    std::size_t size() const { return ring_.size(); }
+
+    /** Entries ever pushed (retained + dropped). */
+    std::uint64_t totalPushed() const { return totalPushed_; }
+
+    /** Entries lost to the spill policy. */
+    std::uint64_t dropped() const
+    {
+        return totalPushed_ - ring_.size();
+    }
+
+    /** Bytes of backing storage (bounded by capacity * sizeof(T)). */
+    std::size_t memoryBytes() const
+    {
+        return ring_.capacity() * sizeof(T);
+    }
+
+    /** Append one entry, evicting the oldest when full. */
+    void
+    push(const T &value)
+    {
+        ++totalPushed_;
+        if (capacity_ == 0)
+            return;
+        if (ring_.size() < capacity_) {
+            // Grow lazily but never reserve past the capacity, so
+            // the memory bound holds even mid-growth.
+            if (ring_.size() == ring_.capacity()) {
+                const std::size_t want =
+                    ring_.capacity() == 0 ? 64 : ring_.capacity() * 2;
+                ring_.reserve(want < capacity_ ? want : capacity_);
+            }
+            ring_.push_back(value);
+            return;
+        }
+        ring_[head_] = value;
+        head_ = (head_ + 1) % capacity_;
+    }
+
+    /** i-th oldest retained entry (0 = oldest; throws out of range). */
+    const T &
+    at(std::size_t i) const
+    {
+        if (i >= ring_.size())
+            throw std::out_of_range("TraceBuffer::at");
+        return ring_[(head_ + i) % ring_.size()];
+    }
+
+    /** Global sequence number of at(i) (1-based over all pushes). */
+    std::uint64_t seqOf(std::size_t i) const
+    {
+        return dropped() + i + 1;
+    }
+
+    /** Drop every entry and reset the counters. */
+    void
+    clear()
+    {
+        ring_.clear();
+        head_ = 0;
+        totalPushed_ = 0;
+    }
+
+  private:
+    std::size_t capacity_ = 0;
+    std::vector<T> ring_;
+    /** Index of the oldest entry once the ring has wrapped. */
+    std::size_t head_ = 0;
+    std::uint64_t totalPushed_ = 0;
+};
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_BUFFER_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * TraceClock: the simulated-time source events are stamped with.
+ *
+ * Timestamps must come from simulated time (cycles, retired
+ * instructions), never from the host clock: that is what makes traces
+ * deterministic — byte-identical for a given (profile, machine, seed)
+ * regardless of host load or `--jobs`. sim::Machine implements this
+ * interface by summing its cores' counters.
+ */
+
+#ifndef NETCHAR_TRACE_CLOCK_HH
+#define NETCHAR_TRACE_CLOCK_HH
+
+#include <cstdint>
+
+namespace netchar::trace
+{
+
+/** Simulated-time source for event timestamps. */
+class TraceClock
+{
+  public:
+    virtual ~TraceClock() = default;
+
+    /** Aggregate core cycles elapsed. */
+    virtual double cycles() const = 0;
+
+    /** Aggregate instructions retired. */
+    virtual std::uint64_t instructions() const = 0;
+};
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_CLOCK_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CounterRecord: one periodic counter snapshot on the trace timeline.
+ *
+ * Records are cumulative (full PerfCounters + Top-Down slots since
+ * machine construction); consumers delta adjacent records to get
+ * per-interval values, exactly like live interval sampling does. The
+ * eventSeq watermark pins the runtime-event stream position at the
+ * snapshot instant, so TraceAnalyzer re-slices bucket events
+ * identically to how Characterizer::sampleCycles snapshots aggregate
+ * counts — the basis of the Figure 13 parity guarantee.
+ *
+ * Only sim-layer types appear here so sim::Machine can emit records
+ * without depending on higher layers.
+ */
+
+#ifndef NETCHAR_TRACE_COUNTER_RECORD_HH
+#define NETCHAR_TRACE_COUNTER_RECORD_HH
+
+#include <cstdint>
+
+#include "sim/counters.hh"
+
+namespace netchar::trace
+{
+
+/** Cumulative counter snapshot with an event-stream watermark. */
+struct CounterRecord
+{
+    /** All core counters summed (counters.cycles is the timestamp). */
+    sim::PerfCounters counters;
+    /** All core Top-Down slot accounts summed. */
+    sim::SlotAccount slots;
+    /** Runtime events recorded up to this snapshot (TraceRecorder
+     *  totalPushed at emission). */
+    std::uint64_t eventSeq = 0;
+};
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_COUNTER_RECORD_HH

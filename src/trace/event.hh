@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TraceEvent: one timestamped runtime event on the simulated timeline.
+ *
+ * The paper's measurement substrate pairs perf counters with LTTng
+ * runtime traces — timestamped CLR event streams later sliced into
+ * 1 ms samples (§VII). TraceEvent is the stream element of that
+ * reproduction: a fixed-size POD stamped with the machine's simulated
+ * clock (aggregate core cycles + retired instructions) plus a small
+ * per-kind payload. Fixed size keeps the ring buffer bound exact and
+ * the capture overhead flat.
+ *
+ * This header is dependency-free on purpose: the runtime and sim
+ * layers emit events through header-only trace types without linking
+ * the trace library (which sits above both).
+ */
+
+#ifndef NETCHAR_TRACE_EVENT_HH
+#define NETCHAR_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace netchar::trace
+{
+
+/** Kinds of timeline events (mirrors rt::RuntimeEventType). */
+enum class TraceEventKind : std::uint8_t
+{
+    GcTriggered = 0,
+    GcAllocationTick,
+    JitStarted,
+    ExceptionStart,
+    ContentionStart,
+    NumKinds,
+};
+
+/** LTTng-style display name of an event kind. */
+constexpr std::string_view
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::GcTriggered: return "GC/Triggered";
+      case TraceEventKind::GcAllocationTick:
+        return "GC/AllocationTick";
+      case TraceEventKind::JitStarted:
+        return "Method/JittingStarted";
+      case TraceEventKind::ExceptionStart: return "Exception/Start";
+      case TraceEventKind::ContentionStart:
+        return "Contention/Start";
+      default: return "Unknown";
+    }
+}
+
+/** Names of the two payload arguments of an event kind. */
+constexpr std::pair<std::string_view, std::string_view>
+traceEventArgNames(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::GcTriggered:
+        return {"gcInstructions", "bytesScanned"};
+      case TraceEventKind::GcAllocationTick:
+        return {"tickBytes", "allocatedSinceGc"};
+      case TraceEventKind::JitStarted:
+        return {"method", "compileInstructions"};
+      default:
+        return {"arg0", "arg1"};
+    }
+}
+
+/**
+ * One timestamped event. Timestamps are simulated, not host, time:
+ * traces are therefore byte-identical for a given (profile, machine,
+ * seed) no matter where or how parallel the capture ran.
+ */
+struct TraceEvent
+{
+    /** Aggregate core cycles at emission (the machine clock). */
+    double cycles = 0.0;
+    /** Aggregate retired instructions at emission. */
+    std::uint64_t instructions = 0;
+    /** Per-kind payload (see traceEventArgNames). */
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    TraceEventKind kind = TraceEventKind::GcTriggered;
+};
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_EVENT_HH

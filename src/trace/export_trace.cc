@@ -1,0 +1,141 @@
+#include "trace/export_trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "stats/textio.hh"
+
+namespace netchar::trace
+{
+
+namespace
+{
+
+/** Deterministic double formatting (shortest %g at 12 digits). */
+std::string
+num(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+void
+appendInstantEvent(std::ostringstream &os, const Trace &trace,
+                   const TraceEvent &event, std::uint64_t seq)
+{
+    const auto names = traceEventArgNames(event.kind);
+    os << "{\"name\":\""
+       << jsonEscape(std::string(traceEventKindName(event.kind)))
+       << "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\"tid\":1,\"ts\":"
+       << num(trace.micros(event.cycles)) << ",\"args\":{\"seq\":"
+       << seq << ",\"instructions\":" << event.instructions << ",\""
+       << names.first << "\":" << event.arg0 << ",\"" << names.second
+       << "\":" << event.arg1 << "}}";
+}
+
+void
+appendCounter(std::ostringstream &os, const Trace &trace, double ts,
+              const char *name, const char *key, double value)
+{
+    os << "{\"name\":\"" << name
+       << "\",\"ph\":\"C\",\"pid\":1,\"ts\":"
+       << num(trace.micros(ts)) << ",\"args\":{\"" << key
+       << "\":" << num(value) << "}}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Trace &trace)
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"benchmark\":\"" << jsonEscape(trace.benchmark)
+       << "\",\"machine\":\"" << jsonEscape(trace.machine)
+       << "\",\"ghz\":" << num(trace.ghz) << ",\"seed\":"
+       << trace.seed << ",\"chunkInstructions\":"
+       << trace.chunkInstructions << ",\"droppedEvents\":"
+       << trace.events.dropped() << ",\"droppedSamples\":"
+       << trace.samples.dropped() << "},\"traceEvents\":[";
+
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ',';
+        first = false;
+    };
+
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":1,\"args\":{\"name\":\"netchar "
+       << jsonEscape(trace.benchmark) << " on "
+       << jsonEscape(trace.machine) << "\"}}";
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":1,\"args\":{\"name\":\"CLR runtime events\"}}";
+
+    // Runtime events and counter records are each time-ordered;
+    // merge the two streams so the document is globally ordered.
+    std::size_t e = 0, s = 0;
+    const std::size_t n_events = trace.events.size();
+    const std::size_t n_samples = trace.samples.size();
+    while (e < n_events || s < n_samples) {
+        const bool take_event = e < n_events &&
+            (s >= n_samples ||
+             trace.events.at(e).cycles <=
+                 trace.samples.at(s).counters.cycles);
+        if (take_event) {
+            sep();
+            appendInstantEvent(os, trace, trace.events.at(e),
+                               trace.events.seqOf(e));
+            ++e;
+            continue;
+        }
+        // Counter tracks carry per-interval values: delta against the
+        // previous record (the first record seeds the series at 0).
+        const auto &record = trace.samples.at(s);
+        const double ts = record.counters.cycles;
+        sim::PerfCounters delta = record.counters;
+        if (s > 0)
+            delta = record.counters.delta(
+                trace.samples.at(s - 1).counters);
+        const bool seed_point = s == 0;
+        sep();
+        appendCounter(os, trace, ts, "IPC", "ipc",
+                      seed_point ? 0.0 : delta.ipc());
+        sep();
+        appendCounter(os, trace, ts, "branch MPKI", "mpki",
+                      seed_point ? 0.0
+                                 : delta.mpki(delta.branchMisses));
+        sep();
+        appendCounter(os, trace, ts, "L1D MPKI", "mpki",
+                      seed_point ? 0.0
+                                 : delta.mpki(delta.l1dMisses));
+        sep();
+        appendCounter(os, trace, ts, "LLC MPKI", "mpki",
+                      seed_point ? 0.0
+                                 : delta.mpki(delta.llcMisses));
+        ++s;
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+traceCsv(const Trace &trace)
+{
+    std::ostringstream os;
+    os << "seq,cycles,us,instructions,event,arg0,arg1\n";
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const auto &event = trace.events.at(i);
+        os << trace.events.seqOf(i) << ',' << num(event.cycles)
+           << ',' << num(trace.micros(event.cycles)) << ','
+           << event.instructions << ','
+           << csvField(std::string(traceEventKindName(event.kind)))
+           << ',' << event.arg0 << ',' << event.arg1 << '\n';
+    }
+    return os.str();
+}
+
+} // namespace netchar::trace

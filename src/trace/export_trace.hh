@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trace serialization: chrome://tracing JSON (loads directly in
+ * Perfetto / chrome's about:tracing) and a per-event CSV.
+ *
+ * Both formats are deterministic: timestamps are simulated time and
+ * every number is printed with fixed formatting, so the bytes are
+ * identical for a given (profile, machine, seed) across repeated
+ * runs and any `--jobs` fan-out.
+ *
+ * Chrome JSON layout: runtime events become instant ("i") events with
+ * per-kind args; counter records become counter ("C") tracks (IPC and
+ * the headline MPKI series, computed per record delta) that Perfetto
+ * renders as timeline graphs next to the event marks.
+ */
+
+#ifndef NETCHAR_TRACE_EXPORT_TRACE_HH
+#define NETCHAR_TRACE_EXPORT_TRACE_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace netchar::trace
+{
+
+/** chrome://tracing JSON document for one trace. */
+std::string chromeTraceJson(const Trace &trace);
+
+/**
+ * Per-event CSV: `seq,cycles,us,instructions,event,arg0,arg1`, one
+ * row per retained runtime event, oldest first.
+ */
+std::string traceCsv(const Trace &trace);
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_EXPORT_TRACE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TraceRecorder: stamps events with the simulated clock and pushes
+ * them into a ring buffer.
+ *
+ * The recorder is the single write path of a capture: the CLR model
+ * (via rt::EventTrace) emits runtime events through it, and
+ * sim::Machine reads its totalPushed() watermark when snapshotting
+ * counters so trace re-slicing can reproduce aggregate event counts
+ * exactly. Header-only so the runtime and sim layers can emit without
+ * linking the trace library.
+ */
+
+#ifndef NETCHAR_TRACE_RECORDER_HH
+#define NETCHAR_TRACE_RECORDER_HH
+
+#include <cstdint>
+
+#include "trace/buffer.hh"
+#include "trace/clock.hh"
+#include "trace/event.hh"
+
+namespace netchar::trace
+{
+
+/** Write handle binding an event ring to a simulated clock. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param events Destination ring (not owned; must outlive this).
+     * @param clock Simulated-time source (not owned).
+     */
+    TraceRecorder(TraceBuffer<TraceEvent> *events,
+                  const TraceClock *clock)
+        : events_(events), clock_(clock)
+    {
+    }
+
+    /** Record one event stamped with the current simulated time. */
+    void
+    emit(TraceEventKind kind, std::uint64_t arg0 = 0,
+         std::uint64_t arg1 = 0)
+    {
+        TraceEvent event;
+        event.cycles = clock_->cycles();
+        event.instructions = clock_->instructions();
+        event.kind = kind;
+        event.arg0 = arg0;
+        event.arg1 = arg1;
+        events_->push(event);
+    }
+
+    /**
+     * Events emitted so far (the sequence watermark counter samples
+     * store so re-slices bucket events exactly as live sampling did).
+     */
+    std::uint64_t eventsPushed() const
+    {
+        return events_->totalPushed();
+    }
+
+    const TraceBuffer<TraceEvent> &events() const { return *events_; }
+
+  private:
+    TraceBuffer<TraceEvent> *events_;
+    const TraceClock *clock_;
+};
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_RECORDER_HH

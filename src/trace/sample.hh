@@ -1,0 +1,32 @@
+/**
+ * @file
+ * IntervalSample: per-interval deltas of counters, Top-Down slots and
+ * runtime events — the §VII correlation studies' unit of analysis.
+ *
+ * Historically defined by core/characterize.hh; it lives here so the
+ * trace layer (which re-slices traces into IntervalSample series) can
+ * produce it without depending on the measurement harness. It stays
+ * in namespace netchar because it is shared vocabulary between the
+ * trace and core layers, not a trace-internal type.
+ */
+
+#ifndef NETCHAR_TRACE_SAMPLE_HH
+#define NETCHAR_TRACE_SAMPLE_HH
+
+#include "runtime/events.hh"
+#include "sim/counters.hh"
+
+namespace netchar
+{
+
+/** One interval sample of a run (the §VII correlation studies). */
+struct IntervalSample
+{
+    sim::PerfCounters counters;
+    sim::SlotAccount slots;
+    rt::RuntimeEventCounts events;
+};
+
+} // namespace netchar
+
+#endif // NETCHAR_TRACE_SAMPLE_HH

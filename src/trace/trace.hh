@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace: one captured timeline — a runtime-event ring, a periodic
+ * counter-record ring, and the metadata needed to interpret them
+ * (clock rate for cycle->wall mapping, sampling cadence, identity).
+ *
+ * A Trace is plain data: capture fills it, TraceAnalyzer re-slices
+ * it, export_trace serializes it. Both rings are bounded (see
+ * TraceBuffer), so a Trace's resident size is O(bufferEvents +
+ * bufferSamples) no matter how long the run was, with loss visible
+ * through the dropped() counters.
+ */
+
+#ifndef NETCHAR_TRACE_TRACE_HH
+#define NETCHAR_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/buffer.hh"
+#include "trace/counter_record.hh"
+#include "trace/event.hh"
+
+namespace netchar::trace
+{
+
+/** One captured run: event stream + counter samples + metadata. */
+struct Trace
+{
+    /** Benchmark the trace was captured from. */
+    std::string benchmark;
+    /** Machine model name. */
+    std::string machine;
+    /** Max turbo GHz: cycles / (ghz * 1e3) = microseconds. */
+    double ghz = 1.0;
+    /** Run seed (traces are deterministic per (profile,machine,seed)). */
+    std::uint64_t seed = 0;
+    /** Instructions between counter records (the sampling cadence). */
+    std::uint64_t chunkInstructions = 0;
+
+    /** Timestamped runtime events (bounded, drop-oldest). */
+    TraceBuffer<TraceEvent> events;
+    /** Periodic cumulative counter snapshots (bounded, drop-oldest). */
+    TraceBuffer<CounterRecord> samples;
+
+    /** Simulated microseconds for a cycle timestamp. */
+    double micros(double cycles) const
+    {
+        return cycles / (ghz * 1e3);
+    }
+
+    /** First retained counter timestamp (0 when empty). */
+    double beginCycles() const
+    {
+        return samples.size() > 0 ? samples.at(0).counters.cycles
+                                  : 0.0;
+    }
+
+    /** Last retained counter timestamp (0 when empty). */
+    double endCycles() const
+    {
+        return samples.size() > 0
+            ? samples.at(samples.size() - 1).counters.cycles
+            : 0.0;
+    }
+};
+
+} // namespace netchar::trace
+
+#endif // NETCHAR_TRACE_TRACE_HH

@@ -36,6 +36,21 @@ TEST(CsvFieldTest, QuotingRules)
     EXPECT_EQ(csvField("with\nnewline"), "\"with\nnewline\"");
 }
 
+TEST(CsvFieldTest, ControlAndUnicodePassThrough)
+{
+    // Tabs and \x01 contain no comma/quote/newline: no quoting, byte
+    // preserving — the consumer sees exactly the original bytes.
+    EXPECT_EQ(csvField("a\tb"), "a\tb");
+    EXPECT_EQ(csvField(std::string("a\x01") + "b"),
+              std::string("a\x01") + "b");
+    // Non-ASCII UTF-8 round-trips untouched.
+    const std::string utf8 = "caf\xC3\xA9 \xE2\x9C\x93";
+    EXPECT_EQ(csvField(utf8), utf8);
+    // ... including inside a quoted field.
+    EXPECT_EQ(csvField(utf8 + ",x"), "\"" + utf8 + ",x\"");
+    EXPECT_EQ(csvField(""), "");
+}
+
 TEST(JsonEscapeTest, EscapesSpecials)
 {
     EXPECT_EQ(jsonEscape("ab"), "ab");
@@ -43,6 +58,28 @@ TEST(JsonEscapeTest, EscapesSpecials)
     EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
     EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
     EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonEscapeTest, ControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    // All remaining C0 control bytes become \u00XX escapes.
+    EXPECT_EQ(jsonEscape(std::string(1, '\x02')), "\\u0002");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x7f')),
+              std::string(1, '\x7f')); // DEL is not C0: passes
+}
+
+TEST(JsonEscapeTest, Utf8RoundTrip)
+{
+    // JSON is UTF-8: multi-byte sequences pass through unchanged
+    // (each byte is >= 0x80, never mistaken for a control char).
+    const std::string utf8 = "na\xC3\xAFve \xE6\xB8\xAC\xE5\xAE\x9A";
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+    // Mixed content: only the ASCII specials are rewritten.
+    EXPECT_EQ(jsonEscape("\xC3\xA9\"\n"), "\xC3\xA9\\\"\\n");
 }
 
 TEST(MetricsCsvTest, HeaderAndRows)

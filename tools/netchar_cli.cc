@@ -5,6 +5,7 @@
  *   netchar list [dotnet|aspnet|spec]
  *   netchar characterize <benchmark> [options]
  *   netchar topdown <benchmark> [options]
+ *   netchar trace <benchmark> [options]            (timeline export)
  *   netchar suite <dotnet|aspnet|spec> [options]   (CSV/JSON export)
  *   netchar subset <dotnet|aspnet|spec> [--size K] [options]
  *
@@ -12,9 +13,12 @@
  * example transcript per command; keep it in sync with usage().
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +27,8 @@
 #include "core/report.hh"
 #include "core/subset.hh"
 #include "core/topdown.hh"
+#include "trace/analyzer.hh"
+#include "trace/export_trace.hh"
 #include "workloads/registry.hh"
 
 using namespace netchar;
@@ -38,6 +44,12 @@ struct CliOptions
     Parallelism par;
     bool stats = false;
     std::size_t subsetSize = 8;
+    /** trace: re-slice summary interval in simulated ms. */
+    double intervalMs = 1.0;
+    /** trace / suite --trace-out: event ring capacity. */
+    std::size_t bufferEvents = 65'536;
+    /** suite: directory for per-benchmark chrome traces. */
+    std::string traceOut;
 };
 
 int
@@ -50,9 +62,10 @@ usage()
         "  machines                         list machine models\n"
         "  characterize <benchmark>         Table I metrics\n"
         "  topdown <benchmark>              Top-Down profile\n"
+        "  trace <benchmark>                timeline trace export\n"
         "  suite <dotnet|aspnet|spec>       whole-suite export\n"
         "  subset <dotnet|aspnet|spec>      representative subset\n"
-        "run options (characterize/topdown/suite/subset):\n"
+        "run options (characterize/topdown/trace/suite/subset):\n"
         "  --machine i9|xeon|arm   machine model (default i9)\n"
         "  --cores N               active cores (default 1)\n"
         "  --warmup N              warmup instructions\n"
@@ -60,6 +73,14 @@ usage()
         "  --seed N                run seed (default 1)\n"
         "command-specific options:\n"
         "  --format text|csv|json  characterize/topdown/suite only\n"
+        "  --format chrome|csv     trace: export format (default\n"
+        "                          chrome, a chrome://tracing JSON)\n"
+        "  --interval MS           trace: re-slice summary interval\n"
+        "                          in simulated ms (default 1)\n"
+        "  --buffer-events N       trace: event ring capacity\n"
+        "                          (default 65536, drop-oldest)\n"
+        "  --trace-out DIR         suite: also capture and write one\n"
+        "                          chrome trace per benchmark to DIR\n"
         "  --jobs N                suite/subset: parallel runs\n"
         "                          (0 = one per hardware thread)\n"
         "  --stats                 suite: run ledger on stderr\n"
@@ -123,6 +144,21 @@ parseOptions(int argc, char **argv, int first)
                          arg.c_str(), value.c_str());
             std::exit(EXIT_FAILURE);
         };
+        auto nextPositiveDouble = [&]() -> double {
+            const std::string value = next();
+            try {
+                std::size_t used = 0;
+                const double d = std::stod(value, &used);
+                if (used == value.size() && d > 0.0)
+                    return d;
+            } catch (const std::exception &) {
+            }
+            std::fprintf(
+                stderr,
+                "netchar: %s expects a positive number, got '%s'\n",
+                arg.c_str(), value.c_str());
+            std::exit(EXIT_FAILURE);
+        };
         if (arg == "--machine")
             opts.machine = next();
         else if (arg == "--cores")
@@ -141,6 +177,13 @@ parseOptions(int argc, char **argv, int first)
             opts.par.jobs = static_cast<unsigned>(nextNumber());
         else if (arg == "--stats")
             opts.stats = true;
+        else if (arg == "--interval")
+            opts.intervalMs = nextPositiveDouble();
+        else if (arg == "--buffer-events")
+            opts.bufferEvents =
+                static_cast<std::size_t>(nextNumber());
+        else if (arg == "--trace-out")
+            opts.traceOut = next();
         else {
             // Name the offending flag first, then the usage block,
             // so the error survives a scrolled-off screen.
@@ -290,6 +333,69 @@ cmdCharacterize(const std::string &name, const CliOptions &opts,
     return EXIT_SUCCESS;
 }
 
+/** Benchmark name -> filesystem-safe file stem. */
+std::string
+fileStem(const std::string &name)
+{
+    std::string stem = name;
+    for (char &c : stem) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '-' && c != '_' && c != '.')
+            c = '_';
+    }
+    return stem;
+}
+
+int
+cmdTrace(const std::string &name, const CliOptions &opts)
+{
+    const auto profile = wl::findProfile(name);
+    if (!profile) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+        return EXIT_FAILURE;
+    }
+    if (opts.format != "text" && opts.format != "chrome" &&
+        opts.format != "csv") {
+        std::fprintf(stderr,
+                     "netchar trace: --format must be chrome or "
+                     "csv, got '%s'\n",
+                     opts.format.c_str());
+        return EXIT_FAILURE;
+    }
+    Characterizer ch(machineFor(opts.machine));
+    TraceOptions topts;
+    topts.bufferEvents = opts.bufferEvents;
+    const auto cap = ch.capture(*profile, opts.run, topts);
+
+    if (opts.format == "csv")
+        std::printf("%s", trace::traceCsv(cap.trace).c_str());
+    else
+        std::printf("%s\n",
+                    trace::chromeTraceJson(cap.trace).c_str());
+
+    // Capture summary on stderr, including a re-slice at --interval
+    // to show the trace's analysis-time sampling.
+    const trace::TraceAnalyzer analyzer(cap.trace);
+    const auto summary = analyzer.summary();
+    const auto slices = analyzer.resliceMillis(opts.intervalMs);
+    std::uint64_t retained = 0;
+    for (const auto count : summary.eventCounts)
+        retained += count;
+    std::fprintf(
+        stderr,
+        "  %llu runtime events retained (%llu dropped), "
+        "%zu counter records (%llu dropped)\n"
+        "  span %s simulated ms; %zu samples at %s ms\n",
+        static_cast<unsigned long long>(retained),
+        static_cast<unsigned long long>(summary.droppedEvents),
+        summary.counterSamples,
+        static_cast<unsigned long long>(summary.droppedSamples),
+        fmtFixed(cap.trace.micros(summary.spanCycles) / 1e3, 3)
+            .c_str(),
+        slices.size(), fmtFixed(opts.intervalMs, 3).c_str());
+    return EXIT_SUCCESS;
+}
+
 int
 cmdSuite(const std::string &suite_name, const CliOptions &opts)
 {
@@ -308,6 +414,44 @@ cmdSuite(const std::string &suite_name, const CliOptions &opts)
     else
         std::fprintf(stderr, "  %zu benchmarks, auto jobs ...\n",
                      profiles.size());
+    if (!opts.traceOut.empty()) {
+        // Capture path: every benchmark runs with tracing on and its
+        // chrome trace lands in --trace-out; metrics come from the
+        // same runs (capture derives RunResult like run() does).
+        TraceOptions topts;
+        topts.bufferEvents = opts.bufferEvents;
+        const auto captures =
+            ch.captureAll(profiles, opts.run, topts, opts.par);
+        std::error_code ec;
+        std::filesystem::create_directories(opts.traceOut, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create '%s': %s\n",
+                         opts.traceOut.c_str(),
+                         ec.message().c_str());
+            return EXIT_FAILURE;
+        }
+        std::vector<RunResult> results;
+        results.reserve(captures.size());
+        for (const auto &cap : captures) {
+            results.push_back(cap.result);
+            const auto path = std::filesystem::path(opts.traceOut) /
+                (fileStem(cap.trace.benchmark) + ".trace.json");
+            std::ofstream file(path, std::ios::binary);
+            if (!file) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             path.string().c_str());
+                return EXIT_FAILURE;
+            }
+            file << trace::chromeTraceJson(cap.trace) << '\n';
+        }
+        if (opts.format == "json")
+            std::printf("%s\n", suiteJson(names, results).c_str());
+        else
+            std::printf("%s", metricsCsv(names, results).c_str());
+        std::fprintf(stderr, "  wrote %zu trace(s) to %s\n",
+                     captures.size(), opts.traceOut.c_str());
+        return EXIT_SUCCESS;
+    }
     SuiteRunStats stats;
     const auto results =
         ch.runAll(profiles, opts.run, opts.par, &stats);
@@ -396,6 +540,8 @@ main(int argc, char **argv)
         return cmdCharacterize(target, opts, false);
     if (cmd == "topdown")
         return cmdCharacterize(target, opts, true);
+    if (cmd == "trace")
+        return cmdTrace(target, opts);
     if (cmd == "suite")
         return cmdSuite(target, opts);
     if (cmd == "subset")
