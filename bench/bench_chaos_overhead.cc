@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Resilience-machinery overhead check: wall time of the hardened
+ * runAll path (watchdog plumbing, result screening, ledger plumbing,
+ * chaos decision hooks — all with injection disabled) vs the plain
+ * serial run loop, over the Table IV .NET subset. The acceptance
+ * target is <= 5% overhead: with no chaos plan the per-run cost is a
+ * null injector check, one seed pass-through and 24 isfinite() tests,
+ * all constant per run and invisible next to the simulation itself.
+ *
+ * Exit code is 0 when overhead is within the target, 1 otherwise, so
+ * the check can gate CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.hh"
+#include "core/characterize.hh"
+#include "core/report.hh"
+
+using namespace netchar;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::fprintf(stderr,
+                 "Chaos overhead: resilient runAll vs plain runs\n");
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = bench::tableIvDotnet();
+    const RunOptions opts = bench::standardOptions();
+    const int reps = bench::quickMode() ? 1 : 3;
+
+    // Serial on both sides: the comparison isolates the resilience
+    // machinery, not executor fan-out.
+    Parallelism par;
+    par.jobs = 1;
+
+    // Warm both paths once so first-touch allocation noise does not
+    // land on either side of the comparison.
+    ch.run(profiles.front(), opts);
+    {
+        SuiteRunStats warm_stats;
+        ch.runAll({profiles.front()}, opts, par, &warm_stats);
+    }
+
+    double plain_s = 0.0, hardened_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        std::vector<RunResult> plain;
+        plain.reserve(profiles.size());
+        for (const auto &p : profiles)
+            plain.push_back(ch.run(p, opts));
+        plain_s += secondsSince(t0);
+
+        const auto t1 = Clock::now();
+        SuiteRunStats stats;
+        const auto hardened = ch.runAll(profiles, opts, par, &stats);
+        hardened_s += secondsSince(t1);
+
+        if (stats.failedRuns() != 0 || !stats.failures.empty()) {
+            std::fprintf(stderr,
+                         "  injection disabled yet runs failed!\n");
+            return 1;
+        }
+        for (std::size_t i = 0; i < profiles.size(); ++i) {
+            if (hardened[i].counters.instructions !=
+                plain[i].counters.instructions) {
+                std::fprintf(stderr, "  %s: hardened run diverged!\n",
+                             profiles[i].name.c_str());
+                return 1;
+            }
+        }
+    }
+
+    const double overhead =
+        plain_s > 0.0 ? (hardened_s - plain_s) / plain_s : 0.0;
+    std::printf(
+        "Resilience overhead over the .NET subset (%d rep(s))\n\n",
+        reps);
+    TextTable table({"Path", "Wall s"});
+    table.addRow({"plain run loop", fmtFixed(plain_s, 3)});
+    table.addRow({"hardened runAll", fmtFixed(hardened_s, 3)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("overhead: %+.1f%% (target: <= 5%%)\n",
+                100.0 * overhead);
+    if (overhead > 0.05) {
+        std::printf(
+            "FAIL: resilience machinery exceeded the budget\n");
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

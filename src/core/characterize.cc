@@ -1,8 +1,13 @@
 #include "core/characterize.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
 
 #include "core/executor.hh"
 #include "sim/machine.hh"
@@ -15,6 +20,8 @@ namespace netchar
 Characterizer::Characterizer(sim::MachineConfig config)
     : config_(std::move(config))
 {
+    // Fail at construction, not inside run #1 of a 3000-run sweep.
+    config_.validate();
 }
 
 wl::WorkloadProfile
@@ -44,6 +51,8 @@ struct Rig
     std::unique_ptr<sim::Machine> machine;
     std::vector<std::unique_ptr<wl::SynthWorkload>> workloads;
     std::shared_ptr<rt::Clr> clr; // null for native
+    /** Watchdog budget in simulated cycles (0 = disabled). */
+    std::uint64_t budgetCycles = 0;
 
     /** Run `count` instructions on every core, interleaved. */
     void
@@ -57,6 +66,13 @@ struct Rig
             for (unsigned c = 0; c < n; ++c)
                 workloads[c]->run(machine->core(c), step);
             done += step;
+            // Deterministic watchdog: trips on the same simulated
+            // cycle on every host, at quantum granularity.
+            if (budgetCycles > 0 &&
+                machine->cycles() >
+                    static_cast<double>(budgetCycles))
+                throw RunBudgetExceeded(machine->cycles(),
+                                        budgetCycles);
         }
     }
 };
@@ -66,6 +82,7 @@ buildRig(const sim::MachineConfig &config,
          const wl::WorkloadProfile &profile, const RunOptions &options)
 {
     Rig rig;
+    rig.budgetCycles = options.runBudgetCycles;
     rig.machine = std::make_unique<sim::Machine>(
         config, options.cores, options.seed, options.noc);
     rig.machine->setJitHintEnabled(options.jitHint);
@@ -81,6 +98,151 @@ buildRig(const sim::MachineConfig &config,
             profile, options.seed * 1000003ULL + c, rig.clr, spread));
     }
     return rig;
+}
+
+/** Thrown when screenRunResult rejects a non-injected result. */
+struct ScreenFailure : std::runtime_error
+{
+    explicit ScreenFailure(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Shared mutable state of one resilient sweep. */
+struct SweepState
+{
+    unsigned attempts = 1;
+    ResilienceOptions resilience;
+    const FaultInjector *inject = nullptr; // null = no chaos
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::vector<RunFailure> failures;
+};
+
+/**
+ * The retry / backoff / quarantine state machine for one run.
+ * `attempt` performs one attempt with the (possibly perturbed and
+ * fault-annotated) options, throwing on any failure; on return the
+ * attempt's result has already been stored at its slot.
+ *
+ * Everything recorded in SweepState::failures is a pure function of
+ * (inputs, chaos plan) — no wall times, no worker ids — so keep-going
+ * ledgers are byte-identical at any job count once sorted.
+ */
+template <typename AttemptFn>
+void
+attemptResiliently(std::size_t i, const std::string &name,
+                   const RunOptions &base, SweepState &state,
+                   RunLedgerEntry &entry, AttemptFn &&attempt)
+{
+    entry.benchmark = name;
+    entry.index = i;
+    const ResilienceOptions &res = state.resilience;
+
+    if (state.abort.load(std::memory_order_relaxed)) {
+        entry.succeeded = false;
+        entry.skipped = true;
+        entry.attempts = 0;
+        entry.error = "skipped: fail-fast abort";
+        RunFailure f;
+        f.index = i;
+        f.benchmark = name;
+        f.attempt = 0;
+        f.kind = "skipped";
+        f.error = entry.error;
+        f.seed = base.seed;
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.failures.push_back(std::move(f));
+        return;
+    }
+
+    const unsigned quarantine_at = res.quarantineAfter == 0
+        ? 0
+        : std::min(state.attempts, res.quarantineAfter);
+
+    for (unsigned a = 1; a <= state.attempts; ++a) {
+        entry.attempts = a;
+        RunOptions opt = base;
+        if (res.perturbSeedOnRetry)
+            opt.seed = perturbedSeed(base.seed, name, a);
+        const FaultDecision fault = state.inject
+            ? state.inject->decide(name, a)
+            : FaultDecision{};
+
+        std::string kind = "error";
+        try {
+            attempt(opt, fault);
+            entry.succeeded = true;
+            entry.error.clear();
+            return;
+        } catch (const FaultInjectedError &ex) {
+            kind = faultKindName(ex.kind());
+            entry.error = ex.what();
+        } catch (const RunBudgetExceeded &ex) {
+            kind = fault.kind == FaultKind::Stall ? "stall"
+                                                  : "budget";
+            entry.error = ex.what();
+        } catch (const ScreenFailure &ex) {
+            kind = "screen";
+            entry.error = ex.what();
+        } catch (const std::exception &ex) {
+            entry.error = ex.what();
+        } catch (...) {
+            entry.error = "unknown exception";
+        }
+        entry.succeeded = false;
+
+        const bool quarantined = quarantine_at != 0 &&
+                                 a >= quarantine_at;
+        const bool retrying = !quarantined && a < state.attempts;
+
+        RunFailure f;
+        f.index = i;
+        f.benchmark = name;
+        f.attempt = a;
+        f.kind = kind;
+        f.error = entry.error;
+        f.seed = opt.seed;
+        if (retrying && res.backoffBaseMicros > 0) {
+            // base * 2^(a-1), capped at 100 ms of host sleep.
+            const std::uint64_t cap = 100'000;
+            const unsigned shift = std::min(a - 1, 20u);
+            f.backoffMicros =
+                std::min(cap, res.backoffBaseMicros << shift);
+        }
+        {
+            std::lock_guard<std::mutex> lock(state.mu);
+            state.failures.push_back(f);
+        }
+        if (f.backoffMicros > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(f.backoffMicros));
+        if (quarantined) {
+            entry.quarantined = true;
+            break;
+        }
+    }
+
+    if (!res.keepGoing)
+        state.abort.store(true, std::memory_order_relaxed);
+}
+
+/** Sort and publish one sweep's failure ledger into stats. */
+void
+publishFailures(SweepState &state,
+                const std::vector<RunLedgerEntry> &ledger,
+                SuiteRunStats &s)
+{
+    std::sort(state.failures.begin(), state.failures.end(),
+              [](const RunFailure &a, const RunFailure &b) {
+                  return a.index != b.index ? a.index < b.index
+                                            : a.attempt < b.attempt;
+              });
+    s.failures = std::move(state.failures);
+    for (const auto &e : ledger)
+        if (e.quarantined)
+            s.quarantined.push_back(e.benchmark);
 }
 
 } // namespace
@@ -295,25 +457,104 @@ std::vector<CaptureResult>
 Characterizer::captureAll(
     const std::vector<wl::WorkloadProfile> &profiles,
     const RunOptions &options, const TraceOptions &topts,
-    const Parallelism &par) const
+    const Parallelism &par, SuiteRunStats *stats) const
 {
+    using Clock = std::chrono::steady_clock;
     const std::size_t n = profiles.size();
-    const unsigned jobs = par.jobs != 0
+    unsigned jobs = par.jobs != 0
         ? par.jobs
         : std::max(1u, std::thread::hardware_concurrency());
+
+    SweepState state;
+    state.attempts = std::max(1u, par.maxAttempts);
+    state.resilience = par.resilience;
+    std::optional<FaultInjector> injector;
+    if (par.resilience.chaos && par.resilience.chaos->enabled()) {
+        injector.emplace(*par.resilience.chaos, config_.name);
+        state.inject = &*injector;
+    }
 
     // Each capture owns a private rig and private rings, so traces
     // are independent of scheduling, like runAll() results.
     std::vector<CaptureResult> out(n);
+    std::vector<RunLedgerEntry> ledger(n);
     const auto run_one = [&](std::size_t i) {
-        out[i] = capture(profiles[i], options, topts);
+        const auto t0 = Clock::now();
+        RunLedgerEntry entry;
+        attemptResiliently(
+            i, profiles[i].name, options, state, entry,
+            [&](RunOptions &opt, const FaultDecision &fault) {
+                if (fault.kind == FaultKind::Throw)
+                    throw FaultInjectedError(
+                        FaultKind::Throw,
+                        "injected fault: benchmark crashed before "
+                        "producing a trace");
+                if (fault.kind == FaultKind::Stall) {
+                    if (opt.runBudgetCycles == 0)
+                        throw FaultInjectedError(
+                            FaultKind::Stall,
+                            "injected stall with no cycle budget: "
+                            "the capture would hang (set "
+                            "RunOptions::runBudgetCycles / "
+                            "--run-budget)");
+                    const std::uint64_t measured =
+                        opt.measuredInstructions > 0
+                            ? opt.measuredInstructions
+                            : profiles[i].instructions;
+                    opt.measuredInstructions = measured * 1024;
+                }
+                TraceOptions t = topts;
+                if (fault.kind == FaultKind::TraceExhaust) {
+                    // Graceful degradation, not failure: the rings
+                    // shrink, the capture succeeds, drops recorded.
+                    t.bufferEvents = fault.traceCapacity;
+                    t.bufferSamples = fault.traceCapacity;
+                }
+                CaptureResult c = capture(profiles[i], opt, t);
+                if (fault.kind == FaultKind::CorruptCounter)
+                    c.result.metrics[fault.selector % kNumMetrics] =
+                        fault.badValue;
+                const std::string screen =
+                    screenRunResult(c.result);
+                if (!screen.empty()) {
+                    if (fault.kind == FaultKind::CorruptCounter)
+                        throw FaultInjectedError(
+                            FaultKind::CorruptCounter,
+                            "injected fault: " + screen);
+                    throw ScreenFailure(screen);
+                }
+                out[i] = std::move(c);
+            });
+        entry.worker = Executor::workerId();
+        entry.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        ledger[i] = std::move(entry);
     };
+
+    const auto sweep_start = Clock::now();
+    std::uint64_t steals = 0;
     if (jobs <= 1 || n <= 1) {
+        jobs = 1;
         for (std::size_t i = 0; i < n; ++i)
             run_one(i);
     } else {
         Executor executor(jobs);
         executor.forEach(n, run_one);
+        steals = executor.stealCount();
+    }
+
+    if (stats) {
+        SuiteRunStats s;
+        s.jobs = jobs;
+        s.wallSeconds = std::chrono::duration<double>(
+                            Clock::now() - sweep_start)
+                            .count();
+        for (const auto &e : ledger)
+            s.busySeconds += e.wallSeconds;
+        s.steals = steals;
+        s.runs = std::move(ledger);
+        publishFailures(state, s.runs, s);
+        *stats = std::move(s);
     }
     return out;
 }
@@ -354,6 +595,36 @@ SuiteRunStats::failedRuns() const
     return n;
 }
 
+unsigned
+SuiteRunStats::skippedRuns() const
+{
+    unsigned n = 0;
+    for (const auto &r : runs)
+        n += r.skipped ? 1 : 0;
+    return n;
+}
+
+std::string
+screenRunResult(const RunResult &result)
+{
+    const auto &table = metricTable();
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        if (!std::isfinite(result.metrics[m])) {
+            std::ostringstream os;
+            os << "non-finite metric '" << table[m].name
+               << "' = " << result.metrics[m];
+            return os.str();
+        }
+    }
+    if (!std::isfinite(result.counters.cycles))
+        return "non-finite counter 'cycles'";
+    if (!std::isfinite(result.seconds))
+        return "non-finite run seconds";
+    if (!std::isfinite(result.instructionsPerSecond))
+        return "non-finite instructions/second";
+    return {};
+}
+
 std::vector<RunResult>
 Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
                       const RunOptions &options, const Parallelism &par,
@@ -369,28 +640,58 @@ Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
     std::vector<RunResult> out(n);
     std::vector<RunLedgerEntry> ledger(n);
 
+    SweepState state;
+    state.attempts = attempts;
+    state.resilience = par.resilience;
+    std::optional<FaultInjector> injector;
+    if (par.resilience.chaos && par.resilience.chaos->enabled()) {
+        injector.emplace(*par.resilience.chaos, config_.name);
+        state.inject = &*injector;
+    }
+
     // Results land at their input index, so ordering (and output
     // bytes) are independent of scheduling; see the header contract.
     const auto run_one = [&](std::size_t i) {
         const auto t0 = Clock::now();
         RunLedgerEntry entry;
-        entry.benchmark = profiles[i].name;
-        entry.index = i;
-        for (unsigned a = 1; a <= attempts; ++a) {
-            entry.attempts = a;
-            try {
-                out[i] = run(profiles[i], options);
-                entry.succeeded = true;
-                entry.error.clear();
-                break;
-            } catch (const std::exception &ex) {
-                entry.succeeded = false;
-                entry.error = ex.what();
-            } catch (...) {
-                entry.succeeded = false;
-                entry.error = "unknown exception";
-            }
-        }
+        attemptResiliently(
+            i, profiles[i].name, options, state, entry,
+            [&](RunOptions &opt, const FaultDecision &fault) {
+                if (fault.kind == FaultKind::Throw)
+                    throw FaultInjectedError(
+                        FaultKind::Throw,
+                        "injected fault: benchmark crashed before "
+                        "producing results");
+                if (fault.kind == FaultKind::Stall) {
+                    if (opt.runBudgetCycles == 0)
+                        throw FaultInjectedError(
+                            FaultKind::Stall,
+                            "injected stall with no cycle budget: "
+                            "the run would hang (set "
+                            "RunOptions::runBudgetCycles / "
+                            "--run-budget)");
+                    // Inflate the run so the watchdog must trip;
+                    // cost is bounded by the budget, not by this.
+                    const std::uint64_t measured =
+                        opt.measuredInstructions > 0
+                            ? opt.measuredInstructions
+                            : profiles[i].instructions;
+                    opt.measuredInstructions = measured * 1024;
+                }
+                RunResult r = run(profiles[i], opt);
+                if (fault.kind == FaultKind::CorruptCounter)
+                    r.metrics[fault.selector % kNumMetrics] =
+                        fault.badValue;
+                const std::string screen = screenRunResult(r);
+                if (!screen.empty()) {
+                    if (fault.kind == FaultKind::CorruptCounter)
+                        throw FaultInjectedError(
+                            FaultKind::CorruptCounter,
+                            "injected fault: " + screen);
+                    throw ScreenFailure(screen);
+                }
+                out[i] = std::move(r);
+            });
         entry.worker = Executor::workerId();
         entry.wallSeconds =
             std::chrono::duration<double>(Clock::now() - t0).count();
@@ -419,6 +720,7 @@ Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
             s.busySeconds += e.wallSeconds;
         s.steals = steals;
         s.runs = std::move(ledger);
+        publishFailures(state, s.runs, s);
         *stats = std::move(s);
     }
     return out;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/faults.hh"
 #include "core/metrics.hh"
 #include "runtime/events.hh"
 #include "runtime/gc.hh"
@@ -52,6 +53,13 @@ struct RunOptions
     double allocScale = 1.0;
     /** Round-robin quantum for multi-core interleaving. */
     std::uint64_t quantum = 20'000;
+    /**
+     * Per-run cycle-budget watchdog: a run that burns more simulated
+     * cycles than this throws RunBudgetExceeded — the deterministic
+     * analogue of a wall-clock timeout (same budget trips on the same
+     * cycle on every host). 0 = disabled.
+     */
+    std::uint64_t runBudgetCycles = 0;
 };
 
 /** Everything measured in one steady-state window. */
@@ -103,6 +111,40 @@ struct CaptureResult
     RunResult result;
 };
 
+/** Failure-handling policy for suite sweeps (runAll/captureAll). */
+struct ResilienceOptions
+{
+    /**
+     * Keep sweeping after a run exhausts its attempts (default):
+     * survivors are returned and failures land in the ledger. False
+     * = fail-fast: the first permanent failure aborts the sweep and
+     * not-yet-started runs are recorded as skipped.
+     */
+    bool keepGoing = true;
+    /**
+     * Quarantine a run after this many consecutive failed attempts:
+     * remaining retries are forfeited and the benchmark name lands in
+     * SuiteRunStats::quarantined (feed it back as a skip list). 0 =
+     * never quarantine; effective threshold is min(maxAttempts, this).
+     */
+    unsigned quarantineAfter = 0;
+    /**
+     * Exponential retry backoff base, microseconds of host sleep:
+     * before attempt k the runner sleeps base * 2^(k-2), capped at
+     * 100 ms. 0 = no backoff. (Host-time only; never affects results
+     * or the deterministic ledger beyond the recorded plan value.)
+     */
+    std::uint64_t backoffBaseMicros = 0;
+    /**
+     * Deterministically perturb the run seed on re-attempts so a
+     * seed-dependent failure is not replayed verbatim (attempt 1
+     * always uses the caller's seed unchanged).
+     */
+    bool perturbSeedOnRetry = true;
+    /** Fault-injection plan (chaos mode); nullptr = no injection. */
+    const FaultPlan *chaos = nullptr;
+};
+
 /** Fan-out policy for suite-scale sweeps (runAll). */
 struct Parallelism
 {
@@ -113,6 +155,8 @@ struct Parallelism
      *  retried until it succeeds or attempts are exhausted (the
      *  default retries once). Minimum 1. */
     unsigned maxAttempts = 2;
+    /** Failure handling: retries, backoff, quarantine, chaos. */
+    ResilienceOptions resilience;
 };
 
 /** Run-ledger entry: what happened to one (profile, seed) run. */
@@ -130,6 +174,36 @@ struct RunLedgerEntry
     double wallSeconds = 0.0;
     /** Executor worker that ran it (-1 for the serial path). */
     int worker = -1;
+    /** Never attempted: fail-fast aborted the sweep first. */
+    bool skipped = false;
+    /** Hit the consecutive-failure quarantine threshold. */
+    bool quarantined = false;
+};
+
+/**
+ * One failed run attempt, as recorded in the deterministic failure
+ * ledger. Deliberately excludes wall times and worker ids: for a
+ * fixed (profiles, options, chaos spec) the ledger of a keep-going
+ * sweep is byte-identical at any Parallelism::jobs.
+ */
+struct RunFailure
+{
+    /** Position in the input profile list. */
+    std::size_t index = 0;
+    std::string benchmark;
+    /** 1-based attempt number that failed. */
+    unsigned attempt = 1;
+    /** Failure class: an injected FaultKind name ("throw",
+     *  "corrupt", "stall", "trace"), "budget" for a watchdog kill,
+     *  "screen" for a non-finite result, "skipped" for a fail-fast
+     *  skip, or "error" for an ordinary workload exception. */
+    std::string kind;
+    /** what() of the failure. */
+    std::string error;
+    /** Seed this attempt actually ran with. */
+    std::uint64_t seed = 0;
+    /** Backoff slept before the next attempt (plan value, us). */
+    std::uint64_t backoffMicros = 0;
 };
 
 /** Observability surface of one runAll sweep. */
@@ -145,6 +219,11 @@ struct SuiteRunStats
     std::uint64_t steals = 0;
     /** One entry per input profile, in input order. */
     std::vector<RunLedgerEntry> runs;
+    /** Every failed attempt, sorted by (index, attempt) — the
+     *  deterministic ledger (see RunFailure). */
+    std::vector<RunFailure> failures;
+    /** Benchmarks quarantined this sweep, in input order. */
+    std::vector<std::string> quarantined;
 
     /** busy / (jobs x wall): 1.0 = every job busy the whole sweep. */
     double utilization() const;
@@ -153,7 +232,19 @@ struct SuiteRunStats
     /** Runs that failed every attempt (their RunResult is
      *  default-constructed). */
     unsigned failedRuns() const;
+    /** Runs never attempted (fail-fast abort). */
+    unsigned skippedRuns() const;
 };
+
+/**
+ * Screen a run result for corrupted measurements: every counter-
+ * derived metric and the timing fields must be finite. Returns an
+ * empty string when clean, else a message naming the first offending
+ * field (e.g. "non-finite metric 'cpi' = nan"). runAll applies this
+ * to every attempt, so a wedged counter read is a retryable failure,
+ * never a silent row of NaNs.
+ */
+std::string screenRunResult(const RunResult &result);
 
 /**
  * Measurement harness bound to one machine configuration. Stateless
@@ -218,12 +309,20 @@ class Characterizer
 
     /**
      * Capture a whole list of profiles, fanned out like runAll():
-     * results are in input order and independent of par.jobs.
+     * results are in input order and independent of par.jobs, with
+     * the same retry / quarantine / keep-going machinery (a failed
+     * capture leaves a default CaptureResult at its slot). An
+     * injected TraceExhaust fault clamps the rings instead of
+     * failing the capture — drops are graceful degradation, not an
+     * error.
+     *
+     * @param stats Optional run ledger, overwritten on return.
      */
     std::vector<CaptureResult>
     captureAll(const std::vector<wl::WorkloadProfile> &profiles,
                const RunOptions &options, const TraceOptions &topts,
-               const Parallelism &par = {}) const;
+               const Parallelism &par = {},
+               SuiteRunStats *stats = nullptr) const;
 
     /**
      * Characterize a whole list of profiles (one row per benchmark).

@@ -126,12 +126,12 @@ Executor::workerLoop(unsigned self)
     }
 }
 
-void
-Executor::forEach(std::size_t n,
-                  const std::function<void(std::size_t)> &fn)
+std::vector<TaskFailure>
+Executor::forEachCollect(std::size_t n,
+                         const std::function<void(std::size_t)> &fn)
 {
     if (n == 0)
-        return;
+        return {};
     std::lock_guard<std::mutex> submit(submitMutex_);
 
     Batch batch;
@@ -172,14 +172,37 @@ Executor::forEach(std::size_t n,
     }
     batch_ = nullptr;
 
-    if (!batch.errors.empty()) {
-        auto lowest = std::min_element(
-            batch.errors.begin(), batch.errors.end(),
-            [](const auto &a, const auto &b) {
-                return a.first < b.first;
-            });
-        std::rethrow_exception(lowest->second);
+    // Attribute every failure, in index order (deterministic under
+    // any interleaving), not just the lowest one.
+    std::vector<TaskFailure> failures;
+    failures.reserve(batch.errors.size());
+    for (auto &[index, error] : batch.errors) {
+        TaskFailure f;
+        f.index = index;
+        f.error = error;
+        try {
+            std::rethrow_exception(error);
+        } catch (const std::exception &ex) {
+            f.what = ex.what();
+        } catch (...) {
+            f.what = "unknown exception";
+        }
+        failures.push_back(std::move(f));
     }
+    std::sort(failures.begin(), failures.end(),
+              [](const TaskFailure &a, const TaskFailure &b) {
+                  return a.index < b.index;
+              });
+    return failures;
+}
+
+void
+Executor::forEach(std::size_t n,
+                  const std::function<void(std::size_t)> &fn)
+{
+    const auto failures = forEachCollect(n, fn);
+    if (!failures.empty())
+        std::rethrow_exception(failures.front().error);
 }
 
 } // namespace netchar

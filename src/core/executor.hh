@@ -19,14 +19,28 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace netchar
 {
+
+/** One task that threw during a forEach batch. */
+struct TaskFailure
+{
+    /** Index the task ran as. */
+    std::size_t index = 0;
+    /** what() of the thrown exception ("unknown exception" for a
+     *  non-std throw). */
+    std::string what;
+    /** The exception itself, for callers that want to rethrow. */
+    std::exception_ptr error;
+};
 
 /**
  * Fixed-concurrency work-stealing pool. The thread calling forEach()
@@ -62,10 +76,21 @@ class Executor
      * calling thread participates. Blocks until every index has
      * finished. Every index runs exactly once even when some throw;
      * after the batch drains, the exception thrown by the *lowest*
-     * index (deterministic under any interleaving) is rethrown.
+     * index (deterministic under any interleaving) is rethrown —
+     * the other failures are dropped. Use forEachCollect() when
+     * every failure must be attributed.
      */
     void forEach(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
+
+    /**
+     * As forEach(), but never rethrows: every task that threw is
+     * returned as a TaskFailure, sorted by index (deterministic
+     * under any interleaving). Empty = every index succeeded.
+     */
+    std::vector<TaskFailure>
+    forEachCollect(std::size_t n,
+                   const std::function<void(std::size_t)> &fn);
 
     /** Tasks executed by a thread other than their home queue's. */
     std::uint64_t stealCount() const

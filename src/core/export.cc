@@ -145,6 +145,14 @@ suiteStatsJson(const SuiteRunStats &stats)
     os << "\"steals\":" << stats.steals << ',';
     os << "\"retried_runs\":" << stats.retriedRuns() << ',';
     os << "\"failed_runs\":" << stats.failedRuns() << ',';
+    os << "\"skipped_runs\":" << stats.skippedRuns() << ',';
+    os << "\"quarantined\":[";
+    for (std::size_t i = 0; i < stats.quarantined.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << '"' << jsonEscape(stats.quarantined[i]) << '"';
+    }
+    os << "],";
     os << "\"runs\":[";
     for (std::size_t i = 0; i < stats.runs.size(); ++i) {
         const auto &r = stats.runs[i];
@@ -154,11 +162,48 @@ suiteStatsJson(const SuiteRunStats &stats)
            << jsonEscape(r.benchmark) << "\",\"attempts\":"
            << r.attempts << ",\"succeeded\":"
            << (r.succeeded ? "true" : "false")
+           << ",\"skipped\":" << (r.skipped ? "true" : "false")
+           << ",\"quarantined\":"
+           << (r.quarantined ? "true" : "false")
            << ",\"wall_seconds\":" << num(r.wallSeconds)
            << ",\"worker\":" << r.worker << ",\"error\":\""
            << jsonEscape(r.error) << "\"}";
     }
     os << "]}";
+    return os.str();
+}
+
+std::string
+failureLedgerCsv(const SuiteRunStats &stats)
+{
+    std::ostringstream os;
+    os << "index,benchmark,attempt,kind,seed,backoff_micros,error\n";
+    for (const auto &f : stats.failures) {
+        os << f.index << ',' << csvField(f.benchmark) << ','
+           << f.attempt << ',' << csvField(f.kind) << ',' << f.seed
+           << ',' << f.backoffMicros << ',' << csvField(f.error)
+           << '\n';
+    }
+    return os.str();
+}
+
+std::string
+failureLedgerJson(const SuiteRunStats &stats)
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < stats.failures.size(); ++i) {
+        const auto &f = stats.failures[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"index\":" << f.index << ",\"benchmark\":\""
+           << jsonEscape(f.benchmark) << "\",\"attempt\":"
+           << f.attempt << ",\"kind\":\"" << jsonEscape(f.kind)
+           << "\",\"seed\":" << f.seed << ",\"backoff_micros\":"
+           << f.backoffMicros << ",\"error\":\""
+           << jsonEscape(f.error) << "\"}";
+    }
+    os << ']';
     return os.str();
 }
 

@@ -59,10 +59,22 @@ std::string suiteStatsCsv(const SuiteRunStats &stats);
 
 /**
  * JSON document of one sweep's SuiteRunStats: engine aggregates
- * (jobs, wall/busy seconds, utilization, steals, retried/failed run
- * counts) plus the per-run ledger array.
+ * (jobs, wall/busy seconds, utilization, steals, retried/failed/
+ * skipped run counts, quarantined benchmarks) plus the per-run
+ * ledger array.
  */
 std::string suiteStatsJson(const SuiteRunStats &stats);
+
+/**
+ * CSV of the deterministic failure ledger: one row per failed
+ * attempt (index,benchmark,attempt,kind,seed,backoff_micros,error),
+ * sorted by (index, attempt). Contains no wall times or worker ids,
+ * so for a keep-going sweep the bytes are identical at any --jobs.
+ */
+std::string failureLedgerCsv(const SuiteRunStats &stats);
+
+/** JSON array form of failureLedgerCsv (same fields, same order). */
+std::string failureLedgerJson(const SuiteRunStats &stats);
 
 } // namespace netchar
 

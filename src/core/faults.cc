@@ -1,0 +1,232 @@
+#include "core/faults.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace netchar
+{
+
+namespace
+{
+
+/** FNV-1a over a string: stable, platform-independent. */
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: full-avalanche integer mix. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a mixed hash. */
+double
+unitInterval(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultKind
+kindFromName(std::string_view name)
+{
+    if (name == "throw")
+        return FaultKind::Throw;
+    if (name == "corrupt" || name == "nan")
+        return FaultKind::CorruptCounter;
+    if (name == "stall")
+        return FaultKind::Stall;
+    if (name == "trace")
+        return FaultKind::TraceExhaust;
+    return FaultKind::None;
+}
+
+const std::vector<FaultKind> &
+allKinds()
+{
+    static const std::vector<FaultKind> kinds = {
+        FaultKind::Throw,
+        FaultKind::CorruptCounter,
+        FaultKind::Stall,
+        FaultKind::TraceExhaust,
+    };
+    return kinds;
+}
+
+} // namespace
+
+std::string_view
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::None:
+        return "none";
+    case FaultKind::Throw:
+        return "throw";
+    case FaultKind::CorruptCounter:
+        return "corrupt";
+    case FaultKind::Stall:
+        return "stall";
+    case FaultKind::TraceExhaust:
+        return "trace";
+    }
+    return "none";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    plan.kinds_ = allKinds();
+    bool have_rate = false;
+
+    std::istringstream fields(spec);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+        if (field.empty())
+            continue;
+        const auto eq = field.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "chaos spec: expected key=value, got '" + field +
+                "' (example: rate=0.1,kinds=throw+stall,seed=7)");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "rate") {
+            try {
+                std::size_t used = 0;
+                plan.rate_ = std::stod(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                throw std::invalid_argument(
+                    "chaos spec: rate expects a number in [0,1], "
+                    "got '" + value + "'");
+            }
+            if (!(plan.rate_ >= 0.0 && plan.rate_ <= 1.0))
+                throw std::invalid_argument(
+                    "chaos spec: rate must be in [0,1], got '" +
+                    value + "'");
+            have_rate = true;
+        } else if (key == "kinds") {
+            plan.kinds_.clear();
+            std::istringstream names(value);
+            std::string name;
+            while (std::getline(names, name, '+')) {
+                const FaultKind kind = kindFromName(name);
+                if (kind == FaultKind::None)
+                    throw std::invalid_argument(
+                        "chaos spec: unknown kind '" + name +
+                        "' (valid: throw, corrupt, stall, trace)");
+                plan.kinds_.push_back(kind);
+            }
+            if (plan.kinds_.empty())
+                throw std::invalid_argument(
+                    "chaos spec: kinds= needs at least one of "
+                    "throw, corrupt, stall, trace");
+        } else if (key == "seed") {
+            try {
+                std::size_t used = 0;
+                plan.seed_ = std::stoull(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                throw std::invalid_argument(
+                    "chaos spec: seed expects an integer, got '" +
+                    value + "'");
+            }
+        } else {
+            throw std::invalid_argument(
+                "chaos spec: unknown key '" + key +
+                "' (valid: rate, kinds, seed)");
+        }
+    }
+    if (!have_rate)
+        throw std::invalid_argument(
+            "chaos spec: rate= is required "
+            "(example: rate=0.1,kinds=throw+stall,seed=7)");
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "rate=" << rate_ << ",kinds=";
+    for (std::size_t i = 0; i < kinds_.size(); ++i) {
+        if (i > 0)
+            os << '+';
+        os << faultKindName(kinds_[i]);
+    }
+    os << ",seed=" << seed_;
+    return os.str();
+}
+
+FaultDecision
+FaultPlan::decide(std::string_view benchmark, std::string_view machine,
+                  unsigned attempt) const
+{
+    FaultDecision decision;
+    if (!enabled())
+        return decision;
+    const std::uint64_t h =
+        mix(fnv1a(benchmark) ^ mix(fnv1a(machine)) ^ mix(seed_) ^
+            (static_cast<std::uint64_t>(attempt) *
+             0xD1B54A32D192ED03ULL));
+    if (unitInterval(h) >= rate_)
+        return decision;
+
+    const std::uint64_t h2 = mix(h);
+    decision.kind = kinds_[h2 % kinds_.size()];
+    decision.selector = mix(h2);
+    switch (decision.selector % 3) {
+    case 0:
+        decision.badValue = std::numeric_limits<double>::quiet_NaN();
+        break;
+    case 1:
+        decision.badValue = std::numeric_limits<double>::infinity();
+        break;
+    default:
+        decision.badValue = -std::numeric_limits<double>::infinity();
+        break;
+    }
+    // Small enough that any realistic capture overflows it: counter
+    // records land once per advance chunk (~dozens per run minimum).
+    decision.traceCapacity =
+        8 + static_cast<std::size_t>(mix(decision.selector) % 25);
+    return decision;
+}
+
+RunBudgetExceeded::RunBudgetExceeded(double cycles, std::uint64_t budget)
+    : std::runtime_error(
+          "run budget exceeded: " + std::to_string(cycles) +
+          " simulated cycles > budget " + std::to_string(budget) +
+          " (watchdog kill)"),
+      cycles_(cycles), budget_(budget)
+{
+}
+
+std::uint64_t
+perturbedSeed(std::uint64_t base, std::string_view benchmark,
+              unsigned attempt)
+{
+    if (attempt <= 1)
+        return base;
+    return mix(base ^ fnv1a(benchmark) ^
+               (static_cast<std::uint64_t>(attempt) *
+                0x9E3779B97F4A7C15ULL));
+}
+
+} // namespace netchar

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "stats/summary.hh"
 
@@ -19,20 +20,49 @@ buildSubset(const std::vector<MetricVector> &metric_rows,
 SubsetResult
 buildSubset(const stats::Matrix &metrics, const SubsetOptions &options)
 {
-    if (metrics.rows() < options.subsetSize)
-        throw std::invalid_argument(
-            "buildSubset: fewer benchmarks than subset size");
-
     SubsetResult result;
+
+    // Drop-and-report rows with non-finite cells (failed/corrupted
+    // runs); the pipeline continues over the survivors.
+    const stats::Matrix clean =
+        stats::sanitizeMatrix(metrics, result.sanitize);
+    result.rowMap.reserve(clean.rows());
+    {
+        std::size_t next_drop = 0;
+        for (std::size_t r = 0; r < metrics.rows(); ++r) {
+            if (next_drop < result.sanitize.droppedRows.size() &&
+                result.sanitize.droppedRows[next_drop] == r) {
+                ++next_drop;
+                continue;
+            }
+            result.rowMap.push_back(r);
+        }
+    }
+
+    if (clean.rows() < options.subsetSize)
+        throw std::invalid_argument(
+            "buildSubset: fewer benchmarks than subset size (" +
+            std::to_string(clean.rows()) + " finite of " +
+            std::to_string(metrics.rows()) + " rows, need " +
+            std::to_string(options.subsetSize) + ")");
+
     stats::PcaOptions pca_opts;
     pca_opts.components = options.components;
     pca_opts.standardize = true;
-    result.pca = stats::runPca(metrics, pca_opts);
+    result.pca = stats::runPca(clean, pca_opts);
     result.dendrogram =
         stats::hierarchicalCluster(result.pca.scores, options.linkage);
     result.clusters = result.dendrogram.cut(options.subsetSize);
     result.representatives =
         stats::pickRepresentatives(result.pca.scores, result.clusters);
+
+    // Map cluster members and representatives back to the caller's
+    // row numbering (identity when nothing was dropped).
+    for (auto &cluster : result.clusters)
+        for (auto &idx : cluster)
+            idx = result.rowMap[idx];
+    for (auto &idx : result.representatives)
+        idx = result.rowMap[idx];
     return result;
 }
 

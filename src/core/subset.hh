@@ -17,6 +17,7 @@
 #include "core/metrics.hh"
 #include "stats/cluster.hh"
 #include "stats/pca.hh"
+#include "stats/summary.hh"
 
 namespace netchar
 {
@@ -39,14 +40,28 @@ struct SubsetResult
     stats::PcaResult pca;
     /** Merge tree over the PRCO scores. */
     stats::Dendrogram dendrogram;
-    /** Clusters after cutting at subsetSize. */
+    /** Clusters after cutting at subsetSize; indices refer to the
+     *  ORIGINAL input rows (mapped back through rowMap). */
     std::vector<std::vector<std::size_t>> clusters;
-    /** One representative benchmark index per cluster. */
+    /** One representative benchmark index per cluster (original
+     *  input indices). */
     std::vector<std::size_t> representatives;
+    /** Non-finite rows dropped before PCA (never imputed); clean()
+     *  when the input was complete. */
+    stats::SanitizeReport sanitize;
+    /** rowMap[i] = original input row of sanitized row i (identity
+     *  for a clean input). pca.scores rows use sanitized indices. */
+    std::vector<std::size_t> rowMap;
 };
 
 /**
  * Run the full §IV pipeline on a benchmark x metric matrix.
+ *
+ * Rows holding non-finite values (failed or corrupted runs) are
+ * dropped and reported in SubsetResult::sanitize — never silently
+ * imputed — and the pipeline proceeds over the survivors; cluster and
+ * representative indices are mapped back to original input rows.
+ * Throws when fewer than subsetSize finite rows survive.
  *
  * @param metric_rows One MetricVector per benchmark.
  * @param options Component count, subset size, linkage.

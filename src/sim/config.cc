@@ -1,7 +1,173 @@
 #include "sim/config.hh"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace netchar::sim
 {
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Throw std::invalid_argument "<machine>: <what>". */
+[[noreturn]] void
+fail(const std::string &machine, const std::string &what)
+{
+    throw std::invalid_argument(
+        (machine.empty() ? std::string("MachineConfig") : machine) +
+        ": " + what);
+}
+
+void
+checkCache(const std::string &machine, const char *which,
+           const CacheGeometry &g)
+{
+    const std::string name = std::string(which);
+    if (g.associativity == 0)
+        fail(machine, name + " has zero ways (associativity)");
+    if (!isPowerOfTwo(g.lineBytes))
+        fail(machine, name + " line size " +
+                          std::to_string(g.lineBytes) +
+                          " is not a power of two");
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(g.lineBytes) * g.associativity;
+    if (g.sizeBytes == 0 || g.sizeBytes % way_bytes != 0)
+        fail(machine, name + " size " + std::to_string(g.sizeBytes) +
+                          " is not a positive multiple of ways x "
+                          "line (" + std::to_string(way_bytes) + ")");
+}
+
+void
+checkTlb(const std::string &machine, const char *which,
+         const TlbGeometry &g)
+{
+    const std::string name = std::string(which);
+    if (g.associativity == 0)
+        fail(machine, name + " has zero ways (associativity)");
+    if (g.entries == 0 || g.entries % g.associativity != 0)
+        fail(machine, name + " entry count " +
+                          std::to_string(g.entries) +
+                          " is not a positive multiple of its " +
+                          std::to_string(g.associativity) + " ways");
+    if (!isPowerOfTwo(g.pageBytes))
+        fail(machine, name + " page size " +
+                          std::to_string(g.pageBytes) +
+                          " is not a power of two");
+}
+
+void
+checkProbability(const std::string &machine, const char *field,
+                 double value)
+{
+    if (!(value >= 0.0 && value <= 1.0))
+        fail(machine, std::string(field) + " = " +
+                          std::to_string(value) +
+                          " is not a probability in [0,1]");
+}
+
+void
+checkNonNegativeFinite(const std::string &machine, const char *field,
+                       double value)
+{
+    if (!std::isfinite(value) || value < 0.0)
+        fail(machine, std::string(field) + " = " +
+                          std::to_string(value) +
+                          " must be finite and >= 0");
+}
+
+} // namespace
+
+void
+MachineConfig::validate() const
+{
+    if (physicalCores == 0)
+        fail(name, "zero physical cores");
+    if (logicalCores < physicalCores)
+        fail(name, "logical cores (" + std::to_string(logicalCores) +
+                       ") below physical cores (" +
+                       std::to_string(physicalCores) + ")");
+
+    checkCache(name, "L1D", l1d);
+    checkCache(name, "L1I", l1i);
+    checkCache(name, "L2", l2);
+    checkCache(name, "LLC", llc);
+    if (llcSlices == 0)
+        fail(name, "zero LLC slices");
+
+    checkTlb(name, "ITLB", itlb);
+    checkTlb(name, "DTLB", dtlb);
+    if (stlb.entries > 0)
+        checkTlb(name, "STLB", stlb);
+
+    if (btbEntries == 0)
+        fail(name, "zero BTB entries");
+    if (predictorBits == 0 || predictorBits > 30)
+        fail(name, "predictor bits " + std::to_string(predictorBits) +
+                       " outside [1,30]");
+
+    if (!std::isfinite(nominalGhz) || nominalGhz <= 0.0)
+        fail(name, "zero or invalid nominal frequency (" +
+                       std::to_string(nominalGhz) + " GHz)");
+    if (!std::isfinite(maxGhz) || maxGhz < nominalGhz)
+        fail(name, "max frequency (" + std::to_string(maxGhz) +
+                       " GHz) below nominal (" +
+                       std::to_string(nominalGhz) + " GHz)");
+
+    if (pipe.slotsPerCycle == 0)
+        fail(name, "zero pipeline slots per cycle");
+    if (pipe.decodeWidth == 0 || pipe.issueWidth == 0)
+        fail(name, "zero decode or issue width");
+    if (pipe.robEntries == 0)
+        fail(name, "zero ROB entries");
+
+    checkNonNegativeFinite(name, "l1Latency", pipe.l1Latency);
+    checkNonNegativeFinite(name, "l2Latency", pipe.l2Latency);
+    checkNonNegativeFinite(name, "llcLatency", pipe.llcLatency);
+    checkNonNegativeFinite(name, "dramLatency", pipe.dramLatency);
+    checkNonNegativeFinite(name, "dramRowMissExtra",
+                           pipe.dramRowMissExtra);
+    checkNonNegativeFinite(name, "tlbWalkLatency",
+                           pipe.tlbWalkLatency);
+    checkNonNegativeFinite(name, "stlbHitLatency",
+                           pipe.stlbHitLatency);
+    checkNonNegativeFinite(name, "branchMispredictPenalty",
+                           pipe.branchMispredictPenalty);
+    checkNonNegativeFinite(name, "btbResteerPenalty",
+                           pipe.btbResteerPenalty);
+    checkNonNegativeFinite(name, "msSwitchPenalty",
+                           pipe.msSwitchPenalty);
+    checkNonNegativeFinite(name, "pageFaultPenalty",
+                           pipe.pageFaultPenalty);
+    checkNonNegativeFinite(name, "bandwidthStallCycles",
+                           pipe.bandwidthStallCycles);
+    checkNonNegativeFinite(name, "storeStallCycles",
+                           pipe.storeStallCycles);
+    checkNonNegativeFinite(name, "divLatency", pipe.divLatency);
+
+    checkProbability(name, "feExposure", pipe.feExposure);
+    checkProbability(name, "memStallExposure", pipe.memStallExposure);
+    checkProbability(name, "dsbBandwidthStall",
+                     pipe.dsbBandwidthStall);
+    checkProbability(name, "miteBandwidthStall",
+                     pipe.miteBandwidthStall);
+    checkProbability(name, "l1BandwidthStall", pipe.l1BandwidthStall);
+    checkProbability(name, "storeBufferStall", pipe.storeBufferStall);
+
+    if (!std::isfinite(codeSpreadFactor) || codeSpreadFactor < 1.0)
+        fail(name, "codeSpreadFactor " +
+                       std::to_string(codeSpreadFactor) +
+                       " must be finite and >= 1");
+    if (!std::isfinite(dataSpreadFactor) || dataSpreadFactor < 1.0)
+        fail(name, "dataSpreadFactor " +
+                       std::to_string(dataSpreadFactor) +
+                       " must be finite and >= 1");
+}
 
 MachineConfig
 MachineConfig::intelXeonE52620V4()

@@ -143,6 +143,18 @@ struct MachineConfig
     double codeSpreadFactor = 1.0;
     double dataSpreadFactor = 1.0;
 
+    /**
+     * Validate structural invariants with descriptive errors: every
+     * cache/TLB geometry well-formed (non-zero ways, power-of-two
+     * line and page sizes, size divisible by ways x line), non-zero
+     * frequencies with max >= nominal, sane pipeline widths and
+     * probabilities, spread factors >= 1, and every floating-point
+     * parameter finite. Throws std::invalid_argument naming the
+     * offending field; a malformed config must never reach a run
+     * silently (sim::Machine calls this on construction).
+     */
+    void validate() const;
+
     /** Factory: Intel Xeon E5-2620 v4 (validation baseline). */
     static MachineConfig intelXeonE52620V4();
 

@@ -8,7 +8,9 @@ namespace netchar::sim
 
 Machine::Machine(const MachineConfig &cfg, unsigned active_cores,
                  std::uint64_t seed, const NocParams &noc)
-    : cfg_(cfg),
+    // Validate before any member consumes the config: a malformed
+    // geometry must fail with a named error, not a Cache-ctor throw.
+    : cfg_((cfg.validate(), cfg)),
       llc_(cfg.llc, cfg.llcSlices, cfg.pipe.llcLatency, noc),
       dram_()
 {

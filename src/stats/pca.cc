@@ -121,6 +121,15 @@ runPca(const Matrix &data, const PcaOptions &options)
 {
     if (data.rows() < 2 || data.cols() < 1)
         throw std::invalid_argument("runPca: need >= 2 rows, >= 1 col");
+    // A single NaN would silently poison every eigenvector; require
+    // callers to sanitizeMatrix() (drop-and-report) first.
+    for (std::size_t r = 0; r < data.rows(); ++r)
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            if (!std::isfinite(data(r, c)))
+                throw std::invalid_argument(
+                    "runPca: non-finite input at (" +
+                    std::to_string(r) + "," + std::to_string(c) +
+                    "); sanitizeMatrix() the data first");
 
     const Matrix prepared =
         options.standardize ? standardizeColumns(data) : data;

@@ -2,10 +2,87 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace netchar::stats
 {
+
+namespace
+{
+
+std::string
+renderValue(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0.0 ? "inf" : "-inf";
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+SanitizeReport::describe(std::size_t total_rows) const
+{
+    if (clean())
+        return "clean";
+    std::ostringstream os;
+    os << "dropped " << droppedRows.size() << " of " << total_rows
+       << " rows: non-finite at ";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << '(' << cells[i].row << ',' << cells[i].col
+           << ")=" << cells[i].value;
+    }
+    return os.str();
+}
+
+Matrix
+sanitizeMatrix(const Matrix &data, SanitizeReport &report)
+{
+    report = SanitizeReport{};
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        bool bad = false;
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            const double v = data(r, c);
+            if (!std::isfinite(v)) {
+                report.cells.push_back({r, c, renderValue(v)});
+                bad = true;
+            }
+        }
+        if (bad)
+            report.droppedRows.push_back(r);
+    }
+    if (report.clean())
+        return data;
+    return dropRows(data, report.droppedRows);
+}
+
+Matrix
+dropRows(const Matrix &data, std::span<const std::size_t> rows)
+{
+    std::vector<bool> drop(data.rows(), false);
+    std::size_t dropped = 0;
+    for (const std::size_t r : rows) {
+        if (r < data.rows() && !drop[r]) {
+            drop[r] = true;
+            ++dropped;
+        }
+    }
+    Matrix out(data.rows() - dropped, data.cols());
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        if (drop[r])
+            continue;
+        for (std::size_t c = 0; c < data.cols(); ++c)
+            out(w, c) = data(r, c);
+        ++w;
+    }
+    return out;
+}
 
 double
 mean(std::span<const double> xs)

@@ -9,13 +9,50 @@
 #ifndef NETCHAR_STATS_SUMMARY_HH
 #define NETCHAR_STATS_SUMMARY_HH
 
+#include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "stats/matrix.hh"
 
 namespace netchar::stats
 {
+
+/** One non-finite value found while screening a data matrix. */
+struct NonFiniteCell
+{
+    std::size_t row = 0;
+    std::size_t col = 0;
+    /** The offending value, rendered ("nan", "inf", "-inf"). */
+    std::string value;
+};
+
+/** What sanitizeMatrix() found and did. */
+struct SanitizeReport
+{
+    /** Every non-finite cell, in (row, col) order. */
+    std::vector<NonFiniteCell> cells;
+    /** Rows removed (each held at least one non-finite cell), in
+     *  ascending order of original row index. */
+    std::vector<std::size_t> droppedRows;
+
+    /** True when the input was already clean. */
+    bool clean() const { return cells.empty(); }
+    /** Human-readable one-liner, e.g.
+     *  "dropped 2 of 40 rows: non-finite at (3,5)=nan, (17,0)=inf". */
+    std::string describe(std::size_t total_rows) const;
+};
+
+/**
+ * Screen a data matrix for non-finite values and drop every affected
+ * row, reporting each offending (row, column) — never silently impute.
+ * The returned matrix keeps surviving rows in their original order.
+ */
+Matrix sanitizeMatrix(const Matrix &data, SanitizeReport &report);
+
+/** Copy `data` without the given rows (ascending, deduplicated). */
+Matrix dropRows(const Matrix &data, std::span<const std::size_t> rows);
 
 /** Arithmetic mean; 0 for an empty input. */
 double mean(std::span<const double> xs);

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "core/characterize.hh"
 #include "core/correlation.hh"
+#include "core/export.hh"
 #include "workloads/registry.hh"
 
 using namespace netchar;
@@ -145,6 +151,270 @@ TEST(CharacterizerTest, RunAllPreservesOrder)
     const auto results = ch.runAll({p1, p2}, quickOptions());
     ASSERT_EQ(results.size(), 2u);
     EXPECT_NE(results[0].counters.cycles, results[1].counters.cycles);
+}
+
+namespace
+{
+
+/** First `count` dotnet profiles, shrunk for test budgets. */
+std::vector<wl::WorkloadProfile>
+chaosSlice(std::size_t count)
+{
+    auto all = wl::suiteProfiles(wl::Suite::DotNet);
+    all.resize(std::min(count, all.size()));
+    for (auto &p : all)
+        p.instructions = 60'000;
+    return all;
+}
+
+RunOptions
+chaosOptions()
+{
+    RunOptions o;
+    o.warmupInstructions = 60'000;
+    o.measuredInstructions = 60'000;
+    return o;
+}
+
+} // namespace
+
+TEST(ResilienceTest, CharacterizerRejectsInvalidMachineConfig)
+{
+    auto cfg = sim::MachineConfig::intelCoreI99980Xe();
+    cfg.l1d.associativity = 0;
+    EXPECT_THROW(Characterizer{cfg}, std::invalid_argument);
+}
+
+TEST(ResilienceTest, WatchdogKillsOverBudgetRun)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto o = quickOptions();
+    o.runBudgetCycles = 10'000; // far below what the run needs
+    EXPECT_THROW(ch.run(quickProfile(), o), RunBudgetExceeded);
+    // A generous budget never trips.
+    o.runBudgetCycles = 1'000'000'000;
+    EXPECT_NO_THROW(ch.run(quickProfile(), o));
+}
+
+TEST(ResilienceTest, ScreenRunResultFlagsNonFiniteFields)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    auto r = ch.run(quickProfile(), quickOptions());
+    EXPECT_TRUE(screenRunResult(r).empty());
+    r.metrics[static_cast<std::size_t>(MetricId::Cpi)] =
+        std::numeric_limits<double>::quiet_NaN();
+    const auto msg = screenRunResult(r);
+    EXPECT_NE(msg.find("non-finite"), std::string::npos);
+}
+
+TEST(ResilienceTest, ChaosLedgerIsByteIdenticalAcrossJobs)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(10);
+    const auto chaos = FaultPlan::parse("rate=0.3,seed=7");
+
+    auto sweep = [&](unsigned jobs) {
+        Parallelism par;
+        par.jobs = jobs;
+        par.maxAttempts = 2;
+        par.resilience.chaos = &chaos;
+        SuiteRunStats stats;
+        ch.runAll(profiles, chaosOptions(), par, &stats);
+        return stats;
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+
+    // rate=0.3 over 10 benchmarks x 2 attempts must hit something.
+    EXPECT_FALSE(serial.failures.empty());
+    EXPECT_EQ(failureLedgerCsv(serial), failureLedgerCsv(parallel));
+    EXPECT_EQ(failureLedgerJson(serial),
+              failureLedgerJson(parallel));
+}
+
+TEST(ResilienceTest, KeepGoingReturnsSurvivorRows)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(8);
+    const auto chaos = FaultPlan::parse("rate=0.4,seed=3");
+    Parallelism par;
+    par.jobs = 2;
+    par.maxAttempts = 1;
+    par.resilience.chaos = &chaos;
+    SuiteRunStats stats;
+    const auto results =
+        ch.runAll(profiles, chaosOptions(), par, &stats);
+    ASSERT_EQ(results.size(), profiles.size());
+    ASSERT_EQ(stats.runs.size(), profiles.size());
+    EXPECT_GT(stats.failedRuns(), 0u);
+    EXPECT_LT(stats.failedRuns(), profiles.size());
+    EXPECT_EQ(stats.skippedRuns(), 0u);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        if (stats.runs[i].succeeded) {
+            EXPECT_GT(results[i].counters.instructions, 0u);
+            EXPECT_TRUE(screenRunResult(results[i]).empty());
+        } else {
+            EXPECT_EQ(results[i].counters.instructions, 0u);
+        }
+    }
+}
+
+TEST(ResilienceTest, FailFastSkipsPendingRuns)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(6);
+    const auto chaos = FaultPlan::parse("rate=1,kinds=throw,seed=5");
+    Parallelism par;
+    par.jobs = 1; // serial: runs 2..N are provably after the failure
+    par.maxAttempts = 1;
+    par.resilience.chaos = &chaos;
+    par.resilience.keepGoing = false;
+    SuiteRunStats stats;
+    ch.runAll(profiles, chaosOptions(), par, &stats);
+    EXPECT_EQ(stats.skippedRuns(), profiles.size() - 1);
+    EXPECT_FALSE(stats.runs[0].succeeded);
+    EXPECT_FALSE(stats.runs[0].skipped);
+    for (std::size_t i = 1; i < profiles.size(); ++i)
+        EXPECT_TRUE(stats.runs[i].skipped) << "run " << i;
+    // Skips land in the ledger as attempt-0 "skipped" rows.
+    bool skip_row = false;
+    for (const auto &f : stats.failures)
+        if (f.kind == "skipped" && f.attempt == 0)
+            skip_row = true;
+    EXPECT_TRUE(skip_row);
+}
+
+TEST(ResilienceTest, QuarantineForfeitsRemainingAttempts)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(2);
+    const auto chaos = FaultPlan::parse("rate=1,kinds=throw,seed=9");
+    Parallelism par;
+    par.jobs = 1;
+    par.maxAttempts = 5;
+    par.resilience.chaos = &chaos;
+    par.resilience.quarantineAfter = 2;
+    SuiteRunStats stats;
+    ch.runAll(profiles, chaosOptions(), par, &stats);
+    ASSERT_EQ(stats.runs.size(), 2u);
+    ASSERT_EQ(stats.quarantined.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_FALSE(stats.runs[i].succeeded);
+        EXPECT_TRUE(stats.runs[i].quarantined);
+        EXPECT_EQ(stats.runs[i].attempts, 2u); // not 5
+        EXPECT_EQ(stats.quarantined[i], profiles[i].name);
+    }
+}
+
+TEST(ResilienceTest, RetryClearsATransientFault)
+{
+    // Find a (benchmark, seed) pair whose injected fault fires on
+    // attempt 1 but not attempt 2 — the transient-failure shape.
+    const auto cfg = sim::MachineConfig::intelCoreI99980Xe();
+    const auto profiles = chaosSlice(1);
+    const std::string &name = profiles[0].name;
+    FaultPlan chaos;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed < 200 && !found; ++seed) {
+        chaos = FaultPlan::parse("rate=0.5,kinds=throw,seed=" +
+                                 std::to_string(seed));
+        found = chaos.decide(name, cfg.name, 1) &&
+                !chaos.decide(name, cfg.name, 2);
+    }
+    ASSERT_TRUE(found);
+    Characterizer ch(cfg);
+    Parallelism par;
+    par.maxAttempts = 2;
+    par.resilience.chaos = &chaos;
+    par.resilience.backoffBaseMicros = 1;
+    SuiteRunStats stats;
+    const auto results =
+        ch.runAll(profiles, chaosOptions(), par, &stats);
+    ASSERT_EQ(stats.runs.size(), 1u);
+    EXPECT_TRUE(stats.runs[0].succeeded);
+    EXPECT_EQ(stats.runs[0].attempts, 2u);
+    EXPECT_GT(results[0].counters.instructions, 0u);
+    // The failed first attempt is in the ledger with its backoff.
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].kind, "throw");
+    EXPECT_EQ(stats.failures[0].attempt, 1u);
+    EXPECT_EQ(stats.failures[0].backoffMicros, 1u);
+}
+
+TEST(ResilienceTest, StallFaultIsKilledByTheWatchdog)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(1);
+    const auto chaos = FaultPlan::parse("rate=1,kinds=stall,seed=2");
+    Parallelism par;
+    par.maxAttempts = 1;
+    par.resilience.chaos = &chaos;
+    auto o = chaosOptions();
+    o.runBudgetCycles = 500'000;
+    SuiteRunStats stats;
+    ch.runAll(profiles, o, par, &stats);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].kind, "stall");
+    EXPECT_NE(stats.failures[0].error.find("budget"),
+              std::string::npos);
+}
+
+TEST(ResilienceTest, CorruptCounterIsCaughtByScreening)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(1);
+    const auto chaos =
+        FaultPlan::parse("rate=1,kinds=corrupt,seed=2");
+    Parallelism par;
+    par.maxAttempts = 1;
+    par.resilience.chaos = &chaos;
+    SuiteRunStats stats;
+    const auto results =
+        ch.runAll(profiles, chaosOptions(), par, &stats);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].kind, "corrupt");
+    EXPECT_NE(stats.failures[0].error.find("non-finite"),
+              std::string::npos);
+    // The corrupted row never reaches the caller.
+    EXPECT_EQ(results[0].counters.instructions, 0u);
+}
+
+TEST(ResilienceTest, TraceExhaustDegradesGracefully)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(2);
+    const auto chaos = FaultPlan::parse("rate=1,kinds=trace,seed=6");
+    Parallelism par;
+    par.maxAttempts = 1;
+    par.resilience.chaos = &chaos;
+    SuiteRunStats stats;
+    const auto captures = ch.captureAll(profiles, chaosOptions(), {},
+                                        par, &stats);
+    // Exhaustion is degradation, not failure: every capture succeeds
+    // with its rings clamped to the injected tiny capacity.
+    EXPECT_EQ(stats.failedRuns(), 0u);
+    ASSERT_EQ(captures.size(), 2u);
+    for (const auto &c : captures) {
+        EXPECT_LE(c.trace.samples.capacity(), 32u);
+        EXPECT_GT(c.result.counters.instructions, 0u);
+    }
+}
+
+TEST(ResilienceTest, SuiteStatsJsonCarriesResilienceFields)
+{
+    Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
+    const auto profiles = chaosSlice(2);
+    const auto chaos = FaultPlan::parse("rate=1,kinds=throw,seed=9");
+    Parallelism par;
+    par.maxAttempts = 1;
+    par.resilience.chaos = &chaos;
+    par.resilience.quarantineAfter = 1;
+    SuiteRunStats stats;
+    ch.runAll(profiles, chaosOptions(), par, &stats);
+    const auto json = suiteStatsJson(stats);
+    EXPECT_NE(json.find("\"skipped_runs\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"quarantined\":["), std::string::npos);
+    EXPECT_NE(json.find("\"quarantined\":true"), std::string::npos);
 }
 
 TEST(CorrelationTest, SeriesExtraction)

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/characterize.hh"
@@ -102,6 +103,56 @@ TEST(ExecutorTest, PropagatesLowestIndexException)
     }
     // A throwing index never aborts the batch: every index still ran.
     EXPECT_EQ(executed.load(), static_cast<int>(kN));
+}
+
+TEST(ExecutorTest, ForEachCollectReportsEveryFailure)
+{
+    constexpr std::size_t kN = 64;
+    std::atomic<int> executed{0};
+    Executor ex(4);
+    const auto failures = ex.forEachCollect(kN, [&](std::size_t i) {
+        executed.fetch_add(1);
+        if (i == 11)
+            throw std::runtime_error("boom-11");
+        if (i == 40)
+            throw std::runtime_error("boom-40");
+    });
+    // Both failures surface — not just the lowest index — sorted and
+    // attributed, and the batch still ran every task.
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0].index, 11u);
+    EXPECT_EQ(failures[0].what, "boom-11");
+    EXPECT_EQ(failures[1].index, 40u);
+    EXPECT_EQ(failures[1].what, "boom-40");
+    EXPECT_EQ(executed.load(), static_cast<int>(kN));
+    // The captured exception_ptr is the original exception.
+    try {
+        std::rethrow_exception(failures[1].error);
+        FAIL() << "exception_ptr should rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom-40");
+    }
+}
+
+TEST(ExecutorTest, ForEachCollectEmptyOnSuccess)
+{
+    Executor ex(2);
+    const auto failures =
+        ex.forEachCollect(32, [](std::size_t) {});
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST(ExecutorTest, ForEachCollectWorksSerially)
+{
+    Executor ex(1);
+    const auto failures = ex.forEachCollect(8, [](std::size_t i) {
+        if (i % 3 == 0)
+            throw std::runtime_error("fizz-" + std::to_string(i));
+    });
+    ASSERT_EQ(failures.size(), 3u); // i = 0, 3, 6
+    EXPECT_EQ(failures[0].index, 0u);
+    EXPECT_EQ(failures[2].index, 6u);
+    EXPECT_EQ(failures[2].what, "fizz-6");
 }
 
 TEST(ExecutorTest, SerialConcurrencyRunsOnCallingThread)

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/faults.hh"
+
+using namespace netchar;
+
+TEST(FaultPlanTest, ParseFullSpec)
+{
+    const auto plan =
+        FaultPlan::parse("rate=0.25,kinds=throw+stall,seed=42");
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_DOUBLE_EQ(plan.rate(), 0.25);
+    EXPECT_EQ(plan.seed(), 42u);
+    ASSERT_EQ(plan.kinds().size(), 2u);
+    EXPECT_EQ(plan.kinds()[0], FaultKind::Throw);
+    EXPECT_EQ(plan.kinds()[1], FaultKind::Stall);
+}
+
+TEST(FaultPlanTest, ParseDefaultsToAllKindsAndSeedOne)
+{
+    const auto plan = FaultPlan::parse("rate=0.5");
+    EXPECT_EQ(plan.seed(), 1u);
+    EXPECT_EQ(plan.kinds().size(), 4u);
+}
+
+TEST(FaultPlanTest, NanIsAnAliasForCorrupt)
+{
+    const auto plan = FaultPlan::parse("rate=1,kinds=nan");
+    ASSERT_EQ(plan.kinds().size(), 1u);
+    EXPECT_EQ(plan.kinds()[0], FaultKind::CorruptCounter);
+}
+
+TEST(FaultPlanTest, ZeroRateDisablesThePlan)
+{
+    const auto plan = FaultPlan::parse("rate=0");
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_FALSE(plan.decide("Json", "machine", 1));
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultPlan::parse(""), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("kinds=throw"),
+                 std::invalid_argument); // rate= is required
+    EXPECT_THROW(FaultPlan::parse("rate=2"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("rate=-0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("rate=abc"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("rate=0.1,kinds=explode"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("rate=0.1,seed=xyz"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("rate=0.1,banana=7"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("justtext"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ParseErrorsAreDescriptive)
+{
+    try {
+        FaultPlan::parse("rate=0.1,kinds=explode");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("explode"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultPlanTest, DescribeRoundTrips)
+{
+    const auto plan =
+        FaultPlan::parse("rate=0.1,kinds=throw+corrupt,seed=9");
+    const auto again = FaultPlan::parse(plan.describe());
+    EXPECT_DOUBLE_EQ(again.rate(), plan.rate());
+    EXPECT_EQ(again.seed(), plan.seed());
+    EXPECT_EQ(again.kinds(), plan.kinds());
+}
+
+TEST(FaultPlanTest, DecideIsAPureFunctionOfItsInputs)
+{
+    const auto plan = FaultPlan::parse("rate=0.5,seed=7");
+    for (unsigned attempt = 1; attempt <= 3; ++attempt) {
+        const auto a = plan.decide("System.Linq", "i9", attempt);
+        const auto b = plan.decide("System.Linq", "i9", attempt);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.selector, b.selector);
+        EXPECT_EQ(a.traceCapacity, b.traceCapacity);
+    }
+}
+
+TEST(FaultPlanTest, DecideRespectsTheRate)
+{
+    // rate=1 fires on every attempt; observed frequency at rate=0.3
+    // over many distinct benchmarks tracks the rate.
+    const auto always = FaultPlan::parse("rate=1,seed=3");
+    const auto sometimes = FaultPlan::parse("rate=0.3,seed=3");
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::string name = "bench-" + std::to_string(i);
+        EXPECT_TRUE(always.decide(name, "m", 1));
+        if (sometimes.decide(name, "m", 1))
+            ++fired;
+    }
+    EXPECT_GT(fired, 230);
+    EXPECT_LT(fired, 370);
+}
+
+TEST(FaultPlanTest, DecideOnlyPicksEnabledKinds)
+{
+    const auto plan = FaultPlan::parse("rate=1,kinds=stall,seed=5");
+    for (int i = 0; i < 50; ++i) {
+        const auto d =
+            plan.decide("bench-" + std::to_string(i), "m", 1);
+        ASSERT_TRUE(d);
+        EXPECT_EQ(d.kind, FaultKind::Stall);
+    }
+}
+
+TEST(FaultPlanTest, DecisionVariesAcrossAttemptsAndMachines)
+{
+    // Retries re-roll: at rate=0.5 some benchmark must flip its
+    // outcome between attempt 1 and 2, and between machines.
+    const auto plan = FaultPlan::parse("rate=0.5,seed=11");
+    bool attempt_flip = false, machine_flip = false;
+    for (int i = 0; i < 200; ++i) {
+        const std::string name = "bench-" + std::to_string(i);
+        if (static_cast<bool>(plan.decide(name, "m", 1)) !=
+            static_cast<bool>(plan.decide(name, "m", 2)))
+            attempt_flip = true;
+        if (static_cast<bool>(plan.decide(name, "m1", 1)) !=
+            static_cast<bool>(plan.decide(name, "m2", 1)))
+            machine_flip = true;
+    }
+    EXPECT_TRUE(attempt_flip);
+    EXPECT_TRUE(machine_flip);
+}
+
+TEST(FaultPlanTest, CorruptPayloadIsNonFinite)
+{
+    const auto plan = FaultPlan::parse("rate=1,kinds=corrupt,seed=2");
+    std::set<double> seen; // NaN never inserts equal, that is fine
+    bool saw_nan = false, saw_inf = false;
+    for (int i = 0; i < 200; ++i) {
+        const auto d =
+            plan.decide("bench-" + std::to_string(i), "m", 1);
+        ASSERT_TRUE(d);
+        EXPECT_FALSE(std::isfinite(d.badValue));
+        if (std::isnan(d.badValue))
+            saw_nan = true;
+        if (std::isinf(d.badValue))
+            saw_inf = true;
+    }
+    EXPECT_TRUE(saw_nan);
+    EXPECT_TRUE(saw_inf);
+}
+
+TEST(FaultPlanTest, TraceCapacityStaysInTheDocumentedRange)
+{
+    const auto plan = FaultPlan::parse("rate=1,kinds=trace,seed=4");
+    for (int i = 0; i < 200; ++i) {
+        const auto d =
+            plan.decide("bench-" + std::to_string(i), "m", 1);
+        ASSERT_TRUE(d);
+        EXPECT_GE(d.traceCapacity, 8u);
+        EXPECT_LE(d.traceCapacity, 32u);
+    }
+}
+
+TEST(FaultInjectorTest, BindsTheMachineName)
+{
+    const auto plan = FaultPlan::parse("rate=0.5,seed=13");
+    const FaultInjector inj(plan, "i9");
+    for (int i = 0; i < 50; ++i) {
+        const std::string name = "bench-" + std::to_string(i);
+        const auto direct = plan.decide(name, "i9", 1);
+        const auto bound = inj.decide(name, 1);
+        EXPECT_EQ(direct.kind, bound.kind);
+        EXPECT_EQ(direct.selector, bound.selector);
+    }
+}
+
+TEST(FaultKindTest, NamesRoundTheEnum)
+{
+    EXPECT_EQ(faultKindName(FaultKind::None), "none");
+    EXPECT_EQ(faultKindName(FaultKind::Throw), "throw");
+    EXPECT_EQ(faultKindName(FaultKind::CorruptCounter), "corrupt");
+    EXPECT_EQ(faultKindName(FaultKind::Stall), "stall");
+    EXPECT_EQ(faultKindName(FaultKind::TraceExhaust), "trace");
+}
+
+TEST(FaultErrorTest, RunBudgetExceededCarriesItsFields)
+{
+    const RunBudgetExceeded e(12345.0, 10000);
+    EXPECT_DOUBLE_EQ(e.cycles(), 12345.0);
+    EXPECT_EQ(e.budget(), 10000u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budget"), std::string::npos);
+    EXPECT_NE(what.find("10000"), std::string::npos);
+}
+
+TEST(FaultErrorTest, FaultInjectedErrorCarriesItsKind)
+{
+    const FaultInjectedError e(FaultKind::Stall, "injected");
+    EXPECT_EQ(e.kind(), FaultKind::Stall);
+    EXPECT_STREQ(e.what(), "injected");
+}
+
+TEST(PerturbedSeedTest, FirstAttemptIsIdentity)
+{
+    EXPECT_EQ(perturbedSeed(1, "Json", 1), 1u);
+    EXPECT_EQ(perturbedSeed(99, "Json", 1), 99u);
+    EXPECT_EQ(perturbedSeed(99, "Json", 0), 99u);
+}
+
+TEST(PerturbedSeedTest, RetriesGetDistinctDeterministicSeeds)
+{
+    const auto s2 = perturbedSeed(1, "Json", 2);
+    const auto s3 = perturbedSeed(1, "Json", 3);
+    EXPECT_NE(s2, 1u);
+    EXPECT_NE(s3, 1u);
+    EXPECT_NE(s2, s3);
+    EXPECT_EQ(perturbedSeed(1, "Json", 2), s2); // deterministic
+    // Different benchmarks diverge even at the same attempt.
+    EXPECT_NE(perturbedSeed(1, "Mono", 2), s2);
+}

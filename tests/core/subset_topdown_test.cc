@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "core/subset.hh"
 #include "core/topdown.hh"
@@ -65,6 +68,74 @@ TEST(SubsetTest, RejectsTooSmallCorpus)
     SubsetOptions opts;
     opts.subsetSize = 8;
     EXPECT_THROW(buildSubset(rows, opts), std::invalid_argument);
+}
+
+TEST(SubsetTest, NonFiniteRowsAreDroppedAndIndicesMapBack)
+{
+    auto rows = twoGroups(8); // rows 0..7 group A, 8..15 group B
+    rows[3][5] = std::numeric_limits<double>::quiet_NaN();
+    SubsetOptions opts;
+    opts.subsetSize = 2;
+    const auto result = buildSubset(rows, opts);
+
+    // The poisoned row is reported dropped, never imputed.
+    ASSERT_EQ(result.sanitize.droppedRows.size(), 1u);
+    EXPECT_EQ(result.sanitize.droppedRows[0], 3u);
+    ASSERT_EQ(result.sanitize.cells.size(), 1u);
+    EXPECT_EQ(result.sanitize.cells[0].row, 3u);
+    EXPECT_EQ(result.sanitize.cells[0].col, 5u);
+
+    // rowMap skips the dropped row: sanitized row i maps to original
+    // row i for i < 3 and i + 1 afterwards.
+    ASSERT_EQ(result.rowMap.size(), 15u);
+    EXPECT_EQ(result.rowMap[2], 2u);
+    EXPECT_EQ(result.rowMap[3], 4u);
+    EXPECT_EQ(result.rowMap[14], 15u);
+
+    // Clusters and representatives use ORIGINAL indices, never 3,
+    // and the two behavior groups still separate over survivors.
+    std::size_t seen = 0;
+    for (const auto &cluster : result.clusters) {
+        const bool first_group = cluster.front() < 8;
+        for (auto idx : cluster) {
+            EXPECT_NE(idx, 3u);
+            EXPECT_LT(idx, 16u);
+            EXPECT_EQ(idx < 8, first_group);
+            ++seen;
+        }
+    }
+    EXPECT_EQ(seen, 15u);
+    for (auto rep : result.representatives) {
+        EXPECT_NE(rep, 3u);
+        EXPECT_LT(rep, 16u);
+    }
+}
+
+TEST(SubsetTest, CleanInputHasIdentityRowMap)
+{
+    const auto rows = twoGroups(4);
+    SubsetOptions opts;
+    opts.subsetSize = 2;
+    const auto result = buildSubset(rows, opts);
+    EXPECT_TRUE(result.sanitize.clean());
+    ASSERT_EQ(result.rowMap.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(result.rowMap[i], i);
+}
+
+TEST(SubsetTest, ThrowsWhenTooFewFiniteRowsSurvive)
+{
+    auto rows = twoGroups(2); // 4 benchmarks
+    rows[0][0] = std::numeric_limits<double>::infinity();
+    SubsetOptions opts;
+    opts.subsetSize = 4; // 3 finite rows < 4
+    try {
+        buildSubset(rows, opts);
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("finite"), std::string::npos);
+    }
 }
 
 TEST(ScoreTest, BenchmarkScoresAreTimeRatios)

@@ -242,3 +242,19 @@ TEST_P(PcaPropertyTest, InvariantsHoldOnRandomData)
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, PcaPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(PcaTest, RejectsNonFiniteInputWithCellCoordinates)
+{
+    ns::Matrix data{{1.0, 2.0},
+                    {3.0, std::numeric_limits<double>::quiet_NaN()},
+                    {5.0, 6.0}};
+    try {
+        ns::runPca(data, {.components = 2, .standardize = true});
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("non-finite"), std::string::npos);
+        EXPECT_NE(what.find("(1,1)"), std::string::npos);
+        EXPECT_NE(what.find("sanitizeMatrix"), std::string::npos);
+    }
+}

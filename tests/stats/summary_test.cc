@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "stats/matrix.hh"
@@ -146,6 +148,66 @@ TEST(SummaryTest, StandardizeColumnsProducesZScores)
     // Constant column maps to zeros, not NaN.
     for (std::size_t r = 0; r < 3; ++r)
         EXPECT_DOUBLE_EQ(z(r, 1), 0.0);
+}
+
+TEST(SanitizeTest, CleanMatrixPassesThroughUntouched)
+{
+    ns::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    ns::SanitizeReport report;
+    const auto out = ns::sanitizeMatrix(m, report);
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(report.droppedRows.empty());
+    ASSERT_EQ(out.rows(), 2u);
+    EXPECT_DOUBLE_EQ(out(1, 1), 4.0);
+}
+
+TEST(SanitizeTest, NonFiniteCellsAreReportedAndRowsDropped)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    ns::Matrix m{{1.0, 2.0, 3.0},
+                 {nan, 5.0, 6.0},
+                 {7.0, 8.0, -inf},
+                 {9.0, 10.0, 11.0}};
+    ns::SanitizeReport report;
+    const auto out = ns::sanitizeMatrix(m, report);
+    EXPECT_FALSE(report.clean());
+    ASSERT_EQ(report.cells.size(), 2u);
+    EXPECT_EQ(report.cells[0].row, 1u);
+    EXPECT_EQ(report.cells[0].col, 0u);
+    EXPECT_EQ(report.cells[0].value, "nan");
+    EXPECT_EQ(report.cells[1].row, 2u);
+    EXPECT_EQ(report.cells[1].col, 2u);
+    EXPECT_EQ(report.cells[1].value, "-inf");
+    ASSERT_EQ(report.droppedRows.size(), 2u);
+    EXPECT_EQ(report.droppedRows[0], 1u);
+    EXPECT_EQ(report.droppedRows[1], 2u);
+    // Survivors keep their order and values — never imputed.
+    ASSERT_EQ(out.rows(), 2u);
+    EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(out(1, 2), 11.0);
+}
+
+TEST(SanitizeTest, DescribeNamesEveryOffendingCell)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ns::Matrix m{{1.0, nan}, {2.0, 3.0}};
+    ns::SanitizeReport report;
+    ns::sanitizeMatrix(m, report);
+    const auto msg = report.describe(2);
+    EXPECT_NE(msg.find("dropped 1 of 2 rows"), std::string::npos);
+    EXPECT_NE(msg.find("(0,1)"), std::string::npos);
+    EXPECT_NE(msg.find("nan"), std::string::npos);
+}
+
+TEST(SanitizeTest, DropRowsPreservesOrderAndIgnoresDuplicates)
+{
+    ns::Matrix m{{0.0}, {1.0}, {2.0}, {3.0}};
+    const std::size_t drops[] = {1, 1, 3};
+    const auto out = ns::dropRows(m, drops);
+    ASSERT_EQ(out.rows(), 2u);
+    EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(out(1, 0), 2.0);
 }
 
 TEST(SummaryTest, StandardizedColumnsHaveUnitVariance)

@@ -50,7 +50,14 @@ struct CliOptions
     std::size_t bufferEvents = 65'536;
     /** suite: directory for per-benchmark chrome traces. */
     std::string traceOut;
+    /** suite/subset: chaos spec ("rate=...,kinds=...,seed=..."). */
+    std::string chaosSpec;
+    /** suite/subset: failure-ledger output file (.json = JSON). */
+    std::string ledgerFile;
 };
+
+/** Exit code for a sweep that lost some (not all) runs. */
+constexpr int kExitPartialFailure = 2;
 
 int
 usage()
@@ -85,7 +92,20 @@ usage()
         "                          (0 = one per hardware thread)\n"
         "  --stats                 suite: run ledger on stderr\n"
         "  --size K                subset: subset size (default 8)\n"
-        "see docs/CLI.md for exit codes and example transcripts\n");
+        "failure handling (suite/subset):\n"
+        "  --chaos SPEC            inject deterministic faults, e.g.\n"
+        "                          rate=0.1,kinds=throw+stall,seed=7\n"
+        "  --keep-going            sweep past failed runs (default)\n"
+        "  --fail-fast             abort the sweep on first failure\n"
+        "  --max-attempts N        attempts per run (default 2)\n"
+        "  --quarantine-after N    stop retrying a run after N\n"
+        "                          consecutive failures (default off)\n"
+        "  --run-budget CYCLES     per-run simulated-cycle watchdog\n"
+        "  --backoff-us N          retry backoff base, microseconds\n"
+        "  --ledger FILE           write the failure ledger (CSV, or\n"
+        "                          JSON when FILE ends in .json)\n"
+        "exit codes: 0 clean, 1 usage/total failure, 2 partial\n"
+        "see docs/CLI.md for details and example transcripts\n");
     return EXIT_FAILURE;
 }
 
@@ -184,6 +204,36 @@ parseOptions(int argc, char **argv, int first)
                 static_cast<std::size_t>(nextNumber());
         else if (arg == "--trace-out")
             opts.traceOut = next();
+        else if (arg == "--chaos") {
+            opts.chaosSpec = next();
+            try {
+                FaultPlan::parse(opts.chaosSpec); // validate early
+            } catch (const std::exception &ex) {
+                std::fprintf(stderr, "netchar: %s\n", ex.what());
+                std::exit(EXIT_FAILURE);
+            }
+        } else if (arg == "--keep-going")
+            opts.par.resilience.keepGoing = true;
+        else if (arg == "--fail-fast")
+            opts.par.resilience.keepGoing = false;
+        else if (arg == "--max-attempts") {
+            opts.par.maxAttempts =
+                static_cast<unsigned>(nextNumber());
+            if (opts.par.maxAttempts == 0) {
+                std::fprintf(
+                    stderr,
+                    "netchar: --max-attempts must be >= 1\n");
+                std::exit(EXIT_FAILURE);
+            }
+        } else if (arg == "--quarantine-after")
+            opts.par.resilience.quarantineAfter =
+                static_cast<unsigned>(nextNumber());
+        else if (arg == "--run-budget")
+            opts.run.runBudgetCycles = nextNumber();
+        else if (arg == "--backoff-us")
+            opts.par.resilience.backoffBaseMicros = nextNumber();
+        else if (arg == "--ledger")
+            opts.ledgerFile = next();
         else {
             // Name the offending flag first, then the usage block,
             // so the error survives a scrolled-off screen.
@@ -226,6 +276,50 @@ printStats(const SuiteRunStats &stats, const std::string &format)
         fmtPercent(stats.utilization()).c_str(),
         static_cast<unsigned long long>(stats.steals),
         stats.retriedRuns(), stats.failedRuns());
+}
+
+/** Write the failure ledger to `file` (.json = JSON, else CSV). */
+bool
+writeLedger(const SuiteRunStats &stats, const std::string &file)
+{
+    if (file.empty())
+        return true;
+    std::ofstream out(file, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", file.c_str());
+        return false;
+    }
+    const bool json = file.size() >= 5 &&
+                      file.compare(file.size() - 5, 5, ".json") == 0;
+    if (json)
+        out << failureLedgerJson(stats) << '\n';
+    else
+        out << failureLedgerCsv(stats);
+    return true;
+}
+
+/** Warn about lost runs; clean / partial / total-failure exit code. */
+int
+sweepExitCode(const SuiteRunStats &stats)
+{
+    for (const auto &r : stats.runs) {
+        if (r.skipped)
+            std::fprintf(stderr,
+                         "warning: %s skipped (fail-fast abort)\n",
+                         r.benchmark.c_str());
+        else if (!r.succeeded)
+            std::fprintf(
+                stderr,
+                "warning: %s failed after %u attempts%s: %s\n",
+                r.benchmark.c_str(), r.attempts,
+                r.quarantined ? " (quarantined)" : "",
+                r.error.c_str());
+    }
+    const unsigned failed = stats.failedRuns();
+    if (failed == 0)
+        return EXIT_SUCCESS;
+    return failed >= stats.runs.size() ? EXIT_FAILURE
+                                       : kExitPartialFailure;
 }
 
 int
@@ -405,12 +499,22 @@ cmdSuite(const std::string &suite_name, const CliOptions &opts)
     const auto profiles = wl::suiteProfiles(suite);
     Characterizer ch(machineFor(opts.machine));
 
+    // The plan must outlive the sweep; par holds a pointer to it.
+    FaultPlan chaos;
+    Parallelism par = opts.par;
+    if (!opts.chaosSpec.empty()) {
+        chaos = FaultPlan::parse(opts.chaosSpec);
+        par.resilience.chaos = &chaos;
+        std::fprintf(stderr, "  chaos: %s\n",
+                     chaos.describe().c_str());
+    }
+
     std::vector<std::string> names;
     for (const auto &p : profiles)
         names.push_back(p.name);
-    if (opts.par.jobs)
+    if (par.jobs)
         std::fprintf(stderr, "  %zu benchmarks, %u job(s) ...\n",
-                     profiles.size(), opts.par.jobs);
+                     profiles.size(), par.jobs);
     else
         std::fprintf(stderr, "  %zu benchmarks, auto jobs ...\n",
                      profiles.size());
@@ -420,8 +524,9 @@ cmdSuite(const std::string &suite_name, const CliOptions &opts)
         // same runs (capture derives RunResult like run() does).
         TraceOptions topts;
         topts.bufferEvents = opts.bufferEvents;
+        SuiteRunStats stats;
         const auto captures =
-            ch.captureAll(profiles, opts.run, topts, opts.par);
+            ch.captureAll(profiles, opts.run, topts, par, &stats);
         std::error_code ec;
         std::filesystem::create_directories(opts.traceOut, ec);
         if (ec) {
@@ -450,25 +555,23 @@ cmdSuite(const std::string &suite_name, const CliOptions &opts)
             std::printf("%s", metricsCsv(names, results).c_str());
         std::fprintf(stderr, "  wrote %zu trace(s) to %s\n",
                      captures.size(), opts.traceOut.c_str());
-        return EXIT_SUCCESS;
+        if (opts.stats)
+            printStats(stats, opts.format);
+        if (!writeLedger(stats, opts.ledgerFile))
+            return EXIT_FAILURE;
+        return sweepExitCode(stats);
     }
     SuiteRunStats stats;
-    const auto results =
-        ch.runAll(profiles, opts.run, opts.par, &stats);
+    const auto results = ch.runAll(profiles, opts.run, par, &stats);
     if (opts.format == "json")
         std::printf("%s\n", suiteJson(names, results).c_str());
     else
         std::printf("%s", metricsCsv(names, results).c_str());
     if (opts.stats)
         printStats(stats, opts.format);
-    for (const auto &r : stats.runs) {
-        if (!r.succeeded)
-            std::fprintf(stderr,
-                         "warning: %s failed after %u attempts: %s\n",
-                         r.benchmark.c_str(), r.attempts,
-                         r.error.c_str());
-    }
-    return stats.failedRuns() == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+    if (!writeLedger(stats, opts.ledgerFile))
+        return EXIT_FAILURE;
+    return sweepExitCode(stats);
 }
 
 int
@@ -480,42 +583,61 @@ cmdSubset(const std::string &suite_name, const CliOptions &opts)
     const auto profiles = wl::suiteProfiles(suite);
     Characterizer ch(machineFor(opts.machine));
 
-    if (opts.par.jobs)
+    FaultPlan chaos;
+    Parallelism par = opts.par;
+    if (!opts.chaosSpec.empty()) {
+        chaos = FaultPlan::parse(opts.chaosSpec);
+        par.resilience.chaos = &chaos;
+        std::fprintf(stderr, "  chaos: %s\n",
+                     chaos.describe().c_str());
+    }
+
+    if (par.jobs)
         std::fprintf(stderr, "  %zu benchmarks, %u job(s) ...\n",
-                     profiles.size(), opts.par.jobs);
+                     profiles.size(), par.jobs);
     else
         std::fprintf(stderr, "  %zu benchmarks, auto jobs ...\n",
                      profiles.size());
     SuiteRunStats stats;
-    const auto results =
-        ch.runAll(profiles, opts.run, opts.par, &stats);
-    if (stats.failedRuns() > 0) {
-        for (const auto &r : stats.runs) {
-            if (!r.succeeded)
-                std::fprintf(stderr,
-                             "error: %s failed after %u attempts: "
-                             "%s\n",
-                             r.benchmark.c_str(), r.attempts,
-                             r.error.c_str());
-        }
+    const auto results = ch.runAll(profiles, opts.run, par, &stats);
+    if (!writeLedger(stats, opts.ledgerFile))
         return EXIT_FAILURE;
-    }
+
+    // Keep-going semantics: build the subset over surviving rows,
+    // keeping the original benchmark names attached.
     std::vector<MetricVector> rows;
-    for (const auto &r : results)
-        rows.push_back(r.metrics);
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (stats.runs[i].succeeded) {
+            rows.push_back(results[i].metrics);
+            survivors.push_back(i);
+        }
+    }
+    const int sweep_code = sweepExitCode(stats);
+    if (sweep_code == EXIT_FAILURE)
+        return EXIT_FAILURE;
+
     SubsetOptions sopts;
     sopts.subsetSize = opts.subsetSize;
-    const auto subset = buildSubset(rows, sopts);
-    std::printf("# representative subset (%zu of %zu), PRCO "
-                "variance %s\n",
-                subset.representatives.size(), profiles.size(),
+    SubsetResult subset;
+    try {
+        subset = buildSubset(rows, sopts);
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return EXIT_FAILURE;
+    }
+    std::printf("# representative subset (%zu of %zu surviving, "
+                "%zu total), PRCO variance %s\n",
+                subset.representatives.size(), rows.size(),
+                profiles.size(),
                 fmtPercent(subset.pca.cumulativeExplained()).c_str());
     for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+        const std::size_t rep = survivors[subset.representatives[c]];
         std::printf("%s  (cluster of %zu)\n",
-                    profiles[subset.representatives[c]].name.c_str(),
+                    profiles[rep].name.c_str(),
                     subset.clusters[c].size());
     }
-    return EXIT_SUCCESS;
+    return sweep_code;
 }
 
 } // namespace
