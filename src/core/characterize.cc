@@ -459,6 +459,9 @@ Characterizer::captureAll(
     const RunOptions &options, const TraceOptions &topts,
     const Parallelism &par, SuiteRunStats *stats) const
 {
+    // Host wall time feeds only the run ledger (SuiteRunStats),
+    // never simulated results.
+    // netchar-lint: allow(no-wallclock) -- wall-time run ledger site
     using Clock = std::chrono::steady_clock;
     const std::size_t n = profiles.size();
     unsigned jobs = par.jobs != 0
@@ -630,6 +633,9 @@ Characterizer::runAll(const std::vector<wl::WorkloadProfile> &profiles,
                       const RunOptions &options, const Parallelism &par,
                       SuiteRunStats *stats) const
 {
+    // Host wall time feeds only the run ledger (SuiteRunStats),
+    // never simulated results.
+    // netchar-lint: allow(no-wallclock) -- wall-time run ledger site
     using Clock = std::chrono::steady_clock;
     const std::size_t n = profiles.size();
     unsigned jobs = par.jobs != 0

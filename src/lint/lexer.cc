@@ -1,0 +1,316 @@
+#include "lint/lexer.hh"
+
+#include <array>
+#include <cctype>
+
+namespace netchar::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/**
+ * Multi-character punctuators, longest first so maximal munch works
+ * by scanning the table in order. Only `::` and `...` matter to the
+ * rules; the rest keep the stream faithful (so `->` is one token,
+ * not a `-` the rules might misread).
+ */
+constexpr std::array<std::string_view, 22> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=",
+    "/=",  "%=",  "++",  "--",
+};
+
+/** Cursor over the source with 1-based line/column tracking. */
+struct Cursor
+{
+    std::string_view src;
+    std::size_t pos = 0;
+    int line = 1;
+    int column = 1;
+
+    bool done() const { return pos >= src.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+    bool startsWith(std::string_view s) const
+    {
+        return src.compare(pos, s.size(), s) == 0;
+    }
+    void advance()
+    {
+        if (src[pos] == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+        ++pos;
+    }
+    void advance(std::size_t n)
+    {
+        while (n-- > 0 && !done())
+            advance();
+    }
+};
+
+/** Trim ASCII whitespace from both ends. */
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+/**
+ * Parse the body of a comment that contains the pragma marker. The
+ * grammar is strict on purpose — a pragma that silences a rule must
+ * name the rule and carry a human reason, or it is itself a finding.
+ */
+Pragma
+parsePragma(std::string_view comment, int line)
+{
+    Pragma p;
+    p.line = line;
+
+    const std::string_view marker = "netchar-lint:";
+    const auto at = comment.find(marker);
+    std::string_view rest = trim(comment.substr(at + marker.size()));
+
+    const std::string_view verb = "allow(";
+    if (rest.compare(0, verb.size(), verb) != 0) {
+        p.malformed = true;
+        p.error = "expected 'allow(<rule>) -- <reason>' after "
+                  "'netchar-lint:'";
+        return p;
+    }
+    rest.remove_prefix(verb.size());
+    const auto close = rest.find(')');
+    if (close == std::string_view::npos) {
+        p.malformed = true;
+        p.error = "unterminated allow(...) rule list";
+        return p;
+    }
+    std::string_view list = rest.substr(0, close);
+    rest = trim(rest.substr(close + 1));
+
+    while (!list.empty()) {
+        const auto comma = list.find(',');
+        const std::string_view name = trim(list.substr(0, comma));
+        if (name.empty()) {
+            p.malformed = true;
+            p.error = "empty rule name in allow(...)";
+            return p;
+        }
+        p.rules.emplace_back(name);
+        if (comma == std::string_view::npos)
+            break;
+        list.remove_prefix(comma + 1);
+    }
+    if (p.rules.empty()) {
+        p.malformed = true;
+        p.error = "allow(...) names no rule";
+        return p;
+    }
+
+    if (rest.compare(0, 2, "--") != 0) {
+        p.malformed = true;
+        p.error = "missing '-- <reason>' after allow(...)";
+        return p;
+    }
+    rest = trim(rest.substr(2));
+    // Block comments may carry their terminator into the text.
+    if (rest.size() >= 2 && rest.substr(rest.size() - 2) == "*/")
+        rest = trim(rest.substr(0, rest.size() - 2));
+    if (rest.empty()) {
+        p.malformed = true;
+        p.error = "suppression reason after '--' is empty";
+        return p;
+    }
+    p.reason = std::string(rest);
+    return p;
+}
+
+/** Record `comment` as a pragma if it contains the marker. */
+void
+harvestPragma(LexedFile &out, std::string_view comment, int line)
+{
+    if (comment.find("netchar-lint:") != std::string_view::npos)
+        out.pragmas.push_back(parsePragma(comment, line));
+}
+
+} // namespace
+
+LexedFile
+lex(std::string_view source)
+{
+    LexedFile out;
+    Cursor c{source};
+
+    while (!c.done()) {
+        const char ch = c.peek();
+
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            c.advance();
+            continue;
+        }
+
+        // Line comment (also harvests pragmas).
+        if (ch == '/' && c.peek(1) == '/') {
+            const int line = c.line;
+            const std::size_t start = c.pos;
+            while (!c.done() && c.peek() != '\n')
+                c.advance();
+            harvestPragma(out, source.substr(start, c.pos - start),
+                          line);
+            continue;
+        }
+
+        // Block comment.
+        if (ch == '/' && c.peek(1) == '*') {
+            const int line = c.line;
+            const std::size_t start = c.pos;
+            c.advance(2);
+            while (!c.done() && !c.startsWith("*/"))
+                c.advance();
+            c.advance(2);
+            harvestPragma(out, source.substr(start, c.pos - start),
+                          line);
+            continue;
+        }
+
+        // Raw string literal: (prefix)R"delim( ... )delim".
+        if (ch == 'R' && c.peek(1) == '"') {
+            const int line = c.line;
+            const int column = c.column;
+            c.advance(2);
+            std::string delim;
+            while (!c.done() && c.peek() != '(') {
+                delim += c.peek();
+                c.advance();
+            }
+            c.advance(); // '('
+            const std::string close = ")" + delim + "\"";
+            while (!c.done() && !c.startsWith(close))
+                c.advance();
+            c.advance(close.size());
+            out.tokens.push_back(
+                {TokenKind::String, "<raw-string>", line, column});
+            continue;
+        }
+
+        // Ordinary string or char literal (with escape handling).
+        if (ch == '"' || ch == '\'') {
+            const int line = c.line;
+            const int column = c.column;
+            const char quote = ch;
+            c.advance();
+            while (!c.done() && c.peek() != quote) {
+                if (c.peek() == '\\')
+                    c.advance();
+                if (!c.done())
+                    c.advance();
+            }
+            c.advance(); // closing quote
+            out.tokens.push_back({quote == '"' ? TokenKind::String
+                                               : TokenKind::CharLit,
+                                  quote == '"' ? "<string>"
+                                               : "<char>",
+                                  line, column});
+            continue;
+        }
+
+        // Identifier. String-literal prefixes (u8"", L"", ...)
+        // stay plain identifiers followed by a String token, which
+        // is faithful enough for the rules.
+        if (isIdentStart(ch)) {
+            const int line = c.line;
+            const int column = c.column;
+            std::string text;
+            while (!c.done() && isIdentChar(c.peek())) {
+                text += c.peek();
+                c.advance();
+            }
+            out.tokens.push_back(
+                {TokenKind::Identifier, std::move(text), line,
+                 column});
+            continue;
+        }
+
+        // pp-number: digits plus '.', digit separators and
+        // exponent signs. `1.5e-3` and `0x1fp+2` are one token.
+        if (isDigit(ch) ||
+            (ch == '.' && isDigit(c.peek(1)))) {
+            const int line = c.line;
+            const int column = c.column;
+            std::string text;
+            while (!c.done()) {
+                const char d = c.peek();
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    text += d;
+                    c.advance();
+                    continue;
+                }
+                if ((d == '+' || d == '-') && !text.empty()) {
+                    const char prev = text.back();
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        text += d;
+                        c.advance();
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.tokens.push_back(
+                {TokenKind::Number, std::move(text), line, column});
+            continue;
+        }
+
+        // Punctuation, longest munch over the multi-char table.
+        {
+            const int line = c.line;
+            const int column = c.column;
+            std::string text;
+            for (const std::string_view p : kPuncts) {
+                if (c.startsWith(p)) {
+                    text = std::string(p);
+                    break;
+                }
+            }
+            if (text.empty())
+                text = std::string(1, ch);
+            c.advance(text.size());
+            out.tokens.push_back(
+                {TokenKind::Punct, std::move(text), line, column});
+        }
+    }
+
+    return out;
+}
+
+} // namespace netchar::lint

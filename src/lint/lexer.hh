@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small comment/string-aware C++ tokenizer for netchar-lint.
+ *
+ * This is deliberately not a C++ parser: the lint rules only need a
+ * token stream in which comments, string literals (including raw
+ * strings) and character literals can never be mistaken for code.
+ * Everything else — identifiers, numbers, punctuation — is surfaced
+ * with 1-based line/column positions so findings are clickable.
+ *
+ * The lexer is also where suppression pragmas are recognised: a
+ * comment containing the marker `netchar-lint` followed by a colon,
+ * then `allow(<rule>[,<rule>...]) -- <reason>`. (The marker is not
+ * written out literally here, or this header would carry pragmas.)
+ *
+ * A pragma comment suppresses matching findings on its own line and
+ * on the line directly below it (so it works both as a trailing
+ * comment and as a comment line above the flagged statement). The
+ * reason after `--` is mandatory; a pragma without one is surfaced as
+ * malformed and suppresses nothing.
+ */
+
+#ifndef NETCHAR_LINT_LEXER_HH
+#define NETCHAR_LINT_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netchar::lint
+{
+
+enum class TokenKind
+{
+    Identifier, ///< keywords are not distinguished from identifiers
+    Number,     ///< pp-number: 0x1f, 1'000, 1.5e-3, ...
+    String,     ///< "..." (any prefix), R"(...)" raw strings
+    CharLit,    ///< '...'
+    Punct,      ///< operators and punctuation, longest-munch
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    int line = 0;   ///< 1-based
+    int column = 0; ///< 1-based byte column
+};
+
+/** One parsed netchar-lint pragma comment. */
+struct Pragma
+{
+    int line = 0; ///< line the comment starts on
+    std::vector<std::string> rules; ///< rule names inside allow(...)
+    std::string reason;             ///< text after `--`
+    bool malformed = false;
+    std::string error; ///< why the pragma was rejected
+};
+
+/** Token stream plus any lint pragmas found in comments. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Pragma> pragmas;
+};
+
+/**
+ * Tokenize one translation unit. Never throws on malformed input:
+ * an unterminated comment or literal simply ends at end-of-file
+ * (the real compiler is the syntax checker, not the linter).
+ */
+LexedFile lex(std::string_view source);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_LEXER_HH

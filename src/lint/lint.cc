@@ -1,0 +1,283 @@
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "stats/textio.hh"
+
+namespace netchar::lint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Extensions the walker treats as C++ sources. */
+constexpr std::string_view kExtensions[] = {
+    ".cc", ".hh", ".cpp", ".hpp", ".h", ".cxx", ".hxx",
+};
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    for (const std::string_view e : kExtensions)
+        if (ext == e)
+            return true;
+    return false;
+}
+
+/** Directories the walker never descends into. */
+bool
+isSkippedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name.empty() || name.front() == '.' ||
+           name == "build" || name == "_deps" ||
+           name.rfind("build-", 0) == 0;
+}
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.column != b.column)
+                      return a.column < b.column;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+}
+
+/**
+ * Validate pragmas (appending `bad-pragma` findings) and drop
+ * findings a valid pragma covers. A pragma covers its own line and
+ * the line directly below, for the named rules only.
+ */
+void
+applyPragmas(const std::string &path, const LexedFile &lexed,
+             std::vector<Finding> &found, LintResult &result)
+{
+    struct Suppression
+    {
+        int line;
+        std::string rule;
+    };
+    std::vector<Suppression> active;
+
+    for (const Pragma &pragma : lexed.pragmas) {
+        if (pragma.malformed) {
+            Finding f;
+            f.file = path;
+            f.line = pragma.line;
+            f.column = 1;
+            f.rule = "bad-pragma";
+            f.severity = Severity::Error;
+            f.message = pragma.error;
+            result.findings.push_back(std::move(f));
+            continue;
+        }
+        for (const std::string &rule : pragma.rules) {
+            if (!isRuleName(rule)) {
+                Finding f;
+                f.file = path;
+                f.line = pragma.line;
+                f.column = 1;
+                f.rule = "bad-pragma";
+                f.severity = Severity::Error;
+                f.message =
+                    "allow() names unknown rule '" + rule + "'";
+                result.findings.push_back(std::move(f));
+                continue;
+            }
+            active.push_back({pragma.line, rule});
+        }
+    }
+
+    for (Finding &f : found) {
+        bool suppressed = false;
+        for (const Suppression &s : active)
+            if (f.rule == s.rule &&
+                (f.line == s.line || f.line == s.line + 1)) {
+                suppressed = true;
+                break;
+            }
+        if (suppressed)
+            ++result.suppressedCount;
+        else
+            result.findings.push_back(std::move(f));
+    }
+}
+
+void
+lintInto(const std::string &path, std::string_view content,
+         LintResult &result)
+{
+    const LexedFile lexed = lex(content);
+    std::vector<Finding> found;
+    for (const auto &rule : allRules())
+        if (rule->appliesTo(path))
+            rule->check(path, lexed, found);
+    applyPragmas(path, lexed, found, result);
+    ++result.filesScanned;
+}
+
+} // namespace
+
+bool
+LintResult::hasError() const
+{
+    for (const Finding &f : findings)
+        if (f.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+LintResult
+lintSource(const std::string &path, std::string_view content)
+{
+    LintResult result;
+    lintInto(path, content, result);
+    sortFindings(result.findings);
+    return result;
+}
+
+LintResult
+lintPaths(const std::vector<std::string> &paths,
+          std::vector<std::string> &errors)
+{
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        const fs::file_status st = fs::status(p, ec);
+        if (ec) {
+            errors.push_back(p + ": " + ec.message());
+            continue;
+        }
+        if (fs::is_regular_file(st)) {
+            files.push_back(fs::path(p).generic_string());
+            continue;
+        }
+        if (!fs::is_directory(st)) {
+            errors.push_back(p + ": not a file or directory");
+            continue;
+        }
+        fs::recursive_directory_iterator it(p, ec), end;
+        if (ec) {
+            errors.push_back(p + ": " + ec.message());
+            continue;
+        }
+        for (; it != end; it.increment(ec)) {
+            if (ec) {
+                errors.push_back(p + ": " + ec.message());
+                break;
+            }
+            if (it->is_directory()) {
+                if (isSkippedDir(it->path()))
+                    it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && isSourceFile(it->path()))
+                files.push_back(it->path().generic_string());
+        }
+    }
+
+    // Lexicographic order, never enumeration order: reports must be
+    // byte-identical across filesystems and repeated runs.
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+
+    LintResult result;
+    for (const std::string &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            errors.push_back(file + ": cannot open");
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string content = buf.str();
+        lintInto(file, content, result);
+    }
+    sortFindings(result.findings);
+    return result;
+}
+
+std::string
+renderText(const LintResult &result)
+{
+    std::ostringstream out;
+    std::size_t nerror = 0;
+    std::size_t nwarning = 0;
+    for (const Finding &f : result.findings) {
+        out << f.file << ':' << f.line << ": " << f.rule << ": "
+            << f.message << '\n';
+        if (f.severity == Severity::Error)
+            ++nerror;
+        else
+            ++nwarning;
+    }
+    out << "netchar-lint: " << result.findings.size()
+        << " finding(s) (" << nerror << " error(s), " << nwarning
+        << " warning(s)), " << result.suppressedCount
+        << " suppressed, " << result.filesScanned
+        << " file(s) scanned\n";
+    return out.str();
+}
+
+std::string
+renderJson(const LintResult &result)
+{
+    std::ostringstream out;
+    std::size_t nerror = 0;
+    std::size_t nwarning = 0;
+    for (const Finding &f : result.findings) {
+        if (f.severity == Severity::Error)
+            ++nerror;
+        else
+            ++nwarning;
+    }
+    out << "{\n  \"version\": 1,\n  \"filesScanned\": "
+        << result.filesScanned
+        << ",\n  \"suppressed\": " << result.suppressedCount
+        << ",\n  \"counts\": {\"error\": " << nerror
+        << ", \"warning\": " << nwarning
+        << "},\n  \"findings\": [";
+    bool first = true;
+    for (const Finding &f : result.findings) {
+        out << (first ? "\n" : ",\n")
+            << "    {\"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line
+            << ", \"column\": " << f.column << ", \"rule\": \""
+            << jsonEscape(f.rule) << "\", \"severity\": \""
+            << severityName(f.severity) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\"}";
+        first = false;
+    }
+    out << (first ? "]\n}\n" : "\n  ]\n}\n");
+    return out.str();
+}
+
+std::string
+listRulesText()
+{
+    std::ostringstream out;
+    for (const auto &rule : allRules())
+        out << rule->name() << " (" << severityName(rule->severity())
+            << "): " << rule->summary() << '\n';
+    out << "bad-pragma (error): reserved - a netchar-lint pragma "
+           "that is malformed, lacks a reason, or names an "
+           "unknown rule\n";
+    return out.str();
+}
+
+} // namespace netchar::lint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * netchar-lint driver: file discovery, pragma suppression and
+ * deterministic report rendering.
+ *
+ * Determinism is a feature of the linter itself, not just what it
+ * checks: discovered files are sorted lexicographically (never the
+ * directory enumeration order), findings are sorted by
+ * (file, line, column, rule), and both the text and JSON renderings
+ * are pure functions of the sorted finding list — repeated runs over
+ * an unchanged tree are byte-identical.
+ *
+ * Suppression contract: a finding is dropped only when a well-formed
+ * netchar-lint `allow(<rule>) -- <reason>` pragma comment names its
+ * rule on the same line or the line directly above.
+ * Malformed pragmas (missing reason, unknown rule, bad syntax) are
+ * themselves findings under the reserved rule name `bad-pragma` and
+ * suppress nothing.
+ */
+
+#ifndef NETCHAR_LINT_LINT_HH
+#define NETCHAR_LINT_LINT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hh"
+
+namespace netchar::lint
+{
+
+/** Outcome of linting one buffer or a whole tree. */
+struct LintResult
+{
+    /** Unsuppressed findings, sorted (file, line, column, rule). */
+    std::vector<Finding> findings;
+    /** How many findings valid pragmas suppressed. */
+    std::size_t suppressedCount = 0;
+    std::size_t filesScanned = 0;
+    /** True when any finding has Severity::Error. */
+    bool hasError() const;
+};
+
+/**
+ * Lint one in-memory buffer as if it lived at `path` (which drives
+ * per-rule directory scoping). This is the unit-test entry point.
+ */
+LintResult lintSource(const std::string &path,
+                      std::string_view content);
+
+/**
+ * Lint files and directory trees. Directories are walked
+ * recursively for C++ sources (.cc/.hh/.cpp/.hpp/.h/.cxx/.hxx);
+ * the final file list is sorted and de-duplicated. An unreadable
+ * path appends to `errors` and is otherwise skipped.
+ */
+LintResult lintPaths(const std::vector<std::string> &paths,
+                     std::vector<std::string> &errors);
+
+/** Render `file:line: rule: message` lines plus a summary line. */
+std::string renderText(const LintResult &result);
+
+/** Render the machine-readable JSON report (schema version 1). */
+std::string renderJson(const LintResult &result);
+
+/** One line per registered rule: name, severity, summary. */
+std::string listRulesText();
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_LINT_HH

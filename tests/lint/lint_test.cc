@@ -1,0 +1,564 @@
+/**
+ * @file
+ * netchar-lint fixture tests: every rule's true-positive and
+ * true-negative cases, pragma suppression semantics (including the
+ * mandatory reason), deterministic report ordering and the JSON
+ * schema.
+ *
+ * Fixtures are inline snippets linted through lintSource() under a
+ * pretend path — the path drives per-rule directory scoping, so the
+ * same snippet can be asserted flagged in src/sim and clean in
+ * bench. The pragma marker inside fixtures is assembled from
+ * "netchar-lint" plus ":" at runtime where needed only in comments;
+ * string literals are never scanned, so writing it here is safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace
+{
+
+using netchar::lint::Finding;
+using netchar::lint::LintResult;
+using netchar::lint::lintSource;
+
+/** All rule names among `findings`, in report order. */
+std::vector<std::string>
+rulesOf(const LintResult &r)
+{
+    std::vector<std::string> names;
+    for (const Finding &f : r.findings)
+        names.push_back(f.rule);
+    return names;
+}
+
+bool
+hasRule(const LintResult &r, const std::string &rule)
+{
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------
+// no-wallclock
+// ---------------------------------------------------------------
+
+TEST(NoWallclock, FlagsSteadyClockInSim)
+{
+    const auto r = lintSource("src/sim/fixture.cc",
+                              "void f() {\n"
+                              "  auto t = std::chrono::steady_clock"
+                              "::now();\n"
+                              "}\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-wallclock");
+    EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(NoWallclock, FlagsClockAliasDeclaration)
+{
+    // The alias is the choke point a textual tool can see; the
+    // later Clock::now() calls go through it.
+    const auto r = lintSource(
+        "src/trace/fixture.cc",
+        "using Clock = std::chrono::high_resolution_clock;\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-wallclock");
+}
+
+TEST(NoWallclock, FlagsCTimeCalls)
+{
+    const auto r =
+        lintSource("src/runtime/fixture.cc",
+                   "long f() { return time(nullptr); }\n"
+                   "void g(struct timeval *tv) "
+                   "{ gettimeofday(tv, nullptr); }\n");
+    EXPECT_EQ(r.findings.size(), 2u);
+    EXPECT_TRUE(hasRule(r, "no-wallclock"));
+}
+
+TEST(NoWallclock, BenchMayReadHostTime)
+{
+    // bench/ measures host wall time on purpose; the rule is scoped
+    // to the determinism-critical dirs.
+    const auto r = lintSource(
+        "bench/bench_fixture.cc",
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(NoWallclock, ChronoDurationsAreFine)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "auto d = std::chrono::microseconds(5);\n"
+        "double runtime = cycles / frequency;\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(NoWallclock, MentionInCommentOrStringIgnored)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// steady_clock::now() would be wrong here\n"
+        "const char *warning = \"steady_clock is banned\";\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------
+// no-ambient-rng
+// ---------------------------------------------------------------
+
+TEST(NoAmbientRng, FlagsRandAndSrand)
+{
+    const auto r = lintSource("tools/fixture.cc",
+                              "int f() { srand(42); return rand(); }\n");
+    EXPECT_EQ(r.findings.size(), 2u);
+    EXPECT_TRUE(hasRule(r, "no-ambient-rng"));
+}
+
+TEST(NoAmbientRng, FlagsRandomDeviceAnywhere)
+{
+    const auto r = lintSource("bench/fixture.cc",
+                              "std::random_device rd;\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-ambient-rng");
+}
+
+TEST(NoAmbientRng, FlagsArglessEngines)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/stats/fixture.cc", "std::mt19937 gen;\n"),
+        "no-ambient-rng"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/stats/fixture.cc", "std::mt19937 gen{};\n"),
+        "no-ambient-rng"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/stats/fixture.cc",
+                   "auto x = std::mt19937()();\n"),
+        "no-ambient-rng"));
+}
+
+TEST(NoAmbientRng, SeededEnginesAndReferencesPass)
+{
+    EXPECT_TRUE(lintSource("src/stats/fixture.cc",
+                           "std::mt19937 gen(seed);\n")
+                    .findings.empty());
+    EXPECT_TRUE(lintSource("src/stats/fixture.cc",
+                           "std::mt19937 gen{seed};\n")
+                    .findings.empty());
+    EXPECT_TRUE(lintSource("src/stats/fixture.cc",
+                           "void shuffle(std::mt19937 &gen);\n")
+                    .findings.empty());
+}
+
+// ---------------------------------------------------------------
+// no-unordered-iteration
+// ---------------------------------------------------------------
+
+TEST(NoUnorderedIteration, FlagsRangeForOverDeclaredMap)
+{
+    const auto r = lintSource(
+        "src/core/fixture.cc",
+        "std::unordered_map<std::string, int> counts;\n"
+        "void dump() {\n"
+        "  for (const auto &kv : counts)\n"
+        "    emit(kv.first);\n"
+        "}\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-unordered-iteration");
+    EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(NoUnorderedIteration, FlagsMemberIteration)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.hh",
+        "class C {\n"
+        "  std::unordered_set<std::uint64_t> &pages_;\n"
+        "  void walk() { for (auto p : pages_) touch(p); }\n"
+        "};\n");
+    EXPECT_TRUE(hasRule(r, "no-unordered-iteration"));
+}
+
+TEST(NoUnorderedIteration, OrderedAndLookupUsesPass)
+{
+    const auto r = lintSource(
+        "src/core/fixture.cc",
+        "std::unordered_map<std::string, int> counts;\n"
+        "std::vector<int> v;\n"
+        "void f() {\n"
+        "  for (int x : v) use(x);\n"
+        "  auto it = counts.find(\"a\");\n"
+        "  for (int i = 0; i < 3; ++i) use(i);\n"
+        "}\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------
+// no-unguarded-static
+// ---------------------------------------------------------------
+
+TEST(NoUnguardedStatic, FlagsMutableStatics)
+{
+    EXPECT_TRUE(hasRule(lintSource("src/core/fixture.cc",
+                                   "static int counter = 0;\n"),
+                        "no-unguarded-static"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/fixture.cc",
+                   "void f() { static std::vector<int> cache; }\n"),
+        "no-unguarded-static"));
+}
+
+TEST(NoUnguardedStatic, GuardedAndImmutableStaticsPass)
+{
+    const auto r = lintSource(
+        "src/core/fixture.cc",
+        "static const int kTableSize = 64;\n"
+        "static constexpr double kEps = 1e-9;\n"
+        "static std::atomic<int> hits{0};\n"
+        "static std::mutex registryMutex;\n"
+        "static thread_local int workerId = -1;\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(NoUnguardedStatic, StaticFunctionsAndCastsPass)
+{
+    const auto r = lintSource(
+        "src/core/fixture.hh",
+        "class C {\n"
+        "  static C fromRows(int n);\n"
+        "  static int helper() { return 3; }\n"
+        "};\n"
+        "int g(long v) { return static_cast<int>(v); }\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(NoUnguardedStatic, ScopedToLibraryCode)
+{
+    // Tool/bench mains own their process; the rule audits the
+    // libraries.
+    EXPECT_TRUE(lintSource("tools/fixture.cc",
+                           "static int verbosity = 0;\n")
+                    .findings.empty());
+}
+
+// ---------------------------------------------------------------
+// no-silent-catch
+// ---------------------------------------------------------------
+
+TEST(NoSilentCatch, FlagsSwallowedErrors)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/fixture.cc",
+                   "void f() { try { g(); } catch (...) {} }\n"),
+        "no-silent-catch"));
+    EXPECT_TRUE(hasRule(
+        lintSource("tools/fixture.cc",
+                   "bool f() { try { g(); } catch (...) "
+                   "{ return false; } return true; }\n"),
+        "no-silent-catch"));
+}
+
+TEST(NoSilentCatch, RethrowOrRecordPasses)
+{
+    EXPECT_TRUE(
+        lintSource("src/core/fixture.cc",
+                   "void f() { try { g(); } catch (...) "
+                   "{ throw; } }\n")
+            .findings.empty());
+    EXPECT_TRUE(
+        lintSource("src/core/fixture.cc",
+                   "void f() { try { g(); } catch (...) "
+                   "{ failures.emplace_back(i, "
+                   "std::current_exception()); } }\n")
+            .findings.empty());
+}
+
+// ---------------------------------------------------------------
+// no-raw-thread
+// ---------------------------------------------------------------
+
+TEST(NoRawThread, FlagsThreadAndAsync)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/stats/pca_fixture.cc",
+                   "void f() { std::thread t(work); t.join(); }\n"),
+        "no-raw-thread"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/fixture.cc",
+                   "auto fut = std::async(std::launch::async, w);\n"),
+        "no-raw-thread"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/fixture.hh",
+                   "std::vector<std::thread> workers_;\n"),
+        "no-raw-thread"));
+}
+
+TEST(NoRawThread, QueriesAndExecutorPass)
+{
+    EXPECT_TRUE(
+        lintSource("src/core/fixture.cc",
+                   "unsigned n = std::thread"
+                   "::hardware_concurrency();\n")
+            .findings.empty());
+    EXPECT_TRUE(
+        lintSource("src/core/fixture.cc",
+                   "std::this_thread::sleep_for(us);\n")
+            .findings.empty());
+    // The executor is the sanctioned home of raw threads.
+    EXPECT_TRUE(
+        lintSource("src/core/executor.hh",
+                   "std::vector<std::thread> workers_;\n")
+            .findings.empty());
+}
+
+// ---------------------------------------------------------------
+// pragma suppression
+// ---------------------------------------------------------------
+
+TEST(Pragma, SuppressesOnSameLine)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "auto t = std::chrono::steady_clock::now(); "
+        "// netchar-lint: allow(no-wallclock) -- test fixture\n");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressedCount, 1u);
+}
+
+TEST(Pragma, SuppressesOnNextLine)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-wallclock) -- test fixture\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressedCount, 1u);
+}
+
+TEST(Pragma, DoesNotReachPastAdjacentLine)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-wallclock) -- too far away\n"
+        "\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-wallclock");
+    EXPECT_EQ(r.suppressedCount, 0u);
+}
+
+TEST(Pragma, OnlySuppressesNamedRule)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-ambient-rng) -- wrong rule\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-wallclock");
+}
+
+TEST(Pragma, ReasonIsMandatory)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-wallclock)\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    // The reasonless pragma suppresses nothing and is itself a
+    // finding.
+    ASSERT_EQ(r.findings.size(), 2u);
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"bad-pragma",
+                                        "no-wallclock"}));
+    EXPECT_EQ(r.suppressedCount, 0u);
+}
+
+TEST(Pragma, EmptyReasonAfterDashesRejected)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-wallclock) --   \n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"bad-pragma",
+                                        "no-wallclock"}));
+}
+
+TEST(Pragma, UnknownRuleRejected)
+{
+    const auto r = lintSource(
+        "src/core/fixture.cc",
+        "// netchar-lint: allow(no-such-rule) -- typo\n"
+        "int x;\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "bad-pragma");
+}
+
+TEST(Pragma, CommaListSuppressesSeveralRules)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-wallclock,no-ambient-rng) -- "
+        "fixture exercising both\n"
+        "auto t = std::chrono::steady_clock::now(); "
+        "std::random_device rd;\n");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressedCount, 2u);
+}
+
+TEST(Pragma, BlockCommentFormWorks)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "/* netchar-lint: allow(no-wallclock) -- block form */\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressedCount, 1u);
+}
+
+// ---------------------------------------------------------------
+// report determinism and rendering
+// ---------------------------------------------------------------
+
+TEST(Report, FindingsSortedByFileLineRule)
+{
+    // Two rules firing out of textual order in one file.
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "std::random_device rd;\n"
+        "auto t = std::chrono::steady_clock::now();\n"
+        "void f() { try { g(); } catch (...) {} }\n");
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"no-ambient-rng",
+                                        "no-wallclock",
+                                        "no-silent-catch"}));
+    EXPECT_EQ(r.findings[0].line, 1);
+    EXPECT_EQ(r.findings[1].line, 2);
+    EXPECT_EQ(r.findings[2].line, 3);
+}
+
+TEST(Report, TextRenderingIsStable)
+{
+    const std::string src =
+        "auto t = std::chrono::steady_clock::now();\n";
+    const auto a = lintSource("src/sim/fixture.cc", src);
+    const auto b = lintSource("src/sim/fixture.cc", src);
+    EXPECT_EQ(netchar::lint::renderText(a),
+              netchar::lint::renderText(b));
+    const std::string text = netchar::lint::renderText(a);
+    EXPECT_NE(text.find("src/sim/fixture.cc:1: no-wallclock: "),
+              std::string::npos);
+    EXPECT_NE(text.find("1 finding(s) (1 error(s), 0 warning(s))"),
+              std::string::npos);
+}
+
+TEST(Report, JsonSchema)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "auto t = std::chrono::steady_clock::now();\n");
+    const std::string json = netchar::lint::renderJson(r);
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"filesScanned\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"no-wallclock\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"severity\": \"error\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+    // Balanced braces/brackets (structural sanity).
+    long braces = 0;
+    long brackets = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\'))
+            inString = !inString;
+        if (inString)
+            continue;
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(Report, JsonEmptyFindingsList)
+{
+    const auto r = lintSource("src/sim/fixture.cc", "int x = 1;\n");
+    const std::string json = netchar::lint::renderJson(r);
+    EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"counts\": {\"error\": 0, \"warning\": 0}"),
+              std::string::npos);
+}
+
+TEST(Report, HasErrorReflectsSeverity)
+{
+    EXPECT_TRUE(lintSource("src/sim/fixture.cc",
+                           "std::random_device rd;\n")
+                    .hasError());
+    EXPECT_FALSE(
+        lintSource("src/sim/fixture.cc", "int x = 1;\n").hasError());
+}
+
+// ---------------------------------------------------------------
+// lexer robustness
+// ---------------------------------------------------------------
+
+TEST(Lexer, RawStringsAndEscapesAreOpaque)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "const char *a = R\"(steady_clock::now() rand())\";\n"
+        "const char *b = \"catch (...) {}\\\"\";\n"
+        "char c = '\\'';\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Lexer, BlockCommentsAreOpaque)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "/* std::random_device rd;\n"
+        "   auto t = std::chrono::steady_clock::now(); */\n"
+        "int x = 1;\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Lexer, UnterminatedConstructsDoNotLoop)
+{
+    // Malformed input must terminate (the compiler rejects it; the
+    // linter just has to survive it).
+    EXPECT_TRUE(lintSource("src/sim/fixture.cc",
+                           "/* unterminated comment\n")
+                    .findings.empty());
+    (void)lintSource("src/sim/fixture.cc", "const char *s = \"open\n");
+    (void)lintSource("src/sim/fixture.cc", "auto r = R\"(open\n");
+}
+
+TEST(RuleRegistry, NamesAndScopes)
+{
+    EXPECT_TRUE(netchar::lint::isRuleName("no-wallclock"));
+    EXPECT_TRUE(netchar::lint::isRuleName("no-raw-thread"));
+    EXPECT_FALSE(netchar::lint::isRuleName("bad-pragma"));
+    EXPECT_FALSE(netchar::lint::isRuleName("no-such-rule"));
+    EXPECT_TRUE(netchar::lint::pathInDir("src/sim/core.cc",
+                                         "src/sim"));
+    EXPECT_TRUE(netchar::lint::pathInDir(
+        "/root/repo/src/sim/core.cc", "src/sim"));
+    EXPECT_FALSE(netchar::lint::pathInDir("src/simx/core.cc",
+                                          "src/sim"));
+    const std::string rules = netchar::lint::listRulesText();
+    EXPECT_NE(rules.find("no-unguarded-static"), std::string::npos);
+    EXPECT_NE(rules.find("bad-pragma"), std::string::npos);
+}
+
+} // namespace

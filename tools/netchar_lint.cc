@@ -1,0 +1,82 @@
+/**
+ * @file
+ * `netchar_lint` — the repo's determinism & concurrency static
+ * analyzer (see src/lint/rules.hh for the rule set).
+ *
+ *   netchar_lint --check <path>... [--json]
+ *   netchar_lint --list-rules
+ *
+ * Exit codes: 0 clean tree, 1 unsuppressed findings, 2 usage or I/O
+ * error. The report is deterministic: sorted findings, byte-identical
+ * across repeated runs, independent of directory enumeration order.
+ *
+ * docs/CLI.md documents the tool; keep it in sync with usage().
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: netchar_lint --check <path>... [--json]\n"
+        "       netchar_lint --list-rules\n"
+        "  --check <path>...  lint files/directories (recursive)\n"
+        "  --json             machine-readable report on stdout\n"
+        "  --list-rules       print the rule set and exit\n"
+        "exit codes: 0 clean, 1 findings, 2 usage/I-O error\n"
+        "suppression: // netchar-lint: allow(<rule>) -- <reason>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool check = false;
+    bool json = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--check")
+            check = true;
+        else if (arg == "--json")
+            json = true;
+        else if (arg == "--list-rules") {
+            std::fputs(netchar::lint::listRulesText().c_str(),
+                       stdout);
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::fprintf(stderr, "netchar_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else
+            paths.push_back(arg);
+    }
+
+    if (!check || paths.empty())
+        return usage();
+
+    std::vector<std::string> errors;
+    const netchar::lint::LintResult result =
+        netchar::lint::lintPaths(paths, errors);
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "netchar_lint: %s\n", e.c_str());
+    if (!errors.empty())
+        return 2;
+
+    std::fputs(json ? netchar::lint::renderJson(result).c_str()
+                    : netchar::lint::renderText(result).c_str(),
+               stdout);
+    return result.findings.empty() ? 0 : 1;
+}
