@@ -58,6 +58,10 @@ tableIvSpec()
 bool
 quickMode()
 {
+    // NETCHAR_QUICK only scales iteration counts; the quick/full
+    // choice is part of the run's recorded configuration, not a
+    // hidden nondeterminism source.
+    // netchar-lint: allow-flow(flow-env) -- quick-mode scaling is recorded run configuration
     const char *env = std::getenv("NETCHAR_QUICK");
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }

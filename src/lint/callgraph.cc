@@ -1,0 +1,42 @@
+#include "lint/callgraph.hh"
+
+#include <algorithm>
+
+namespace netchar::lint
+{
+
+CallGraph::CallGraph(const std::vector<FileModel> &files)
+{
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const FileModel &file = files[fi];
+        for (std::size_t gi = 0; gi < file.functions.size(); ++gi) {
+            const FunctionModel &fn = file.functions[gi];
+            defs_[fn.name].push_back({fi, gi});
+            for (const Statement &st : fn.stmts)
+                for (const CallSite &call : st.calls)
+                    callers_[call.callee].push_back({fi, gi});
+        }
+    }
+    // A function calling `f` twice is one caller edge.
+    for (auto &[name, refs] : callers_) {
+        std::sort(refs.begin(), refs.end());
+        refs.erase(std::unique(refs.begin(), refs.end()),
+                   refs.end());
+    }
+}
+
+const std::vector<FunctionRef> &
+CallGraph::definitionsOf(const std::string &name) const
+{
+    const auto it = defs_.find(name);
+    return it == defs_.end() ? empty_ : it->second;
+}
+
+const std::vector<FunctionRef> &
+CallGraph::callersOf(const std::string &name) const
+{
+    const auto it = callers_.find(name);
+    return it == callers_.end() ? empty_ : it->second;
+}
+
+} // namespace netchar::lint

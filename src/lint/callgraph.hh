@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cross-file call graph over the parsed file models.
+ *
+ * Functions are indexed by their unqualified name: the recognizer
+ * cannot resolve overloads or receiver types, so a call site
+ * `ch.runAll(...)` links to every definition named `runAll` in the
+ * analyzed set. That is deliberately conservative — taint flows to
+ * every plausible callee — and cheap, because this codebase names
+ * its entry points uniquely.
+ *
+ * The graph is built in one pass over files in their (already
+ * sorted) input order, so edge ordering — and therefore taint
+ * worklist ordering and report bytes — never depends on directory
+ * enumeration order.
+ */
+
+#ifndef NETCHAR_LINT_CALLGRAPH_HH
+#define NETCHAR_LINT_CALLGRAPH_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/parser.hh"
+
+namespace netchar::lint
+{
+
+/** Index of one function: (file index, function index). */
+struct FunctionRef
+{
+    std::size_t file = 0;
+    std::size_t fn = 0;
+
+    bool operator==(const FunctionRef &o) const
+    {
+        return file == o.file && fn == o.fn;
+    }
+    bool operator<(const FunctionRef &o) const
+    {
+        return file != o.file ? file < o.file : fn < o.fn;
+    }
+};
+
+/** Name → definitions and name → callers, over a parsed file set. */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const std::vector<FileModel> &files);
+
+    /** Definitions of `name`, in file order (empty when unknown). */
+    const std::vector<FunctionRef> &
+    definitionsOf(const std::string &name) const;
+
+    /** Functions containing a call to `name`, in file order. */
+    const std::vector<FunctionRef> &
+    callersOf(const std::string &name) const;
+
+  private:
+    std::map<std::string, std::vector<FunctionRef>> defs_;
+    std::map<std::string, std::vector<FunctionRef>> callers_;
+    std::vector<FunctionRef> empty_;
+};
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_CALLGRAPH_HH

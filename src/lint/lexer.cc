@@ -92,23 +92,30 @@ trim(std::string_view s)
  * name the rule and carry a human reason, or it is itself a finding.
  */
 Pragma
-parsePragma(std::string_view comment, int line)
+parsePragma(std::string_view comment, int line, int endLine)
 {
     Pragma p;
     p.line = line;
+    p.endLine = endLine;
 
     const std::string_view marker = "netchar-lint:";
     const auto at = comment.find(marker);
     std::string_view rest = trim(comment.substr(at + marker.size()));
 
+    const std::string_view flowVerb = "allow-flow(";
     const std::string_view verb = "allow(";
-    if (rest.compare(0, verb.size(), verb) != 0) {
+    if (rest.compare(0, flowVerb.size(), flowVerb) == 0) {
+        p.flow = true;
+        rest.remove_prefix(flowVerb.size());
+    } else if (rest.compare(0, verb.size(), verb) == 0) {
+        rest.remove_prefix(verb.size());
+    } else {
         p.malformed = true;
-        p.error = "expected 'allow(<rule>) -- <reason>' after "
+        p.error = "expected 'allow(<rule>) -- <reason>' or "
+                  "'allow-flow(<rule>) -- <reason>' after "
                   "'netchar-lint:'";
         return p;
     }
-    rest.remove_prefix(verb.size());
     const auto close = rest.find(')');
     if (close == std::string_view::npos) {
         p.malformed = true;
@@ -155,12 +162,52 @@ parsePragma(std::string_view comment, int line)
     return p;
 }
 
-/** Record `comment` as a pragma if it contains the marker. */
+/** Record `comment` as a pragma if it contains the marker. A spliced
+ *  comment (backslash-newline continuations) is flattened first so
+ *  the pragma grammar never sees the line break. */
 void
-harvestPragma(LexedFile &out, std::string_view comment, int line)
+harvestPragma(LexedFile &out, std::string_view comment, int line,
+              int endLine)
 {
-    if (comment.find("netchar-lint:") != std::string_view::npos)
-        out.pragmas.push_back(parsePragma(comment, line));
+    if (comment.find("netchar-lint:") == std::string_view::npos)
+        return;
+    if (comment.find('\\') == std::string_view::npos) {
+        out.pragmas.push_back(parsePragma(comment, line, endLine));
+        return;
+    }
+    std::string flat;
+    flat.reserve(comment.size());
+    for (std::size_t i = 0; i < comment.size(); ++i) {
+        if (comment[i] == '\\') {
+            std::size_t j = i + 1;
+            if (j < comment.size() && comment[j] == '\r')
+                ++j;
+            if (j < comment.size() && comment[j] == '\n') {
+                flat += ' ';
+                i = j;
+                continue;
+            }
+        }
+        flat += comment[i];
+    }
+    out.pragmas.push_back(parsePragma(flat, line, endLine));
+}
+
+/** True when the cursor sits on a backslash-newline line splice. */
+bool
+atSplice(const Cursor &c)
+{
+    if (c.peek() != '\\')
+        return false;
+    return c.peek(1) == '\n' ||
+           (c.peek(1) == '\r' && c.peek(2) == '\n');
+}
+
+/** Consume one backslash-newline (or backslash-CR-LF) splice. */
+void
+eatSplice(Cursor &c)
+{
+    c.advance(c.peek(1) == '\r' ? 3u : 2u);
 }
 
 } // namespace
@@ -179,14 +226,32 @@ lex(std::string_view source)
             continue;
         }
 
-        // Line comment (also harvests pragmas).
+        // Translation phase 2: a backslash-newline between tokens
+        // (preprocessor continuations in particular) splices lines
+        // and must not surface as a stray `\` punctuator.
+        if (atSplice(c)) {
+            eatSplice(c);
+            continue;
+        }
+
+        // Line comment (also harvests pragmas). A backslash-newline
+        // splice extends the comment onto the next physical line —
+        // the standard behaviour, and the one that keeps a spliced
+        // pragma whole.
         if (ch == '/' && c.peek(1) == '/') {
             const int line = c.line;
             const std::size_t start = c.pos;
-            while (!c.done() && c.peek() != '\n')
+            while (!c.done()) {
+                if (atSplice(c)) {
+                    eatSplice(c);
+                    continue;
+                }
+                if (c.peek() == '\n')
+                    break;
                 c.advance();
+            }
             harvestPragma(out, source.substr(start, c.pos - start),
-                          line);
+                          line, c.line);
             continue;
         }
 
@@ -199,27 +264,7 @@ lex(std::string_view source)
                 c.advance();
             c.advance(2);
             harvestPragma(out, source.substr(start, c.pos - start),
-                          line);
-            continue;
-        }
-
-        // Raw string literal: (prefix)R"delim( ... )delim".
-        if (ch == 'R' && c.peek(1) == '"') {
-            const int line = c.line;
-            const int column = c.column;
-            c.advance(2);
-            std::string delim;
-            while (!c.done() && c.peek() != '(') {
-                delim += c.peek();
-                c.advance();
-            }
-            c.advance(); // '('
-            const std::string close = ")" + delim + "\"";
-            while (!c.done() && !c.startsWith(close))
-                c.advance();
-            c.advance(close.size());
-            out.tokens.push_back(
-                {TokenKind::String, "<raw-string>", line, column});
+                          line, c.line);
             continue;
         }
 
@@ -235,7 +280,7 @@ lex(std::string_view source)
                 if (!c.done())
                     c.advance();
             }
-            c.advance(); // closing quote
+            c.advance(1); // closing quote (bounds-checked at EOF)
             out.tokens.push_back({quote == '"' ? TokenKind::String
                                                : TokenKind::CharLit,
                                   quote == '"' ? "<string>"
@@ -244,16 +289,49 @@ lex(std::string_view source)
             continue;
         }
 
-        // Identifier. String-literal prefixes (u8"", L"", ...)
-        // stay plain identifiers followed by a String token, which
-        // is faithful enough for the rules.
+        // Identifier. Ordinary string-literal prefixes (u8"", L"",
+        // ...) stay plain identifiers followed by a String token,
+        // which is faithful enough for the rules — but raw-string
+        // prefixes (R, u8R, uR, UR, LR) must switch to the raw
+        // grammar, where the content is delimiter-terminated and
+        // escapes are inert.
         if (isIdentStart(ch)) {
             const int line = c.line;
             const int column = c.column;
             std::string text;
-            while (!c.done() && isIdentChar(c.peek())) {
+            while (!c.done()) {
+                // A splice inside an identifier joins the halves
+                // into one name (translation phase 2 runs before
+                // tokenization).
+                if (atSplice(c)) {
+                    eatSplice(c);
+                    continue;
+                }
+                if (!isIdentChar(c.peek()))
+                    break;
                 text += c.peek();
                 c.advance();
+            }
+            if (c.peek() == '"' &&
+                (text == "R" || text == "u8R" || text == "uR" ||
+                 text == "UR" || text == "LR")) {
+                // Raw string literal: (prefix)R"delim( ... )delim".
+                c.advance(); // opening quote
+                std::string delim;
+                while (!c.done() && c.peek() != '(' &&
+                       c.peek() != '"' && c.peek() != '\n') {
+                    delim += c.peek();
+                    c.advance();
+                }
+                c.advance(1); // '(' (bounds-checked: EOF is legal)
+                const std::string close = ")" + delim + "\"";
+                while (!c.done() && !c.startsWith(close))
+                    c.advance();
+                c.advance(close.size());
+                out.tokens.push_back(
+                    {TokenKind::String, "<raw-string>", line,
+                     column});
+                continue;
             }
             out.tokens.push_back(
                 {TokenKind::Identifier, std::move(text), line,

@@ -10,14 +10,23 @@
  *
  * The lexer is also where suppression pragmas are recognised: a
  * comment containing the marker `netchar-lint` followed by a colon,
- * then `allow(<rule>[,<rule>...]) -- <reason>`. (The marker is not
- * written out literally here, or this header would carry pragmas.)
+ * then `allow(<rule>[,<rule>...]) -- <reason>` for token-rule
+ * findings, or `allow-flow(<rule>[,<rule>...]) -- <reason>` to
+ * sanitize a taint flow (see taint.hh). (The marker is not written
+ * out literally here, or this header would carry pragmas.)
  *
- * A pragma comment suppresses matching findings on its own line and
- * on the line directly below it (so it works both as a trailing
- * comment and as a comment line above the flagged statement). The
+ * A pragma comment suppresses matching findings on any line it
+ * spans and on the line directly below its last line (so it works
+ * both as a trailing comment and as a comment line — possibly
+ * spliced or block-form over several lines — above the flagged
+ * statement). The
  * reason after `--` is mandatory; a pragma without one is surfaced as
  * malformed and suppresses nothing.
+ *
+ * Translation-phase-2 line splices (backslash-newline) are honoured:
+ * a spliced line comment keeps its pragma intact, and a spliced
+ * preprocessor directive contributes its continuation tokens without
+ * stray `\` punctuation in the stream.
  */
 
 #ifndef NETCHAR_LINT_LEXER_HH
@@ -51,8 +60,15 @@ struct Token
 struct Pragma
 {
     int line = 0; ///< line the comment starts on
+    /** Line the comment ends on (== line unless the comment is
+     *  spliced or a multi-line block comment). Coverage extends
+     *  from `line` through `endLine + 1`. */
+    int endLine = 0;
     std::vector<std::string> rules; ///< rule names inside allow(...)
     std::string reason;             ///< text after `--`
+    /** True for `allow-flow(...)`: a taint sanitizer, not a token
+     *  suppression (see taint.hh for the flow-rule namespace). */
+    bool flow = false;
     bool malformed = false;
     std::string error; ///< why the pragma was rejected
 };

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/parser.hh"
+#include "lint/taint.hh"
 #include "stats/textio.hh"
 
 namespace netchar::lint
@@ -40,6 +42,27 @@ isSkippedDir(const fs::path &p)
            name.rfind("build-", 0) == 0;
 }
 
+/** Path-wise ordering of flow hops, the final sort tie-break: two
+ *  flow findings can agree on everything up to the message (same
+ *  sink, same rule, same hop count) yet trace distinct paths. */
+bool
+pathLess(const std::vector<FlowHop> &a,
+         const std::vector<FlowHop> &b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i].file != b[i].file)
+            return a[i].file < b[i].file;
+        if (a[i].line != b[i].line)
+            return a[i].line < b[i].line;
+        if (a[i].column != b[i].column)
+            return a[i].column < b[i].column;
+        if (a[i].note != b[i].note)
+            return a[i].note < b[i].note;
+    }
+    return a.size() < b.size();
+}
+
 void
 sortFindings(std::vector<Finding> &findings)
 {
@@ -53,14 +76,18 @@ sortFindings(std::vector<Finding> &findings)
                       return a.column < b.column;
                   if (a.rule != b.rule)
                       return a.rule < b.rule;
-                  return a.message < b.message;
+                  if (a.message != b.message)
+                      return a.message < b.message;
+                  return pathLess(a.path, b.path);
               });
 }
 
 /**
  * Validate pragmas (appending `bad-pragma` findings) and drop
- * findings a valid pragma covers. A pragma covers its own line and
- * the line directly below, for the named rules only.
+ * token findings a valid pragma covers. A pragma covers its own
+ * line and the line directly below, for the named rules only.
+ * allow-flow() pragmas are validated here but suppress nothing at
+ * the token layer — the taint pass consumes them as sanitizers.
  */
 void
 applyPragmas(const std::string &path, const LexedFile &lexed,
@@ -69,6 +96,7 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
     struct Suppression
     {
         int line;
+        int endLine;
         std::string rule;
     };
     std::vector<Suppression> active;
@@ -86,6 +114,21 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
             continue;
         }
         for (const std::string &rule : pragma.rules) {
+            if (pragma.flow) {
+                if (!isFlowRuleName(rule)) {
+                    Finding f;
+                    f.file = path;
+                    f.line = pragma.line;
+                    f.column = 1;
+                    f.rule = "bad-pragma";
+                    f.severity = Severity::Error;
+                    f.message = "allow-flow() names unknown flow "
+                                "rule '" +
+                                rule + "'";
+                    result.findings.push_back(std::move(f));
+                }
+                continue;
+            }
             if (!isRuleName(rule)) {
                 Finding f;
                 f.file = path;
@@ -98,15 +141,15 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
                 result.findings.push_back(std::move(f));
                 continue;
             }
-            active.push_back({pragma.line, rule});
+            active.push_back({pragma.line, pragma.endLine, rule});
         }
     }
 
     for (Finding &f : found) {
         bool suppressed = false;
         for (const Suppression &s : active)
-            if (f.rule == s.rule &&
-                (f.line == s.line || f.line == s.line + 1)) {
+            if (f.rule == s.rule && f.line >= s.line &&
+                f.line <= s.endLine + 1) {
                 suppressed = true;
                 break;
             }
@@ -115,19 +158,6 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
         else
             result.findings.push_back(std::move(f));
     }
-}
-
-void
-lintInto(const std::string &path, std::string_view content,
-         LintResult &result)
-{
-    const LexedFile lexed = lex(content);
-    std::vector<Finding> found;
-    for (const auto &rule : allRules())
-        if (rule->appliesTo(path))
-            rule->check(path, lexed, found);
-    applyPragmas(path, lexed, found, result);
-    ++result.filesScanned;
 }
 
 } // namespace
@@ -144,15 +174,53 @@ LintResult::hasError() const
 LintResult
 lintSource(const std::string &path, std::string_view content)
 {
+    LintOptions opts;
+    opts.taint = false;
+    return lintSources({{path, std::string(content)}}, opts);
+}
+
+LintResult
+lintSources(std::vector<SourceBuffer> sources,
+            const LintOptions &opts)
+{
+    // Sorted-path order, so the taint worklist (and through it the
+    // report bytes) never depends on the order the caller found
+    // the files in.
+    std::sort(sources.begin(), sources.end(),
+              [](const SourceBuffer &a, const SourceBuffer &b) {
+                  return a.path < b.path;
+              });
+
     LintResult result;
-    lintInto(path, content, result);
+    std::vector<FileModel> models;
+    if (opts.taint)
+        models.reserve(sources.size());
+    for (const SourceBuffer &src : sources) {
+        LexedFile lexed = lex(src.content);
+        std::vector<Finding> found;
+        for (const auto &rule : allRules())
+            if (rule->appliesTo(src.path))
+                rule->check(src.path, lexed, found);
+        applyPragmas(src.path, lexed, found, result);
+        ++result.filesScanned;
+        if (opts.taint)
+            models.push_back(parseFile(src.path, std::move(lexed)));
+    }
+
+    if (opts.taint) {
+        TaintAnalysis taint = analyzeTaint(models);
+        for (Finding &f : taint.flows)
+            result.findings.push_back(std::move(f));
+        result.suppressedCount += taint.suppressed;
+    }
+
     sortFindings(result.findings);
     return result;
 }
 
 LintResult
 lintPaths(const std::vector<std::string> &paths,
-          std::vector<std::string> &errors)
+          std::vector<std::string> &errors, const LintOptions &opts)
 {
     std::vector<std::string> files;
     for (const std::string &p : paths) {
@@ -196,7 +264,8 @@ lintPaths(const std::vector<std::string> &paths,
     files.erase(std::unique(files.begin(), files.end()),
                 files.end());
 
-    LintResult result;
+    std::vector<SourceBuffer> sources;
+    sources.reserve(files.size());
     for (const std::string &file : files) {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -205,11 +274,9 @@ lintPaths(const std::vector<std::string> &paths,
         }
         std::ostringstream buf;
         buf << in.rdbuf();
-        const std::string content = buf.str();
-        lintInto(file, content, result);
+        sources.push_back({file, buf.str()});
     }
-    sortFindings(result.findings);
-    return result;
+    return lintSources(std::move(sources), opts);
 }
 
 std::string
@@ -221,6 +288,12 @@ renderText(const LintResult &result)
     for (const Finding &f : result.findings) {
         out << f.file << ':' << f.line << ": " << f.rule << ": "
             << f.message << '\n';
+        for (std::size_t i = 0; i < f.path.size(); ++i) {
+            const FlowHop &hop = f.path[i];
+            out << "    #" << i + 1 << ' ' << hop.file << ':'
+                << hop.line << ':' << hop.column << ": " << hop.note
+                << '\n';
+        }
         if (f.severity == Severity::Error)
             ++nerror;
         else
@@ -246,7 +319,7 @@ renderJson(const LintResult &result)
         else
             ++nwarning;
     }
-    out << "{\n  \"version\": 1,\n  \"filesScanned\": "
+    out << "{\n  \"version\": 2,\n  \"filesScanned\": "
         << result.filesScanned
         << ",\n  \"suppressed\": " << result.suppressedCount
         << ",\n  \"counts\": {\"error\": " << nerror
@@ -263,6 +336,28 @@ renderJson(const LintResult &result)
             << jsonEscape(f.message) << "\"}";
         first = false;
     }
+    out << (first ? "]" : "\n  ]") << ",\n  \"flows\": [";
+    first = true;
+    for (const Finding &f : result.findings) {
+        if (f.path.empty())
+            continue;
+        out << (first ? "\n" : ",\n")
+            << "    {\"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"sinkFile\": \"" << jsonEscape(f.file)
+            << "\", \"sinkLine\": " << f.line << ", \"path\": [";
+        bool firstHop = true;
+        for (const FlowHop &hop : f.path) {
+            out << (firstHop ? "\n" : ",\n")
+                << "      {\"file\": \"" << jsonEscape(hop.file)
+                << "\", \"line\": " << hop.line
+                << ", \"column\": " << hop.column
+                << ", \"note\": \"" << jsonEscape(hop.note)
+                << "\"}";
+            firstHop = false;
+        }
+        out << (firstHop ? "]}" : "\n    ]}");
+        first = false;
+    }
     out << (first ? "]\n}\n" : "\n  ]\n}\n");
     return out.str();
 }
@@ -277,6 +372,8 @@ listRulesText()
     out << "bad-pragma (error): reserved - a netchar-lint pragma "
            "that is malformed, lacks a reason, or names an "
            "unknown rule\n";
+    for (const std::string_view fr : flowRuleNames())
+        out << fr << " (error): " << flowRuleSummary(fr) << '\n';
     return out.str();
 }
 

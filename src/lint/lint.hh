@@ -1,21 +1,30 @@
 /**
  * @file
- * netchar-lint driver: file discovery, pragma suppression and
- * deterministic report rendering.
+ * netchar-lint driver: file discovery, pragma suppression, taint
+ * analysis and deterministic report rendering.
  *
  * Determinism is a feature of the linter itself, not just what it
  * checks: discovered files are sorted lexicographically (never the
  * directory enumeration order), findings are sorted by
- * (file, line, column, rule), and both the text and JSON renderings
- * are pure functions of the sorted finding list — repeated runs over
- * an unchanged tree are byte-identical.
+ * (file, line, column, rule), and the text, JSON and SARIF
+ * renderings are pure functions of the sorted finding list —
+ * repeated runs over an unchanged tree are byte-identical.
  *
- * Suppression contract: a finding is dropped only when a well-formed
- * netchar-lint `allow(<rule>) -- <reason>` pragma comment names its
- * rule on the same line or the line directly above.
- * Malformed pragmas (missing reason, unknown rule, bad syntax) are
- * themselves findings under the reserved rule name `bad-pragma` and
- * suppress nothing.
+ * Two analysis layers feed the same report:
+ *  - token rules (rules.hh), checked per file, and
+ *  - the flow-aware taint pass (taint.hh), which parses every file
+ *    into a declaration-level model, links them through the call
+ *    graph and reports nondeterminism sources that reach the
+ *    serialization surface, carrying the full source→…→sink path.
+ *
+ * Suppression contract: a token finding is dropped only when a
+ * well-formed netchar-lint `allow(<rule>) -- <reason>` pragma
+ * comment names its rule on the same line or the line directly
+ * above. Flow findings are silenced by `allow-flow(<flow-rule>) --
+ * <reason>` on any hop of the path (or by an allow() on the source
+ * site — see taint.hh). Malformed pragmas (missing reason, unknown
+ * rule, bad syntax) are themselves findings under the reserved rule
+ * name `bad-pragma` and suppress nothing.
  */
 
 #ifndef NETCHAR_LINT_LINT_HH
@@ -33,21 +42,48 @@ namespace netchar::lint
 /** Outcome of linting one buffer or a whole tree. */
 struct LintResult
 {
-    /** Unsuppressed findings, sorted (file, line, column, rule). */
+    /** Unsuppressed findings, sorted (file, line, column, rule).
+     *  Flow findings carry their source→…→sink path. */
     std::vector<Finding> findings;
-    /** How many findings valid pragmas suppressed. */
+    /** How many findings valid pragmas suppressed (token findings
+     *  plus sanitized flows). */
     std::size_t suppressedCount = 0;
     std::size_t filesScanned = 0;
     /** True when any finding has Severity::Error. */
     bool hasError() const;
 };
 
+/** Analysis knobs shared by every lint entry point. */
+struct LintOptions
+{
+    /** Run the flow-aware taint pass (on by default). */
+    bool taint = true;
+};
+
+/** One in-memory source buffer with the path it pretends to live
+ *  at (the path drives per-rule directory scoping). */
+struct SourceBuffer
+{
+    std::string path;
+    std::string content;
+};
+
 /**
- * Lint one in-memory buffer as if it lived at `path` (which drives
- * per-rule directory scoping). This is the unit-test entry point.
+ * Lint one in-memory buffer, token rules only. This is the
+ * single-file unit-test entry point; taint needs the whole file set
+ * and lives in lintSources().
  */
 LintResult lintSource(const std::string &path,
                       std::string_view content);
+
+/**
+ * Lint a set of in-memory buffers as one tree: token rules per
+ * file, then (when `opts.taint`) the cross-file taint pass.
+ * Buffers are processed in sorted-path order regardless of the
+ * order given.
+ */
+LintResult lintSources(std::vector<SourceBuffer> sources,
+                       const LintOptions &opts = {});
 
 /**
  * Lint files and directory trees. Directories are walked
@@ -56,15 +92,19 @@ LintResult lintSource(const std::string &path,
  * path appends to `errors` and is otherwise skipped.
  */
 LintResult lintPaths(const std::vector<std::string> &paths,
-                     std::vector<std::string> &errors);
+                     std::vector<std::string> &errors,
+                     const LintOptions &opts = {});
 
-/** Render `file:line: rule: message` lines plus a summary line. */
+/** Render `file:line: rule: message` lines (flow findings followed
+ *  by their indented hop lines) plus a summary line. */
 std::string renderText(const LintResult &result);
 
-/** Render the machine-readable JSON report (schema version 1). */
+/** Render the machine-readable JSON report (schema version 2:
+ *  adds the `flows` array of taint paths). */
 std::string renderJson(const LintResult &result);
 
-/** One line per registered rule: name, severity, summary. */
+/** One line per registered rule — token rules, the reserved
+ *  bad-pragma rule, then the flow rules. */
 std::string listRulesText();
 
 } // namespace netchar::lint

@@ -1,5 +1,6 @@
 #include "lint/rules.hh"
 
+#include <algorithm>
 #include <array>
 #include <functional>
 
@@ -24,6 +25,17 @@ isPunct(const Token &t, std::string_view text)
 template <std::size_t N>
 bool
 idIn(const Token &t, const std::array<std::string_view, N> &set)
+{
+    if (t.kind != TokenKind::Identifier)
+        return false;
+    for (const std::string_view s : set)
+        if (t.text == s)
+            return true;
+    return false;
+}
+
+bool
+idIn(const Token &t, const std::vector<std::string_view> &set)
 {
     if (t.kind != TokenKind::Identifier)
         return false;
@@ -59,18 +71,6 @@ constexpr std::array<std::string_view, 6> kDeterministicDirs = {
     "src/trace", "src/workloads", "src/core",
 };
 
-/** Host clock types whose mere mention is a hazard. */
-constexpr std::array<std::string_view, 5> kClockTypes = {
-    "steady_clock", "system_clock", "high_resolution_clock",
-    "utc_clock", "file_clock",
-};
-
-/** C time functions banned when called. */
-constexpr std::array<std::string_view, 9> kTimeCalls = {
-    "time",      "clock",  "gettimeofday", "clock_gettime",
-    "localtime", "gmtime", "mktime",       "strftime",
-    "timespec_get",
-};
 
 class NoWallclock final : public Rule
 {
@@ -94,7 +94,7 @@ class NoWallclock final : public Rule
     {
         const auto &toks = lexed.tokens;
         for (std::size_t i = 0; i < toks.size(); ++i) {
-            if (idIn(toks[i], kClockTypes)) {
+            if (idIn(toks[i], clockTypeNames())) {
                 report(out, path, *this, toks[i],
                        "host clock '" + toks[i].text +
                            "' in determinism-critical code; use "
@@ -102,7 +102,8 @@ class NoWallclock final : public Rule
                            "pragma the intentional wall-time site");
                 continue;
             }
-            if (i + 1 < toks.size() && idIn(toks[i], kTimeCalls) &&
+            if (i + 1 < toks.size() &&
+                idIn(toks[i], hostTimeCallNames()) &&
                 isPunct(toks[i + 1], "(")) {
                 report(out, path, *this, toks[i],
                        "host time function '" + toks[i].text +
@@ -472,6 +473,94 @@ class NoRawThread final : public Rule
     }
 };
 
+class NoPointerHash final : public Rule
+{
+  public:
+    std::string_view name() const override
+    {
+        return "no-pointer-hash";
+    }
+    Severity severity() const override { return Severity::Error; }
+    std::string_view summary() const override
+    {
+        return "raw pointer values must not be hashed or cast to "
+               "integers; addresses differ per run under ASLR";
+    }
+    bool appliesTo(std::string_view) const override { return true; }
+    void check(std::string_view path, const LexedFile &lexed,
+               std::vector<Finding> &out) const override
+    {
+        const auto &toks = lexed.tokens;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (isId(toks[i], "reinterpret_cast") &&
+                isPunct(toks[i + 1], "<") &&
+                launderArgs(toks, i + 1)) {
+                report(out, path, *this, toks[i],
+                       "reinterpret_cast of a pointer to an "
+                       "integer; the address is ASLR-random and "
+                       "not reproducible across runs");
+                continue;
+            }
+            if (isId(toks[i], "hash") && isPunct(toks[i + 1], "<") &&
+                pointerTemplateArg(toks, i + 1)) {
+                report(out, path, *this, toks[i],
+                       "std::hash over a pointer type hashes the "
+                       "ASLR-random address, not the value");
+            }
+        }
+    }
+
+  private:
+    /** Template-argument tokens of the <...> group starting at
+     *  `open`, or an empty range when unterminated. Caps the scan so
+     *  a stray `<` comparison cannot run away. */
+    static std::pair<std::size_t, std::size_t>
+    templateArgRange(const std::vector<Token> &toks,
+                     std::size_t open)
+    {
+        int depth = 0;
+        const std::size_t limit =
+            std::min(toks.size(), open + 64);
+        for (std::size_t j = open; j < limit; ++j) {
+            if (isPunct(toks[j], "<"))
+                ++depth;
+            else if (isPunct(toks[j], ">"))
+                --depth;
+            else if (isPunct(toks[j], ">>"))
+                depth -= 2;
+            if (depth <= 0)
+                return {open + 1, j};
+        }
+        return {open + 1, open + 1};
+    }
+
+    /** <integral> with no pointer declarator: pointer laundering. */
+    static bool launderArgs(const std::vector<Token> &toks,
+                            std::size_t open)
+    {
+        const auto [b, e] = templateArgRange(toks, open);
+        bool integral = false;
+        for (std::size_t j = b; j < e; ++j) {
+            if (isPunct(toks[j], "*"))
+                return false; // pointer-to-pointer cast
+            if (idIn(toks[j], pointerLaunderTargets()))
+                integral = true;
+        }
+        return integral;
+    }
+
+    /** <...*...>: hashing a pointer type. */
+    static bool pointerTemplateArg(const std::vector<Token> &toks,
+                                   std::size_t open)
+    {
+        const auto [b, e] = templateArgRange(toks, open);
+        for (std::size_t j = b; j < e; ++j)
+            if (isPunct(toks[j], "*"))
+                return true;
+        return false;
+    }
+};
+
 } // namespace
 
 std::string_view
@@ -506,9 +595,45 @@ allRules()
         r.push_back(std::make_unique<NoUnguardedStatic>());
         r.push_back(std::make_unique<NoSilentCatch>());
         r.push_back(std::make_unique<NoRawThread>());
+        r.push_back(std::make_unique<NoPointerHash>());
         return r;
     }();
     return rules;
+}
+
+const std::vector<std::string_view> &
+clockTypeNames()
+{
+    /** Host clock types whose mere mention is a hazard. */
+    static const std::vector<std::string_view> names = {
+        "steady_clock", "system_clock", "high_resolution_clock",
+        "utc_clock",    "file_clock",
+    };
+    return names;
+}
+
+const std::vector<std::string_view> &
+hostTimeCallNames()
+{
+    /** C time functions banned when called. */
+    static const std::vector<std::string_view> names = {
+        "time",      "clock",  "gettimeofday", "clock_gettime",
+        "localtime", "gmtime", "mktime",       "strftime",
+        "timespec_get",
+    };
+    return names;
+}
+
+const std::vector<std::string_view> &
+pointerLaunderTargets()
+{
+    /** Integral destination types of a pointer-laundering cast. */
+    static const std::vector<std::string_view> names = {
+        "uintptr_t", "intptr_t",  "size_t",   "ptrdiff_t",
+        "uint64_t",  "uint32_t",  "int64_t",  "uintmax_t",
+        "long",      "unsigned",  "int",
+    };
+    return names;
 }
 
 bool

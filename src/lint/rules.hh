@@ -15,6 +15,8 @@
  *  - no-unguarded-static    unsynchronized mutable static state
  *  - no-silent-catch        catch (...) that swallows the error
  *  - no-raw-thread          parallelism outside the executor
+ *  - no-pointer-hash        hashing/laundering raw pointer values
+ *                           (addresses differ per run under ASLR)
  *
  * Rules are heuristic token matchers, not a type checker: they err
  * on the side of flagging, and every intentional exception must be
@@ -44,6 +46,16 @@ enum class Severity
 /** "warning" / "error". */
 std::string_view severityName(Severity severity);
 
+/** One step of a taint path (source → ... → sink), for flow
+ *  findings. Token-rule findings carry no hops. */
+struct FlowHop
+{
+    std::string file;
+    int line = 0;
+    int column = 0;
+    std::string note; ///< human-readable description of the step
+};
+
 /** One reported violation (or pragma defect). */
 struct Finding
 {
@@ -53,6 +65,8 @@ struct Finding
     std::string rule;
     Severity severity = Severity::Error;
     std::string message;
+    /** Source→…→sink path; non-empty exactly for flow findings. */
+    std::vector<FlowHop> path;
 };
 
 /** One lint rule: a name, a scope predicate and a token checker. */
@@ -83,6 +97,15 @@ bool isRuleName(std::string_view name);
  * "/root/repo/src/sim/core.cc" but not "src/simx/a.cc").
  */
 bool pathInDir(std::string_view path, std::string_view dir);
+
+/**
+ * Token vocabularies shared between the token rules and the taint
+ * source model (taint.cc): the two layers must agree on what a
+ * nondeterminism source looks like, so the tables live in one place.
+ */
+const std::vector<std::string_view> &clockTypeNames();
+const std::vector<std::string_view> &hostTimeCallNames();
+const std::vector<std::string_view> &pointerLaunderTargets();
 
 } // namespace netchar::lint
 

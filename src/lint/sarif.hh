@@ -1,0 +1,34 @@
+/**
+ * @file
+ * SARIF 2.1.0 emitter for netchar-lint reports.
+ *
+ * SARIF (Static Analysis Results Interchange Format, OASIS) is the
+ * interchange format GitHub code scanning ingests: uploading the
+ * report via codeql-action/upload-sarif turns lint findings into
+ * inline pull-request annotations. The emitter covers the subset
+ * code scanning reads — tool.driver with per-rule metadata, one
+ * result per finding with a physicalLocation, and a codeFlows/
+ * threadFlows chain for taint findings so the full source→…→sink
+ * path renders hop by hop.
+ *
+ * Like every other netchar-lint rendering, the output is a pure
+ * function of the sorted finding list: byte-identical across runs
+ * and directory enumeration orders.
+ */
+
+#ifndef NETCHAR_LINT_SARIF_HH
+#define NETCHAR_LINT_SARIF_HH
+
+#include <string>
+
+#include "lint/lint.hh"
+
+namespace netchar::lint
+{
+
+/** Render the SARIF 2.1.0 report for `result`. */
+std::string renderSarif(const LintResult &result);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_SARIF_HH

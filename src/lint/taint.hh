@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Flow-aware determinism taint analysis.
+ *
+ * The token rules (rules.hh) catch nondeterminism *sources* at the
+ * call site; this pass proves the stronger invariant the repo's
+ * results rest on: a nondeterministic value never reaches serialized
+ * output. It is a forward taint propagation over the declaration-
+ * level models from parser.hh, linked across files by the call graph
+ * (callgraph.hh), with a classic source/sanitizer/sink model:
+ *
+ *  sources     host clocks (steady_clock/system_clock/... and the C
+ *              time functions), ambient RNG (random_device, rand),
+ *              environment reads (getenv), pointer-to-integer casts
+ *              and pointer hashing, thread ids
+ *  sanitizers  an `allow-flow(<flow-rule>) -- <reason>` pragma on
+ *              any hop of the path; an `allow(<token-rule>)` pragma
+ *              on the source site (the token rule and the flow rule
+ *              describe the same exception, so one pragma serves
+ *              both layers); and the whitelisted run-ledger fields
+ *              (SuiteRunStats wall time, the two justified wall-time
+ *              sites) as assignment targets
+ *  sinks       the serialization surface: the textio csv/json
+ *              helpers and every export entry point (suite stats,
+ *              failure ledger, trace exporters) — i.e. anything that
+ *              can end up in a --ledger/--stats/--trace-out stream
+ *
+ * Findings are reported under the flow-rule namespace
+ * (flow-wallclock, flow-rng, flow-env, flow-ptr, flow-threadid),
+ * anchored at the sink, and carry the full source→…→sink path, one
+ * FlowHop per propagation step. Propagation is monotone (a variable,
+ * parameter or return slot is tainted at most once, first writer
+ * wins in deterministic worklist order), so the pass terminates and
+ * its report bytes are a pure function of the sorted input set.
+ */
+
+#ifndef NETCHAR_LINT_TAINT_HH
+#define NETCHAR_LINT_TAINT_HH
+
+#include <string_view>
+#include <vector>
+
+#include "lint/parser.hh"
+#include "lint/rules.hh"
+
+namespace netchar::lint
+{
+
+/** Outcome of the taint pass over one parsed file set. */
+struct TaintAnalysis
+{
+    /** Flow findings (non-empty Finding::path), emission order. */
+    std::vector<Finding> flows;
+    /** Distinct flows an allow-flow sanitizer pragma silenced. */
+    std::size_t suppressed = 0;
+};
+
+/** The flow-rule namespace, fixed order (reports never depend on
+ *  it). These are valid names inside allow-flow(...). */
+const std::vector<std::string_view> &flowRuleNames();
+
+/** True when `name` names a flow rule (pragma validation). */
+bool isFlowRuleName(std::string_view name);
+
+/** One-line description of a flow rule, for --list-rules/SARIF. */
+std::string_view flowRuleSummary(std::string_view rule);
+
+/** Run the taint pass. `files` must already be in sorted path
+ *  order; the result is deterministic given that order. */
+TaintAnalysis analyzeTaint(const std::vector<FileModel> &files);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_TAINT_HH

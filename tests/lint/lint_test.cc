@@ -321,6 +321,59 @@ TEST(NoRawThread, QueriesAndExecutorPass)
 }
 
 // ---------------------------------------------------------------
+// no-pointer-hash
+// ---------------------------------------------------------------
+
+TEST(NoPointerHash, FlagsPointerToIntegerCast)
+{
+    const auto r = lintSource(
+        "src/core/fixture.cc",
+        "std::uint64_t key(const Node *n) {\n"
+        "  return reinterpret_cast<std::uint64_t>(n);\n"
+        "}\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-pointer-hash");
+    EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(NoPointerHash, FlagsUintptrCastAnywhere)
+{
+    // Unlike no-wallclock this rule has no sanctioned directory:
+    // an ASLR-random value is wrong in bench output too.
+    EXPECT_TRUE(hasRule(
+        lintSource("bench/fixture.cc",
+                   "auto v = reinterpret_cast<std::uintptr_t>(p);\n"),
+        "no-pointer-hash"));
+    EXPECT_TRUE(hasRule(
+        lintSource("tests/fixture.cc",
+                   "auto v = reinterpret_cast<intptr_t>(p);\n"),
+        "no-pointer-hash"));
+}
+
+TEST(NoPointerHash, FlagsStdHashOverPointer)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/fixture.cc",
+                   "std::size_t h = std::hash<void *>{}(p);\n"),
+        "no-pointer-hash"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/fixture.cc",
+                   "std::size_t h = std::hash<const Node *>()(n);\n"),
+        "no-pointer-hash"));
+}
+
+TEST(NoPointerHash, PointerAndValueCastsPass)
+{
+    const auto r = lintSource(
+        "src/core/fixture.cc",
+        "auto *b = reinterpret_cast<std::byte *>(p);\n"
+        "auto *c = reinterpret_cast<const char *>(p);\n"
+        "std::size_t h = std::hash<std::string>{}(name);\n"
+        "int v = static_cast<int>(x);\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------
 // pragma suppression
 // ---------------------------------------------------------------
 
@@ -466,7 +519,7 @@ TEST(Report, JsonSchema)
         "src/sim/fixture.cc",
         "auto t = std::chrono::steady_clock::now();\n");
     const std::string json = netchar::lint::renderJson(r);
-    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"filesScanned\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"no-wallclock\""),
               std::string::npos);
@@ -544,11 +597,73 @@ TEST(Lexer, UnterminatedConstructsDoNotLoop)
     (void)lintSource("src/sim/fixture.cc", "auto r = R\"(open\n");
 }
 
+TEST(Lexer, LineContinuationInsidePragma)
+{
+    // Translation phase 2: a backslash-newline splices the pragma
+    // comment onto one logical line; the rule list and reason may
+    // straddle the physical break.
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "// netchar-lint: allow(no-wallclock) \\\n"
+        "   -- continuation-carried reason\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressedCount, 1u);
+}
+
+TEST(Lexer, LineContinuationInPreprocessorDirective)
+{
+    // The continuation backslash must not surface as a stray
+    // punctuator or split identifiers across the splice.
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "#define MAKE_THING(name) \\\n"
+        "  int name##_field = 0;\n"
+        "int x = 1;\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Lexer, SplicedIdentifierIsNotAMatch)
+{
+    // `ra\<newline>nd(` must not be reported as rand(): the splice
+    // joins the halves into one identifier `rand`... which IS rand.
+    // The inverse case: a splice inside a banned name still forms
+    // the banned name, so the rule fires exactly once.
+    const auto r = lintSource("src/sim/fixture.cc",
+                              "int f() { return ra\\\nnd(); }\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-ambient-rng");
+}
+
+TEST(Lexer, RawStringPrefixesAreOpaque)
+{
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "const char *a = u8R\"(rand() steady_clock)\";\n"
+        "const auto *b = LR\"x(std::random_device rd;)x\";\n"
+        "const auto *c = uR\"y(catch (...) {})y\";\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Lexer, RawStringDelimiterEdgeCases)
+{
+    // A quote or close-paren inside the raw body only ends the
+    // literal when followed by the exact delimiter.
+    const auto r = lintSource(
+        "src/sim/fixture.cc",
+        "const char *a = R\"d(contains )\" and )other( "
+        "rand())d\";\n"
+        "int x = 1;\n");
+    EXPECT_TRUE(r.findings.empty());
+}
+
 TEST(RuleRegistry, NamesAndScopes)
 {
     EXPECT_TRUE(netchar::lint::isRuleName("no-wallclock"));
     EXPECT_TRUE(netchar::lint::isRuleName("no-raw-thread"));
+    EXPECT_TRUE(netchar::lint::isRuleName("no-pointer-hash"));
     EXPECT_FALSE(netchar::lint::isRuleName("bad-pragma"));
+    EXPECT_FALSE(netchar::lint::isRuleName("flow-wallclock"));
     EXPECT_FALSE(netchar::lint::isRuleName("no-such-rule"));
     EXPECT_TRUE(netchar::lint::pathInDir("src/sim/core.cc",
                                          "src/sim"));
@@ -558,7 +673,10 @@ TEST(RuleRegistry, NamesAndScopes)
                                           "src/sim"));
     const std::string rules = netchar::lint::listRulesText();
     EXPECT_NE(rules.find("no-unguarded-static"), std::string::npos);
+    EXPECT_NE(rules.find("no-pointer-hash"), std::string::npos);
     EXPECT_NE(rules.find("bad-pragma"), std::string::npos);
+    EXPECT_NE(rules.find("flow-wallclock"), std::string::npos);
+    EXPECT_NE(rules.find("flow-threadid"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Taint-pass fixture tests: source→sink propagation within a
+ * function, across functions (by return value and by parameter,
+ * including cross-file through the call graph), sanitizer pragmas
+ * (allow-flow and the allow() token alias), the whitelisted
+ * run-ledger field, multi-path reporting, and the JSON/SARIF
+ * renderings including their determinism.
+ *
+ * Fixtures use bench/ paths where possible: the no-wallclock token
+ * rule does not apply there, so every reported finding is a flow
+ * finding and the assertions stay sharp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+#include "lint/sarif.hh"
+
+namespace
+{
+
+using netchar::lint::Finding;
+using netchar::lint::LintOptions;
+using netchar::lint::LintResult;
+using netchar::lint::lintSources;
+using netchar::lint::SourceBuffer;
+
+/** The findings that carry a taint path, in report order. */
+std::vector<Finding>
+flowsOf(const LintResult &r)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : r.findings)
+        if (!f.path.empty())
+            out.push_back(f);
+    return out;
+}
+
+/** Balanced-brace/bracket structural check shared with the JSON
+ *  schema test in lint_test.cc. */
+void
+expectStructurallyValidJson(const std::string &json)
+{
+    long braces = 0;
+    long brackets = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (c == '"' && (i == 0 || json[i - 1] != '\\'))
+            inString = !inString;
+        if (inString)
+            continue;
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+// ---------------------------------------------------------------
+// propagation
+// ---------------------------------------------------------------
+
+TEST(Taint, IntraproceduralChain)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  double s = t.time_since_epoch().count();\n"
+          "  row += csvField(s);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 1u);
+    const Finding &f = flows[0];
+    EXPECT_EQ(f.rule, "flow-wallclock");
+    EXPECT_EQ(f.file, "bench/fx.cc");
+    EXPECT_EQ(f.line, 4); // anchored at the sink
+    ASSERT_EQ(f.path.size(), 4u);
+    EXPECT_EQ(f.path[0].line, 2);
+    EXPECT_NE(f.path[0].note.find("source: host clock"),
+              std::string::npos);
+    EXPECT_NE(f.path[1].note.find("'t' assigned"),
+              std::string::npos);
+    EXPECT_NE(f.path[2].note.find("'s' assigned"),
+              std::string::npos);
+    EXPECT_NE(f.path[3].note.find("sink: argument 1 of "
+                                  "'csvField()'"),
+              std::string::npos);
+    EXPECT_NE(f.message.find("reaches serialization sink"),
+              std::string::npos);
+}
+
+TEST(Taint, PropagatesThroughReturnValue)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "double stamp() {\n"
+          "  return std::chrono::system_clock::now()"
+          ".time_since_epoch().count();\n"
+          "}\n"
+          "void emit() {\n"
+          "  double s = stamp();\n"
+          "  row += csvField(s);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 1u);
+    bool sawReturnHop = false;
+    for (const auto &hop : flows[0].path)
+        if (hop.note.find("returned from 'stamp()'") !=
+            std::string::npos)
+            sawReturnHop = true;
+    EXPECT_TRUE(sawReturnHop);
+}
+
+TEST(Taint, PropagatesThroughParameterAcrossFiles)
+{
+    // Source in one file, sink behind a helper in another: only the
+    // call graph connects them.
+    const auto r = lintSources(
+        {{"bench/fx_main.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  writeRow(t);\n"
+          "}\n"},
+         {"bench/fx_util.cc",
+          "void writeRow(double v) {\n"
+          "  row += csvField(v);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_EQ(flows[0].file, "bench/fx_util.cc");
+    bool sawParamHop = false;
+    for (const auto &hop : flows[0].path)
+        if (hop.note.find("taints parameter 'v'") !=
+            std::string::npos)
+            sawParamHop = true;
+    EXPECT_TRUE(sawParamHop);
+}
+
+TEST(Taint, DistinctSinksAreDistinctFlows)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  a += csvField(t);\n"
+          "  b += jsonEscape(t);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 2u);
+    EXPECT_EQ(flows[0].line, 3);
+    EXPECT_EQ(flows[1].line, 4);
+}
+
+TEST(Taint, UntaintedSerializationIsClean)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  double cycles = sim.totalCycles();\n"
+          "  row += csvField(cycles);\n"
+          "}\n"}});
+    EXPECT_TRUE(flowsOf(r).empty());
+}
+
+TEST(Taint, OtherSourceFamilies)
+{
+    const auto r = lintSources(
+        {{"tools/fx.cc",
+          "void emit() {\n"
+          "  auto key = reinterpret_cast<std::uintptr_t>(ptr);\n"
+          "  row += csvField(key);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_EQ(flows[0].rule, "flow-ptr");
+}
+
+// ---------------------------------------------------------------
+// sanitizers
+// ---------------------------------------------------------------
+
+TEST(Taint, AllowFlowPragmaAtSourceSilences)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  // netchar-lint: allow-flow(flow-wallclock) -- fixture\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  row += csvField(t);\n"
+          "}\n"}});
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Taint, AllowFlowPragmaAtSinkSilencesExactlyThatFlow)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  // netchar-lint: allow-flow(flow-wallclock) -- one ok\n"
+          "  a += csvField(t);\n"
+          "  b += jsonEscape(t);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_EQ(flows[0].line, 5);
+    EXPECT_EQ(r.suppressedCount, 1u);
+}
+
+TEST(Taint, TokenAllowPragmaAlsoSanitizesTheFlow)
+{
+    // One written exception serves both layers: the allow() that
+    // suppresses the no-wallclock token finding sanitizes the
+    // flow-wallclock source at the same site.
+    const auto r = lintSources(
+        {{"src/core/fx.cc",
+          "void record() {\n"
+          "  // netchar-lint: allow(no-wallclock) -- ledger site\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  row += csvField(t);\n"
+          "}\n"}});
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressedCount, 1u); // the token finding
+}
+
+TEST(Taint, AllowFlowDoesNotSuppressTokenFindings)
+{
+    // allow-flow() speaks only for the taint layer; the token rule
+    // still fires.
+    const auto r = lintSources(
+        {{"src/core/fx.cc",
+          "// netchar-lint: allow-flow(flow-wallclock) -- flow only\n"
+          "auto t = std::chrono::steady_clock::now();\n"}});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "no-wallclock");
+}
+
+TEST(Taint, UnknownFlowRuleInPragmaIsBad)
+{
+    const auto r = lintSources(
+        {{"src/core/fx.cc",
+          "// netchar-lint: allow-flow(flow-bogus) -- typo\n"
+          "int x = 1;\n"}});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "bad-pragma");
+    EXPECT_NE(r.findings[0].message.find("unknown flow rule"),
+              std::string::npos);
+}
+
+TEST(Taint, WhitelistedLedgerFieldStopsTheFlow)
+{
+    // wallSeconds is the sanctioned wall-time carrier; an otherwise
+    // identical field is not.
+    const auto clean = lintSources(
+        {{"bench/fx.cc",
+          "void record(SuiteRunStats &st) {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  st.wallSeconds = t.time_since_epoch().count();\n"
+          "  row += suiteStatsCsv(st);\n"
+          "}\n"}});
+    EXPECT_TRUE(flowsOf(clean).empty());
+
+    const auto dirty = lintSources(
+        {{"bench/fx.cc",
+          "void record(SuiteRunStats &st) {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  st.stamp = t.time_since_epoch().count();\n"
+          "  row += suiteStatsCsv(st);\n"
+          "}\n"}});
+    ASSERT_EQ(flowsOf(dirty).size(), 1u);
+    EXPECT_EQ(flowsOf(dirty)[0].rule, "flow-wallclock");
+}
+
+TEST(Taint, OptOutDisablesThePass)
+{
+    LintOptions opts;
+    opts.taint = false;
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  row += csvField(t);\n"
+          "}\n"}},
+        opts);
+    EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------
+// rendering
+// ---------------------------------------------------------------
+
+TEST(Taint, TextReportListsHops)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  row += csvField(t);\n"
+          "}\n"}});
+    const std::string text = netchar::lint::renderText(r);
+    EXPECT_NE(text.find("    #1 bench/fx.cc:2:"),
+              std::string::npos);
+    EXPECT_NE(text.find("sink: argument 1 of 'csvField()'"),
+              std::string::npos);
+}
+
+TEST(Taint, JsonReportHasFlowsArray)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  row += csvField(t);\n"
+          "}\n"}});
+    const std::string json = netchar::lint::renderJson(r);
+    EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"flows\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"flow-wallclock\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"note\": \"source: host clock "
+                        "'steady_clock'\""),
+              std::string::npos);
+    expectStructurallyValidJson(json);
+}
+
+TEST(Taint, JsonFlowsArrayEmptyWhenClean)
+{
+    const auto r =
+        lintSources({{"bench/fx.cc", "int x = 1;\n"}});
+    const std::string json = netchar::lint::renderJson(r);
+    EXPECT_NE(json.find("\"flows\": []"), std::string::npos);
+    expectStructurallyValidJson(json);
+}
+
+TEST(Taint, SarifStructure)
+{
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  row += csvField(t);\n"
+          "}\n"}});
+    const std::string sarif = netchar::lint::renderSarif(r);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"netchar-lint\""),
+              std::string::npos);
+    // Rule metadata covers all three namespaces.
+    EXPECT_NE(sarif.find("\"id\": \"no-pointer-hash\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"id\": \"bad-pragma\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"id\": \"flow-wallclock\""),
+              std::string::npos);
+    // The flow finding carries a codeFlows/threadFlows chain.
+    EXPECT_NE(sarif.find("\"ruleId\": \"flow-wallclock\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"codeFlows\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"threadFlows\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"bench/fx.cc\""),
+              std::string::npos);
+    expectStructurallyValidJson(sarif);
+}
+
+TEST(Taint, SarifEmptyResultsWhenClean)
+{
+    const auto r =
+        lintSources({{"bench/fx.cc", "int x = 1;\n"}});
+    const std::string sarif = netchar::lint::renderSarif(r);
+    EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+    expectStructurallyValidJson(sarif);
+}
+
+TEST(Taint, ReportsAreIndependentOfInputOrder)
+{
+    const SourceBuffer a{"bench/fx_main.cc",
+                         "void emit() {\n"
+                         "  auto t = std::chrono::steady_clock"
+                         "::now();\n"
+                         "  writeRow(t);\n"
+                         "}\n"};
+    const SourceBuffer b{"bench/fx_util.cc",
+                         "void writeRow(double v) {\n"
+                         "  row += csvField(v);\n"
+                         "}\n"};
+    const auto fwd = lintSources({a, b});
+    const auto rev = lintSources({b, a});
+    EXPECT_EQ(netchar::lint::renderText(fwd),
+              netchar::lint::renderText(rev));
+    EXPECT_EQ(netchar::lint::renderJson(fwd),
+              netchar::lint::renderJson(rev));
+    EXPECT_EQ(netchar::lint::renderSarif(fwd),
+              netchar::lint::renderSarif(rev));
+}
+
+} // namespace

@@ -1,9 +1,11 @@
 /**
  * @file
  * `netchar_lint` — the repo's determinism & concurrency static
- * analyzer (see src/lint/rules.hh for the rule set).
+ * analyzer (see src/lint/rules.hh for the token rule set and
+ * src/lint/taint.hh for the flow-aware taint pass).
  *
- *   netchar_lint --check <path>... [--json]
+ *   netchar_lint --check <path>... [--json] [--sarif FILE]
+ *                [--taint|--no-taint]
  *   netchar_lint --list-rules
  *
  * Exit codes: 0 clean tree, 1 unsuppressed findings, 2 usage or I/O
@@ -14,10 +16,12 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.hh"
+#include "lint/sarif.hh"
 
 namespace
 {
@@ -27,13 +31,19 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: netchar_lint --check <path>... [--json]\n"
+        "usage: netchar_lint --check <path>... [--json] "
+        "[--sarif FILE] [--taint|--no-taint]\n"
         "       netchar_lint --list-rules\n"
         "  --check <path>...  lint files/directories (recursive)\n"
         "  --json             machine-readable report on stdout\n"
+        "  --sarif FILE       also write a SARIF 2.1.0 report\n"
+        "  --taint            run the taint pass (default)\n"
+        "  --no-taint         token rules only\n"
         "  --list-rules       print the rule set and exit\n"
         "exit codes: 0 clean, 1 findings, 2 usage/I-O error\n"
-        "suppression: // netchar-lint: allow(<rule>) -- <reason>\n");
+        "suppression: // netchar-lint: allow(<rule>) -- <reason>\n"
+        "             // netchar-lint: allow-flow(<rule>) -- "
+        "<reason>\n");
     return 2;
 }
 
@@ -44,6 +54,8 @@ main(int argc, char **argv)
 {
     bool check = false;
     bool json = false;
+    std::string sarifPath;
+    netchar::lint::LintOptions opts;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -52,7 +64,18 @@ main(int argc, char **argv)
             check = true;
         else if (arg == "--json")
             json = true;
-        else if (arg == "--list-rules") {
+        else if (arg == "--taint")
+            opts.taint = true;
+        else if (arg == "--no-taint")
+            opts.taint = false;
+        else if (arg == "--sarif") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "netchar_lint: --sarif needs a file\n");
+                return usage();
+            }
+            sarifPath = argv[++i];
+        } else if (arg == "--list-rules") {
             std::fputs(netchar::lint::listRulesText().c_str(),
                        stdout);
             return 0;
@@ -69,11 +92,22 @@ main(int argc, char **argv)
 
     std::vector<std::string> errors;
     const netchar::lint::LintResult result =
-        netchar::lint::lintPaths(paths, errors);
+        netchar::lint::lintPaths(paths, errors, opts);
     for (const std::string &e : errors)
         std::fprintf(stderr, "netchar_lint: %s\n", e.c_str());
     if (!errors.empty())
         return 2;
+
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath, std::ios::binary);
+        out << netchar::lint::renderSarif(result);
+        if (!out) {
+            std::fprintf(stderr,
+                         "netchar_lint: cannot write '%s'\n",
+                         sarifPath.c_str());
+            return 2;
+        }
+    }
 
     std::fputs(json ? netchar::lint::renderJson(result).c_str()
                     : netchar::lint::renderText(result).c_str(),
