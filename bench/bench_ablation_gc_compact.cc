@@ -16,17 +16,18 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(ablation_gc_compact,
+              "Ablation: software vs hardware-offloaded GC with a "
+              "no-GC control over the .NET subset")
 {
     std::fprintf(stderr, "Ablation: hardware GC offload\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     const auto profiles = bench::tableIvDotnet();
     constexpr std::uint64_t MiB = 1024 * 1024;
 
-    std::printf("Ablation: GC executed in software vs offloaded to "
-                "hardware (server GC, 48 MiB-scaled heap, 8x alloc "
-                "pressure), plus a no-GC control\n\n");
+    ctx.printf("Ablation: GC executed in software vs offloaded to "
+               "hardware (server GC, 48 MiB-scaled heap, 8x alloc "
+               "pressure), plus a no-GC control\n\n");
     TextTable table({"Benchmark", "LLC noGC", "LLC swGC", "LLC hwGC",
                      "time swGC/noGC", "time hwGC/noGC"});
     std::vector<double> hw_speedups;
@@ -61,13 +62,15 @@ main()
                       fmtFixed(r_hw.seconds / r_nogc.seconds, 3)});
         hw_speedups.push_back(r_sw.seconds / r_hw.seconds);
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Geomean speedup of hardware GC over software GC: "
-                "%sx\n",
-                fmtFixed(bench::geomeanFloored(hw_speedups), 3)
-                    .c_str());
-    std::printf("Expected: sw/hw GC both cut LLC MPKI vs no-GC "
-                "(compaction locality); hardware offload keeps that "
-                "benefit without paying collector instructions.\n");
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Geomean speedup of hardware GC over software GC: "
+               "%sx\n",
+               fmtFixed(bench::geomeanFloored(hw_speedups), 3)
+                   .c_str());
+    ctx.printf("Expected: sw/hw GC both cut LLC MPKI vs no-GC "
+               "(compaction locality); hardware offload keeps that "
+               "benefit without paying collector instructions.\n");
+    ctx.metric("hw_gc_speedup_geomean", "x",
+               bench::geomeanFloored(hw_speedups), true);
 }
+NETCHAR_BENCH_MAIN(ablation_gc_compact)

@@ -16,17 +16,19 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(ablation_mlp,
+              "Ablation: CPI sensitivity of mcf vs exchange2 to the "
+              "modeled memory-level parallelism")
 {
     std::fprintf(stderr, "Ablation: MLP exposure sweep\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     const double mlps[] = {1.0, 2.0, 4.0, 8.0};
 
-    std::printf("Ablation: CPI sensitivity to modeled memory-level "
-                "parallelism\n\n");
+    ctx.printf("Ablation: CPI sensitivity to modeled memory-level "
+               "parallelism\n\n");
     TextTable table({"MLP", "mcf CPI", "mcf LLC MPKI",
                      "exchange2 CPI"});
+    double mcf_cpi_mlp1 = 0.0, mcf_cpi_mlp8 = 0.0;
     for (double mlp : mlps) {
         auto mcf = *wl::findProfile("mcf");
         auto exch = *wl::findProfile("exchange2");
@@ -35,6 +37,10 @@ main()
         const auto opts = bench::standardOptions();
         const auto r_mcf = ch.run(mcf, opts);
         const auto r_exch = ch.run(exch, opts);
+        if (mlp == 1.0)
+            mcf_cpi_mlp1 = r_mcf.counters.cpi();
+        if (mlp == 8.0)
+            mcf_cpi_mlp8 = r_mcf.counters.cpi();
         table.addRow(
             {fmtFixed(mlp, 0), fmtFixed(r_mcf.counters.cpi(), 2),
              fmtFixed(r_mcf.metrics[static_cast<std::size_t>(
@@ -42,9 +48,13 @@ main()
                       2),
              fmtFixed(r_exch.counters.cpi(), 2)});
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected: mcf CPI falls steeply as MLP grows (misses "
-                "overlap) while its MPKIs stay constant; exchange2 is "
-                "insensitive (compute bound).\n");
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Expected: mcf CPI falls steeply as MLP grows (misses "
+               "overlap) while its MPKIs stay constant; exchange2 is "
+               "insensitive (compute bound).\n");
+    ctx.metric("mcf_cpi_ratio_mlp1_vs_mlp8", "x",
+               mcf_cpi_mlp8 > 0.0 ? mcf_cpi_mlp1 / mcf_cpi_mlp8
+                                  : 0.0,
+               true);
 }
+NETCHAR_BENCH_MAIN(ablation_mlp)

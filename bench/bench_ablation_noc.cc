@@ -16,18 +16,20 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(ablation_noc,
+              "Ablation: LLC slice/NoC contention model on vs off "
+              "across core counts")
 {
     std::fprintf(stderr, "Ablation: NoC contention model\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     const auto profiles = bench::tableIvAspnet();
     const unsigned core_counts[] = {1, 4, 16};
 
-    std::printf("Ablation: LLC slice/NoC contention on vs off "
-                "(ASP.NET subset mean L3-bound share)\n\n");
+    ctx.printf("Ablation: LLC slice/NoC contention on vs off "
+               "(ASP.NET subset mean L3-bound share)\n\n");
     TextTable table({"Cores", "L3-bound (contention on)",
                      "L3-bound (contention off)"});
+    double on_16c = 0.0, off_16c = 0.0;
     for (unsigned cores : core_counts) {
         double on_sum = 0.0, off_sum = 0.0;
         for (const auto &p : profiles) {
@@ -46,11 +48,17 @@ main()
         table.addRow({std::to_string(cores),
                       fmtPercent(on_sum / n),
                       fmtPercent(off_sum / n)});
+        if (cores == 16) {
+            on_16c = on_sum / n;
+            off_16c = off_sum / n;
+        }
         std::fprintf(stderr, "  %u cores done\n", cores);
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected: with contention on, L3-bound share grows "
-                "with core count (Fig 12); with it off, the share "
-                "stays flat.\n");
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Expected: with contention on, L3-bound share grows "
+               "with core count (Fig 12); with it off, the share "
+               "stays flat.\n");
+    ctx.metric("l3_bound_16c_contention_on", "frac", on_16c);
+    ctx.metric("l3_bound_16c_contention_off", "frac", off_16c);
 }
+NETCHAR_BENCH_MAIN(ablation_noc)

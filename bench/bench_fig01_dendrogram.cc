@@ -15,8 +15,9 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(fig01_dendrogram,
+              "Figure 1: similarity dendrogram of the 44 .NET "
+              "categories with the 8-element subset underlined")
 {
     std::fprintf(stderr, "Figure 1: .NET dendrogram\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -42,20 +43,22 @@ main()
                                 : profiles[i].name);
     }
 
-    std::printf("Figure 1: similarity between benchmarks in the .NET "
-                "suite\n");
-    std::printf("(agglomerative clustering, average linkage, over "
-                "top-4 PRCO scores; representative subset "
-                "__underlined__)\n\n");
-    std::printf("%s\n",
-                subset.dendrogram.renderAscii(labels).c_str());
+    ctx.printf("Figure 1: similarity between benchmarks in the .NET "
+               "suite\n");
+    ctx.printf("(agglomerative clustering, average linkage, over "
+               "top-4 PRCO scores; representative subset "
+               "__underlined__)\n\n");
+    ctx.printf("%s\n",
+               subset.dendrogram.renderAscii(labels).c_str());
 
-    std::printf("8 clusters at the subset cut:\n");
+    ctx.printf("8 clusters at the subset cut:\n");
     for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
-        std::printf("  cluster %zu:", c + 1);
+        ctx.printf("  cluster %zu:", c + 1);
         for (std::size_t m : subset.clusters[c])
-            std::printf(" %s", profiles[m].name.c_str());
-        std::printf("\n");
+            ctx.printf(" %s", profiles[m].name.c_str());
+        ctx.printf("\n");
     }
-    return 0;
+    ctx.metric("clusters", "count",
+               static_cast<double>(subset.clusters.size()), true);
 }
+NETCHAR_BENCH_MAIN(fig01_dendrogram)

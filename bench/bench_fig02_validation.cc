@@ -40,8 +40,9 @@ runTimes(const Characterizer &ch,
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig02_validation,
+              "Figure 2: SPECspeed-style validation accuracy of "
+              "subsets A, A(o) and B")
 {
     std::fprintf(stderr, "Figure 2: subset validation\n");
     Characterizer baseline(sim::MachineConfig::intelXeonE52620V4());
@@ -102,10 +103,10 @@ main()
         micro_scores, subset_b_result.representatives);
 
     // ---- Report ----
-    std::printf("Figure 2: validation of .NET representative "
-                "subsets\n");
-    std::printf("(score = Xeon E5-2620v4 time / i9-9980XE time; "
-                "composite = geomean)\n\n");
+    ctx.printf("Figure 2: validation of .NET representative "
+               "subsets\n");
+    ctx.printf("(score = Xeon E5-2620v4 time / i9-9980XE time; "
+               "composite = geomean)\n\n");
     TextTable table({"Set", "Composite score", "Accuracy",
                      "Paper accuracy"});
     table.addRow({"Full suite (44 categories)", fmtFixed(full, 4),
@@ -124,9 +125,14 @@ main()
                            1) +
                       "%",
                   "96.3%"});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Optimum search examined %llu combinations.\n",
-                static_cast<unsigned long long>(
-                    optimum.combinationsTried));
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Optimum search examined %llu combinations.\n",
+               static_cast<unsigned long long>(
+                   optimum.combinationsTried));
+    ctx.metric("accuracy_a_pct", "%",
+               subsetAccuracyPct(full, subset_a), true);
+    ctx.metric("accuracy_ao_pct", "%", optimum.accuracyPct, true);
+    ctx.metric("accuracy_b_pct", "%",
+               subsetAccuracyPct(micro_full, subset_b), true);
 }
+NETCHAR_BENCH_MAIN(fig02_validation)

@@ -19,7 +19,8 @@ namespace
 {
 
 void
-section(const char *title, const Characterizer &ch,
+section(bench::Context &ctx, const char *title,
+        const Characterizer &ch,
         const std::vector<wl::WorkloadProfile> &profiles,
         std::vector<double> &fractions)
 {
@@ -34,23 +35,26 @@ section(const char *title, const Characterizer &ch,
         bars.push_back({profiles[i].name, frac});
         fractions.push_back(frac);
     }
-    std::printf("%s\n", barChart(title, bars, 50, 0.6).c_str());
+    ctx.printf("%s\n", barChart(title, bars, 50, 0.6).c_str());
 }
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig03_kernel_frac,
+              "Figure 3: kernel-instruction fraction per benchmark "
+              "across the Table IV subsets")
 {
     std::fprintf(stderr, "Figure 3: kernel instruction fraction\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
 
-    std::printf("Figure 3: fraction of kernel instructions in each "
-                "benchmark\n\n");
+    ctx.printf("Figure 3: fraction of kernel instructions in each "
+               "benchmark\n\n");
     std::vector<double> dotnet, aspnet, spec;
-    section(".NET subset", ch, bench::tableIvDotnet(), dotnet);
-    section("ASP.NET subset", ch, bench::tableIvAspnet(), aspnet);
-    section("SPEC CPU17 subset", ch, bench::tableIvSpec(), spec);
+    section(ctx, ".NET subset", ch, bench::tableIvDotnet(), dotnet);
+    section(ctx, "ASP.NET subset", ch, bench::tableIvAspnet(),
+            aspnet);
+    section(ctx, "SPEC CPU17 subset", ch, bench::tableIvSpec(),
+            spec);
 
     auto mean = [](const std::vector<double> &xs) {
         double acc = 0.0;
@@ -58,12 +62,13 @@ main()
             acc += x;
         return acc / static_cast<double>(xs.size());
     };
-    std::printf("Mean kernel fraction: .NET %s, ASP.NET %s, "
-                "SPEC %s\n",
-                fmtPercent(mean(dotnet)).c_str(),
-                fmtPercent(mean(aspnet)).c_str(),
-                fmtPercent(mean(spec)).c_str());
-    std::printf("Paper shape: ASP.NET >> .NET >> SPEC (networking "
-                "stack dominates ASP.NET kernel time).\n");
-    return 0;
+    ctx.printf("Mean kernel fraction: .NET %s, ASP.NET %s, "
+               "SPEC %s\n",
+               fmtPercent(mean(dotnet)).c_str(),
+               fmtPercent(mean(aspnet)).c_str(),
+               fmtPercent(mean(spec)).c_str());
+    ctx.printf("Paper shape: ASP.NET >> .NET >> SPEC (networking "
+               "stack dominates ASP.NET kernel time).\n");
+    ctx.metric("kernel_frac_mean_aspnet", "frac", mean(aspnet));
 }
+NETCHAR_BENCH_MAIN(fig03_kernel_frac)

@@ -25,7 +25,8 @@ struct MixGms
 };
 
 void
-section(const char *title, const Characterizer &ch,
+section(bench::Context &ctx, const char *title,
+        const Characterizer &ch,
         const std::vector<wl::WorkloadProfile> &profiles, MixGms &gms)
 {
     const auto results =
@@ -44,27 +45,30 @@ section(const char *title, const Characterizer &ch,
         gms.loads.push_back(ld);
         gms.stores.push_back(st);
     }
-    std::printf("%s\n",
-                stackedBars(title, labels,
-                            {"branch", "load", "store", "other"},
-                            rows, 60)
-                    .c_str());
+    ctx.printf("%s\n",
+               stackedBars(title, labels,
+                           {"branch", "load", "store", "other"},
+                           rows, 60)
+                   .c_str());
 }
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig04_inst_mix,
+              "Figure 4: branch/load/store instruction-mix "
+              "breakdown per Table IV subset")
 {
     std::fprintf(stderr, "Figure 4: instruction mix\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
 
-    std::printf("Figure 4: percentage of instruction types in each "
-                "benchmark\n\n");
+    ctx.printf("Figure 4: percentage of instruction types in each "
+               "benchmark\n\n");
     MixGms dotnet, aspnet, spec;
-    section(".NET subset", ch, bench::tableIvDotnet(), dotnet);
-    section("ASP.NET subset", ch, bench::tableIvAspnet(), aspnet);
-    section("SPEC CPU17 subset", ch, bench::tableIvSpec(), spec);
+    section(ctx, ".NET subset", ch, bench::tableIvDotnet(), dotnet);
+    section(ctx, "ASP.NET subset", ch, bench::tableIvAspnet(),
+            aspnet);
+    section(ctx, "SPEC CPU17 subset", ch, bench::tableIvSpec(),
+            spec);
 
     TextTable table({"Suite", "GM branches", "GM loads", "GM stores",
                      "Paper loads", "Paper stores"});
@@ -83,6 +87,10 @@ main()
                   fmtPercent(bench::geomeanFloored(spec.loads)),
                   fmtPercent(bench::geomeanFloored(spec.stores)),
                   "35.2%", "11.5%"});
-    std::printf("%s\n", table.render().c_str());
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.metric("spec_gm_loads_frac", "frac",
+               bench::geomeanFloored(spec.loads));
+    ctx.metric("spec_gm_stores_frac", "frac",
+               bench::geomeanFloored(spec.stores));
 }
+NETCHAR_BENCH_MAIN(fig04_inst_mix)

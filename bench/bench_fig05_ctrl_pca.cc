@@ -36,8 +36,9 @@ suiteStddev(const stats::Matrix &scores, std::size_t begin,
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig05_ctrl_pca,
+              "Figure 5: control-flow-metric PCA scatter, .NET vs "
+              "SPEC CPU17 diversity")
 {
     std::fprintf(stderr, "Figure 5: control-flow PCA comparison\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -58,8 +59,8 @@ main()
     opts.components = 2;
     const auto pca = stats::runPca(ctrl, opts);
 
-    std::printf("Figure 5: comparison between .NET and SPEC CPU17 "
-                "(control-flow metrics 2, 7)\n\n");
+    ctx.printf("Figure 5: comparison between .NET and SPEC CPU17 "
+               "(control-flow metrics 2, 7)\n\n");
     TextTable table({"Benchmark", "Suite", "PRCO1", "PRCO2"});
     for (std::size_t i = 0; i < profiles.size(); ++i) {
         table.addRow({profiles[i].name,
@@ -67,13 +68,15 @@ main()
                       fmtFixed(pca.scores(i, 0), 3),
                       fmtFixed(pca.scores(i, 1), 3)});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
     const double sd_dotnet = suiteStddev(pca.scores, 0, dotnet.size());
     const double sd_spec = suiteStddev(pca.scores, dotnet.size(),
                                        profiles.size());
-    std::printf("Control-flow stddev: SPEC %.3f vs .NET %.3f -> "
-                "ratio %.2fx (paper: 5.73x)\n",
-                sd_spec, sd_dotnet, sd_spec / sd_dotnet);
-    return 0;
+    ctx.printf("Control-flow stddev: SPEC %.3f vs .NET %.3f -> "
+               "ratio %.2fx (paper: 5.73x)\n",
+               sd_spec, sd_dotnet, sd_spec / sd_dotnet);
+    ctx.metric("stddev_ratio_spec_vs_dotnet", "x",
+               sd_spec / sd_dotnet, true);
 }
+NETCHAR_BENCH_MAIN(fig05_ctrl_pca)

@@ -35,8 +35,9 @@ suiteStddev(const stats::Matrix &scores, std::size_t begin,
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig06_mem_pca,
+              "Figure 6: memory-metric PCA scatter, ASP.NET vs "
+              "SPEC CPU17 diversity")
 {
     std::fprintf(stderr, "Figure 6: memory PCA comparison\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -57,8 +58,8 @@ main()
     opts.components = 2;
     const auto pca = stats::runPca(mem, opts);
 
-    std::printf("Figure 6: comparison between ASP.NET and SPEC CPU17 "
-                "(memory metrics 8-14)\n\n");
+    ctx.printf("Figure 6: comparison between ASP.NET and SPEC CPU17 "
+               "(memory metrics 8-14)\n\n");
     TextTable table({"Benchmark", "Suite", "PRCO1", "PRCO2"});
     for (std::size_t i = 0; i < profiles.size(); ++i) {
         table.addRow({profiles[i].name,
@@ -66,27 +67,29 @@ main()
                       fmtFixed(pca.scores(i, 0), 3),
                       fmtFixed(pca.scores(i, 1), 3)});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
-    std::printf("Top PRCO1 loadings:");
+    ctx.printf("Top PRCO1 loadings:");
     for (std::size_t idx : stats::topLoadings(pca, 0, 3))
-        std::printf(" %s (%.2f)",
-                    std::string(metricName(memoryMetricIds()[idx]))
-                        .c_str(),
-                    pca.loadings(0, idx));
-    std::printf("\nTop PRCO2 loadings:");
+        ctx.printf(" %s (%.2f)",
+                   std::string(metricName(memoryMetricIds()[idx]))
+                       .c_str(),
+                   pca.loadings(0, idx));
+    ctx.printf("\nTop PRCO2 loadings:");
     for (std::size_t idx : stats::topLoadings(pca, 1, 3))
-        std::printf(" %s (%.2f)",
-                    std::string(metricName(memoryMetricIds()[idx]))
-                        .c_str(),
-                    pca.loadings(1, idx));
-    std::printf("\n\n");
+        ctx.printf(" %s (%.2f)",
+                   std::string(metricName(memoryMetricIds()[idx]))
+                       .c_str(),
+                   pca.loadings(1, idx));
+    ctx.printf("\n\n");
 
     const double sd_asp = suiteStddev(pca.scores, 0, aspnet.size());
     const double sd_spec =
         suiteStddev(pca.scores, aspnet.size(), profiles.size());
-    std::printf("Memory-behavior stddev: SPEC %.3f vs ASP.NET %.3f "
-                "-> ratio %.2fx (paper: 1.27x)\n",
-                sd_spec, sd_asp, sd_spec / sd_asp);
-    return 0;
+    ctx.printf("Memory-behavior stddev: SPEC %.3f vs ASP.NET %.3f "
+               "-> ratio %.2fx (paper: 1.27x)\n",
+               sd_spec, sd_asp, sd_spec / sd_asp);
+    ctx.metric("stddev_ratio_spec_vs_aspnet", "x",
+               sd_spec / sd_asp, true);
 }
+NETCHAR_BENCH_MAIN(fig06_mem_pca)

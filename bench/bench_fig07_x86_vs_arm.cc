@@ -36,7 +36,7 @@ columnStddev(const stats::Matrix &scores, std::size_t col,
 }
 
 void
-groupComparison(const char *label,
+groupComparison(bench::Context &ctx, const char *label,
                 const std::vector<MetricVector> &x86_rows,
                 const std::vector<MetricVector> &arm_rows,
                 const std::vector<std::size_t> &ids,
@@ -48,15 +48,15 @@ groupComparison(const char *label,
     opts.components = 2;
     const auto pca = stats::runPca(toMatrix(all, ids), opts);
     const std::size_t n = x86_rows.size();
-    std::printf("%-15s", label);
+    ctx.printf("%-15s", label);
     for (std::size_t c = 0; c < 2; ++c) {
         const double sd_x86 = columnStddev(pca.scores, c, 0, n);
         const double sd_arm =
             columnStddev(pca.scores, c, n, all.size());
-        std::printf("  PRCO%zu arm/x86 = %.2fx", c + 1,
-                    sd_x86 > 0.0 ? sd_arm / sd_x86 : 0.0);
+        ctx.printf("  PRCO%zu arm/x86 = %.2fx", c + 1,
+                   sd_x86 > 0.0 ? sd_arm / sd_x86 : 0.0);
     }
-    std::printf("   (paper: %s)\n", paper_ratios);
+    ctx.printf("   (paper: %s)\n", paper_ratios);
 }
 
 double
@@ -70,8 +70,9 @@ meanMetric(const std::vector<MetricVector> &rows, MetricId id)
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig07_x86_vs_arm,
+              "Figure 7: x86-64 vs AArch64 PRCO diversity and raw "
+              "MPKI ratios over the .NET categories")
 {
     std::fprintf(stderr, "Figure 7: x86-64 vs AArch64\n");
     Characterizer x86(sim::MachineConfig::intelCoreI99980Xe());
@@ -85,18 +86,18 @@ main()
     for (const auto &r : bench::runSuite(arm, profiles, opts))
         arm_rows.push_back(r.metrics);
 
-    std::printf("Figure 7: comparison between x86-64 and AArch64 "
-                "(.NET categories)\n\n");
-    std::printf("Per-group PRCO standard-deviation ratios "
-                "(Arm / x86):\n");
-    groupComparison("Control flow", x86_rows, arm_rows,
+    ctx.printf("Figure 7: comparison between x86-64 and AArch64 "
+               "(.NET categories)\n\n");
+    ctx.printf("Per-group PRCO standard-deviation ratios "
+               "(Arm / x86):\n");
+    groupComparison(ctx, "Control flow", x86_rows, arm_rows,
                     controlFlowMetricIds(), "1.36x / 1.20x");
-    groupComparison("Memory", x86_rows, arm_rows, memoryMetricIds(),
-                    "1.19x / 2.32x");
-    groupComparison("Runtime events", x86_rows, arm_rows,
+    groupComparison(ctx, "Memory", x86_rows, arm_rows,
+                    memoryMetricIds(), "1.19x / 2.32x");
+    groupComparison(ctx, "Runtime events", x86_rows, arm_rows,
                     runtimeMetricIds(), "1.02x / 0.58x");
 
-    std::printf("\nRaw mean performance ratios (Arm / x86):\n");
+    ctx.printf("\nRaw mean performance ratios (Arm / x86):\n");
     TextTable table({"Metric", "x86-64", "Arm", "Ratio", "Paper"});
     const double itlb_x86 = meanMetric(x86_rows, MetricId::ItlbMpki);
     const double itlb_arm = meanMetric(arm_rows, MetricId::ItlbMpki);
@@ -112,9 +113,13 @@ main()
     const double cpi_arm = meanMetric(arm_rows, MetricId::Cpi);
     table.addRow({"CPI", fmtFixed(cpi_x86, 2), fmtFixed(cpi_arm, 2),
                   fmtFixed(cpi_arm / cpi_x86, 1) + "x", "-"});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("The gap models §V-D's finding that the Arm .NET "
-                "software stack (code layout, data packing) lags the "
-                "Intel stack, on top of the smaller TLBs.\n");
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("The gap models §V-D's finding that the Arm .NET "
+               "software stack (code layout, data packing) lags the "
+               "Intel stack, on top of the smaller TLBs.\n");
+    ctx.metric("itlb_mpki_ratio_arm_vs_x86", "x",
+               itlb_arm / itlb_x86, true);
+    ctx.metric("llc_mpki_ratio_arm_vs_x86", "x",
+               llc_arm / llc_x86, true);
 }
+NETCHAR_BENCH_MAIN(fig07_x86_vs_arm)

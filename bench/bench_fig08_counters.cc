@@ -38,8 +38,9 @@ gmMetric(const SuiteData &suite, MetricId id)
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig08_counters,
+              "Figure 8: CPI and cache/TLB MPKI counter comparison "
+              "across the Table IV subsets")
 {
     std::fprintf(stderr, "Figure 8: performance counters\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -59,8 +60,8 @@ main()
     suites[2].results = bench::runSuite(ch, suites[2].profiles,
                                         bench::standardOptions());
 
-    std::printf("Figure 8: performance counter comparisons on "
-                "x86-64\n\n");
+    ctx.printf("Figure 8: performance counter comparisons on "
+               "x86-64\n\n");
 
     const struct
     {
@@ -87,10 +88,10 @@ main()
                          metric.id)]});
             }
         }
-        std::printf("%s\n", barChart(metric.label, bars, 46).c_str());
+        ctx.printf("%s\n", barChart(metric.label, bars, 46).c_str());
     }
 
-    std::printf("Suite geomeans (paper values in parentheses):\n");
+    ctx.printf("Suite geomeans (paper values in parentheses):\n");
     TextTable table({"Metric", ".NET", "ASP.NET", "SPEC CPU17"});
     table.addRow({"CPI", fmtFixed(gmMetric(suites[0], MetricId::Cpi), 2),
                   fmtFixed(gmMetric(suites[1], MetricId::Cpi), 2),
@@ -115,6 +116,10 @@ main()
          fmtFixed(gmMetric(suites[0], MetricId::LlcMpki), 3),
          fmtFixed(gmMetric(suites[1], MetricId::LlcMpki), 3),
          fmtFixed(gmMetric(suites[2], MetricId::LlcMpki), 3)});
-    std::printf("%s\n", table.render().c_str());
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.metric("cpi_gm_aspnet", "cpi",
+               gmMetric(suites[1], MetricId::Cpi));
+    ctx.metric("l1d_mpki_gm_spec", "mpki",
+               gmMetric(suites[2], MetricId::L1dMpki));
 }
+NETCHAR_BENCH_MAIN(fig08_counters)

@@ -22,7 +22,8 @@ namespace
 {
 
 void
-section(const char *title, const Characterizer &ch,
+section(bench::Context &ctx, const char *title,
+        const Characterizer &ch,
         const std::vector<wl::WorkloadProfile> &profiles,
         const RunOptions &opts, std::vector<double> &be_fracs)
 {
@@ -37,32 +38,33 @@ section(const char *title, const Characterizer &ch,
                         td.level1.backendBound});
         be_fracs.push_back(td.level1.backendBound);
     }
-    std::printf("%s\n",
-                stackedBars(title, labels,
-                            {"Retiring", "Bad_Spec", "FE_Bound",
-                             "BE_Bound"},
-                            rows, 60)
-                    .c_str());
+    ctx.printf("%s\n",
+               stackedBars(title, labels,
+                           {"Retiring", "Bad_Spec", "FE_Bound",
+                            "BE_Bound"},
+                           rows, 60)
+                   .c_str());
 }
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig09_topdown_basic,
+              "Figure 9: level-1 Top-Down breakdown for every "
+              "Table IV benchmark")
 {
     std::fprintf(stderr, "Figure 9: basic Top-Down profiles\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     auto asp_opts = bench::standardOptions();
     asp_opts.cores = 16; // the ASP.NET server runs loaded
 
-    std::printf("Figure 9: basic Top-Down profile for all "
-                "benchmarks\n\n");
+    ctx.printf("Figure 9: basic Top-Down profile for all "
+               "benchmarks\n\n");
     std::vector<double> be_dotnet, be_aspnet, be_spec;
-    section(".NET subset", ch, bench::tableIvDotnet(),
+    section(ctx, ".NET subset", ch, bench::tableIvDotnet(),
             bench::standardOptions(), be_dotnet);
-    section("ASP.NET subset (16 cores)", ch, bench::tableIvAspnet(),
-            asp_opts, be_aspnet);
-    section("SPEC CPU17 subset", ch, bench::tableIvSpec(),
+    section(ctx, "ASP.NET subset (16 cores)", ch,
+            bench::tableIvAspnet(), asp_opts, be_aspnet);
+    section(ctx, "SPEC CPU17 subset", ch, bench::tableIvSpec(),
             bench::standardOptions(), be_spec);
 
     auto mean = [](const std::vector<double> &xs) {
@@ -71,13 +73,15 @@ main()
             acc += x;
         return acc / static_cast<double>(xs.size());
     };
-    std::printf("Mean backend-bound share: .NET %s, ASP.NET %s, "
-                "SPEC %s\n",
-                fmtPercent(mean(be_dotnet)).c_str(),
-                fmtPercent(mean(be_aspnet)).c_str(),
-                fmtPercent(mean(be_spec)).c_str());
-    std::printf("Paper shape: ASP.NET is significantly backend "
-                "bound; managed suites show little bad "
-                "speculation.\n");
-    return 0;
+    ctx.printf("Mean backend-bound share: .NET %s, ASP.NET %s, "
+               "SPEC %s\n",
+               fmtPercent(mean(be_dotnet)).c_str(),
+               fmtPercent(mean(be_aspnet)).c_str(),
+               fmtPercent(mean(be_spec)).c_str());
+    ctx.printf("Paper shape: ASP.NET is significantly backend "
+               "bound; managed suites show little bad "
+               "speculation.\n");
+    ctx.metric("backend_bound_mean_aspnet", "frac",
+               mean(be_aspnet));
 }
+NETCHAR_BENCH_MAIN(fig09_topdown_basic)

@@ -24,7 +24,8 @@ namespace
 {
 
 void
-section(const char *name, const Characterizer &ch,
+section(bench::Context &ctx, const char *name,
+        const Characterizer &ch,
         const std::vector<wl::WorkloadProfile> &profiles,
         const RunOptions &opts)
 {
@@ -43,42 +44,44 @@ section(const char *name, const Characterizer &ch,
                            be.dramBound, be.storeBound,
                            be.portsUtilization, be.divider});
     }
-    std::printf("%s\n",
-                stackedBars(std::string("Frontend breakdown: ") + name,
-                            labels,
-                            {"ICache", "ITLB", "BTB", "MS", "DSB_BW",
-                             "MITE_BW"},
-                            fe_rows, 60)
-                    .c_str());
-    std::printf("%s\n",
-                stackedBars(std::string("Backend breakdown: ") + name,
-                            labels,
-                            {"L1", "L2", "L3", "DRAM", "Store",
-                             "Ports", "Div"},
-                            be_rows, 60)
-                    .c_str());
+    ctx.printf("%s\n",
+               stackedBars(std::string("Frontend breakdown: ") + name,
+                           labels,
+                           {"ICache", "ITLB", "BTB", "MS", "DSB_BW",
+                            "MITE_BW"},
+                           fe_rows, 60)
+                   .c_str());
+    ctx.printf("%s\n",
+               stackedBars(std::string("Backend breakdown: ") + name,
+                           labels,
+                           {"L1", "L2", "L3", "DRAM", "Store",
+                            "Ports", "Div"},
+                           be_rows, 60)
+                   .c_str());
 }
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig10_topdown_detail,
+              "Figure 10: detailed frontend/backend empty-slot "
+              "breakdown per Table IV subset")
 {
     std::fprintf(stderr, "Figure 10: detailed Top-Down breakdown\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     auto asp_opts = bench::standardOptions();
     asp_opts.cores = 16;
 
-    std::printf("Figure 10: breakdown of empty pipeline slots in the "
-                "Frontend and Backend\n");
-    std::printf("(segments are fractions of that category's slots; "
-                "FE = frontend, shares < 5%% can be noisy, as the "
-                "paper notes)\n\n");
-    section(".NET subset", ch, bench::tableIvDotnet(),
+    ctx.printf("Figure 10: breakdown of empty pipeline slots in the "
+               "Frontend and Backend\n");
+    ctx.printf("(segments are fractions of that category's slots; "
+               "FE = frontend, shares < 5%% can be noisy, as the "
+               "paper notes)\n\n");
+    section(ctx, ".NET subset", ch, bench::tableIvDotnet(),
             bench::standardOptions());
-    section("ASP.NET subset (16 cores)", ch, bench::tableIvAspnet(),
-            asp_opts);
-    section("SPEC CPU17 subset", ch, bench::tableIvSpec(),
+    section(ctx, "ASP.NET subset (16 cores)", ch,
+            bench::tableIvAspnet(), asp_opts);
+    section(ctx, "SPEC CPU17 subset", ch, bench::tableIvSpec(),
             bench::standardOptions());
-    return 0;
+    ctx.metric("sections", "count", 3.0);
 }
+NETCHAR_BENCH_MAIN(fig10_topdown_detail)

@@ -15,16 +15,17 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(fig11_scaling_topdown,
+              "Figure 11: ASP.NET Top-Down profile vs core count "
+              "(1-16 cores)")
 {
     std::fprintf(stderr, "Figure 11: ASP.NET core scaling\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     const auto profiles = bench::tableIvAspnet();
     const unsigned core_counts[] = {1, 2, 4, 8, 16};
 
-    std::printf("Figure 11: Top-Down profile for ASP.NET "
-                "applications on 1, 2, 4, 8, 16 cores\n\n");
+    ctx.printf("Figure 11: Top-Down profile for ASP.NET "
+               "applications on 1, 2, 4, 8, 16 cores\n\n");
     std::vector<double> mean_be_by_cores;
     for (unsigned cores : core_counts) {
         auto opts = bench::standardOptions();
@@ -49,20 +50,22 @@ main()
         }
         mean_be_by_cores.push_back(
             be_sum / static_cast<double>(results.size()));
-        std::printf("%s\n",
-                    stackedBars(
-                        std::to_string(cores) + " core(s)", labels,
-                        {"Retiring", "Bad_Spec", "FE_Bound",
-                         "BE_Bound"},
-                        rows, 60)
-                        .c_str());
+        ctx.printf("%s\n",
+                   stackedBars(
+                       std::to_string(cores) + " core(s)", labels,
+                       {"Retiring", "Bad_Spec", "FE_Bound",
+                        "BE_Bound"},
+                       rows, 60)
+                       .c_str());
     }
 
-    std::printf("Mean backend-bound share by core count:\n");
+    ctx.printf("Mean backend-bound share by core count:\n");
     for (std::size_t i = 0; i < std::size(core_counts); ++i)
-        std::printf("  %2u cores: %s\n", core_counts[i],
-                    fmtPercent(mean_be_by_cores[i]).c_str());
-    std::printf("Paper shape: backend-bound share grows with core "
-                "count.\n");
-    return 0;
+        ctx.printf("  %2u cores: %s\n", core_counts[i],
+                   fmtPercent(mean_be_by_cores[i]).c_str());
+    ctx.printf("Paper shape: backend-bound share grows with core "
+               "count.\n");
+    ctx.metric("backend_bound_mean_16c", "frac",
+               mean_be_by_cores.back());
 }
+NETCHAR_BENCH_MAIN(fig11_scaling_topdown)

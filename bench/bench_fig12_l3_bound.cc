@@ -18,16 +18,17 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(fig12_l3_bound,
+              "Figure 12: ASP.NET L3-bound stall share and per-core "
+              "LLC MPKI vs core count")
 {
     std::fprintf(stderr, "Figure 12: L3-bound scaling\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
     const auto profiles = bench::tableIvAspnet();
     const unsigned core_counts[] = {1, 2, 4, 8, 16};
 
-    std::printf("Figure 12: L3-bound stall share and per-core LLC "
-                "MPKI for ASP.NET vs core count\n\n");
+    ctx.printf("Figure 12: L3-bound stall share and per-core LLC "
+               "MPKI for ASP.NET vs core count\n\n");
     std::vector<std::string> header{"Benchmark"};
     for (unsigned c : core_counts) {
         header.push_back("L3% @" + std::to_string(c));
@@ -65,7 +66,7 @@ main()
     }
     for (auto &row : rows)
         table.addRow(row);
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
     auto mean = [](const std::vector<double> &xs) {
         double acc = 0.0;
@@ -73,14 +74,16 @@ main()
             acc += x;
         return acc / static_cast<double>(xs.size());
     };
-    std::printf("Mean across the subset:\n");
+    ctx.printf("Mean across the subset:\n");
     for (std::size_t ci = 0; ci < std::size(core_counts); ++ci)
-        std::printf("  %2u cores: L3-bound %s of slots, per-core LLC "
-                    "MPKI %s\n",
-                    core_counts[ci],
-                    fmtPercent(mean(l3_by_cores[ci])).c_str(),
-                    fmtFixed(mean(mpki_by_cores[ci]), 3).c_str());
-    std::printf("Paper shape: L3-bound share rises with cores; "
-                "per-core LLC MPKI stays roughly stable.\n");
-    return 0;
+        ctx.printf("  %2u cores: L3-bound %s of slots, per-core LLC "
+                   "MPKI %s\n",
+                   core_counts[ci],
+                   fmtPercent(mean(l3_by_cores[ci])).c_str(),
+                   fmtFixed(mean(mpki_by_cores[ci]), 3).c_str());
+    ctx.printf("Paper shape: L3-bound share rises with cores; "
+               "per-core LLC MPKI stays roughly stable.\n");
+    ctx.metric("l3_bound_mean_16c", "frac",
+               mean(l3_by_cores.back()));
 }
+NETCHAR_BENCH_MAIN(fig12_l3_bound)

@@ -86,8 +86,9 @@ alignedPrePost(const std::vector<IntervalSample> &samples,
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig13b_gc_corr,
+              "Figure 13b: correlation of GC invocations with "
+              "counters, incl. lag-1 and event-aligned views")
 {
     std::fprintf(stderr, "Figure 13b: GC-event correlations\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -145,9 +146,9 @@ main()
         inst_pp.events += inst_i.events;
     }
 
-    std::printf("Figure 13b: correlation of GC invocations with "
-                "performance counters (ASP.NET subset, small heap, "
-                "LLC-scale working sets)\n\n");
+    ctx.printf("Figure 13b: correlation of GC invocations with "
+               "performance counters (ASP.NET subset, small heap, "
+               "LLC-scale working sets)\n\n");
     TextTable table({"Counter", "Mean r", "Min r", "Max r",
                      "Paper direction"});
     const std::map<std::string, std::string> expectations{
@@ -168,7 +169,7 @@ main()
                       fmtFixed(hi, 3),
                       it != expectations.end() ? it->second : "-"});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
     auto mean_of = [](const std::vector<double> &xs) {
         double acc = 0.0;
@@ -176,12 +177,12 @@ main()
             acc += x;
         return acc / static_cast<double>(xs.size());
     };
-    std::printf("Lag-1 correlations (event -> next interval, the "
-                "paper's delayed response):\n");
-    std::printf("  LLC MPKI (next): mean r = %s  (paper: negative)\n",
-                fmtFixed(mean_of(lag_llc), 3).c_str());
-    std::printf("  IPC      (next): mean r = %s  (paper: positive)\n",
-                fmtFixed(mean_of(lag_ipc), 3).c_str());
+    ctx.printf("Lag-1 correlations (event -> next interval, the "
+               "paper's delayed response):\n");
+    ctx.printf("  LLC MPKI (next): mean r = %s  (paper: negative)\n",
+               fmtFixed(mean_of(lag_llc), 3).c_str());
+    ctx.printf("  IPC      (next): mean r = %s  (paper: positive)\n",
+               fmtFixed(mean_of(lag_ipc), 3).c_str());
 
     if (llc_pp.events > 0) {
         llc_pp.pre /= llc_pp.events;
@@ -195,22 +196,25 @@ main()
         inst_pp.pre /= inst_pp.events;
         inst_pp.post /= inst_pp.events;
     }
-    std::printf("\nEvent-aligned means over the quiet intervals "
-                "before/after each GC (%d events):\n",
-                llc_pp.events);
+    ctx.printf("\nEvent-aligned means over the quiet intervals "
+               "before/after each GC (%d events):\n",
+               llc_pp.events);
     auto pct = [](const PrePost &pp) {
         return pp.pre != 0.0
             ? 100.0 * (pp.post - pp.pre) / pp.pre
             : 0.0;
     };
-    std::printf("  LLC MPKI     : %.3f -> %.3f (%+.1f%%)   "
-                "(paper: ~-8%%)\n",
-                llc_pp.pre, llc_pp.post, pct(llc_pp));
-    std::printf("  IPC          : %.3f -> %.3f (%+.1f%%)   "
-                "(paper: positive)\n",
-                ipc_pp.pre, ipc_pp.post, pct(ipc_pp));
-    std::printf("  instructions : %.0f -> %.0f (%+.1f%%)   "
-                "(paper: footprint increases)\n",
-                inst_pp.pre, inst_pp.post, pct(inst_pp));
-    return 0;
+    ctx.printf("  LLC MPKI     : %.3f -> %.3f (%+.1f%%)   "
+               "(paper: ~-8%%)\n",
+               llc_pp.pre, llc_pp.post, pct(llc_pp));
+    ctx.printf("  IPC          : %.3f -> %.3f (%+.1f%%)   "
+               "(paper: positive)\n",
+               ipc_pp.pre, ipc_pp.post, pct(ipc_pp));
+    ctx.printf("  instructions : %.0f -> %.0f (%+.1f%%)   "
+               "(paper: footprint increases)\n",
+               inst_pp.pre, inst_pp.post, pct(inst_pp));
+    ctx.metric("llc_mpki_lag1_mean_r", "r", mean_of(lag_llc));
+    ctx.metric("gc_events_aligned", "count",
+               static_cast<double>(llc_pp.events), true);
 }
+NETCHAR_BENCH_MAIN(fig13b_gc_corr)

@@ -59,8 +59,9 @@ paperReportedOom(const std::string &bench, rt::GcMode mode,
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(fig14_gc_sweep,
+              "Figure 14: workstation vs server GC across three "
+              "heap sizes for the .NET subset")
 {
     std::fprintf(stderr, "Figure 14: GC mode x heap size sweep\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -130,9 +131,9 @@ main()
         }
     }
 
-    std::printf("Figure 14: comparison between different GCs "
-                "(normalized to workstation gc @ 200MiB-equivalent "
-                "heap)\n\n");
+    ctx.printf("Figure 14: comparison between different GCs "
+               "(normalized to workstation gc @ 200MiB-equivalent "
+               "heap)\n\n");
 
     auto print_metric = [&](const char *title, auto getter,
                             int places) {
@@ -167,7 +168,7 @@ main()
             }
             table.addRow(std::move(row));
         }
-        std::printf("%s\n%s\n", title, table.render().c_str());
+        ctx.printf("%s\n%s\n", title, table.render().c_str());
     };
 
     print_metric("GC/Triggered (normalized)",
@@ -193,16 +194,22 @@ main()
                 time_ratios.push_back(ws.seconds / srv.seconds);
         }
     }
-    std::printf("Aggregate server-vs-workstation ratios "
-                "(geomean over runnable cells):\n");
-    std::printf("  GC/Triggered srv/ws : %s   (paper: 6.18x)\n",
-                fmtFixed(bench::geomeanFloored(trig_ratios), 2)
-                    .c_str());
-    std::printf("  LLC MPKI    srv/ws : %s   (paper: 0.59x)\n",
-                fmtFixed(bench::geomeanFloored(llc_ratios), 2)
-                    .c_str());
-    std::printf("  Speedup     ws/srv : %s   (paper: 1.14x)\n",
-                fmtFixed(bench::geomeanFloored(time_ratios), 2)
-                    .c_str());
-    return 0;
+    ctx.printf("Aggregate server-vs-workstation ratios "
+               "(geomean over runnable cells):\n");
+    ctx.printf("  GC/Triggered srv/ws : %s   (paper: 6.18x)\n",
+               fmtFixed(bench::geomeanFloored(trig_ratios), 2)
+                   .c_str());
+    ctx.printf("  LLC MPKI    srv/ws : %s   (paper: 0.59x)\n",
+               fmtFixed(bench::geomeanFloored(llc_ratios), 2)
+                   .c_str());
+    ctx.printf("  Speedup     ws/srv : %s   (paper: 1.14x)\n",
+               fmtFixed(bench::geomeanFloored(time_ratios), 2)
+                   .c_str());
+    ctx.metric("gc_trigger_ratio_srv_ws", "x",
+               bench::geomeanFloored(trig_ratios), true);
+    ctx.metric("llc_mpki_ratio_srv_ws", "x",
+               bench::geomeanFloored(llc_ratios));
+    ctx.metric("speedup_ws_over_srv", "x",
+               bench::geomeanFloored(time_ratios), true);
 }
+NETCHAR_BENCH_MAIN(fig14_gc_sweep)

@@ -22,8 +22,9 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(metric_redundancy,
+              "SIV-A appendix: metric correlation matrix and PCA "
+              "eigen-spectrum over the .NET categories")
 {
     std::fprintf(stderr, "Metric redundancy analysis (§IV-A)\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -52,37 +53,39 @@ main()
                   return std::fabs(x.r) > std::fabs(y.r);
               });
 
-    std::printf("Metric redundancy across the 44 .NET categories "
-                "(§IV-A)\n\n");
+    ctx.printf("Metric redundancy across the 44 .NET categories "
+               "(§IV-A)\n\n");
     TextTable table({"Metric A", "Metric B", "Pearson r"});
     for (std::size_t k = 0; k < 12 && k < pairs.size(); ++k) {
         table.addRow({std::string(metricName(pairs[k].a)),
                       std::string(metricName(pairs[k].b)),
                       fmtFixed(pairs[k].r, 3)});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
     // Eigen-spectrum: cumulative variance by component count.
     stats::PcaOptions opts;
     opts.components = kNumMetrics;
     const auto pca = stats::runPca(data, opts);
-    std::printf("Cumulative variance explained by the top "
-                "components:\n");
+    ctx.printf("Cumulative variance explained by the top "
+               "components:\n");
     double cumulative = 0.0;
     int needed_for_90 = 0;
     for (std::size_t c = 0; c < 8; ++c) {
         cumulative += pca.explainedVariance[c];
-        std::printf("  top %zu: %s\n", c + 1,
-                    fmtPercent(cumulative).c_str());
+        ctx.printf("  top %zu: %s\n", c + 1,
+                   fmtPercent(cumulative).c_str());
         if (needed_for_90 == 0 && cumulative >= 0.90)
             needed_for_90 = static_cast<int>(c + 1);
     }
     if (needed_for_90 > 0)
-        std::printf("Components needed for 90%% of variance: %d "
-                    "(prior work the paper cites: ~4)\n",
-                    needed_for_90);
-    std::printf("The strongly correlated pairs above are exactly why "
-                "the paper reduces the 24 metrics with PCA before "
-                "clustering (§IV-A).\n");
-    return 0;
+        ctx.printf("Components needed for 90%% of variance: %d "
+                   "(prior work the paper cites: ~4)\n",
+                   needed_for_90);
+    ctx.printf("The strongly correlated pairs above are exactly why "
+               "the paper reduces the 24 metrics with PCA before "
+               "clustering (§IV-A).\n");
+    ctx.metric("components_for_90pct", "count",
+               static_cast<double>(needed_for_90));
 }
+NETCHAR_BENCH_MAIN(metric_redundancy)

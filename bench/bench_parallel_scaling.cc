@@ -24,8 +24,9 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(parallel_scaling,
+              "Suite-executor scaling at 1/2/4/8 jobs with "
+              "byte-identical-CSV determinism check")
 {
     // The dotnet suite slice: every category, expanded once so the
     // run count (and per-run cost spread) resembles a real sweep.
@@ -74,18 +75,23 @@ main()
                       fmtPercent(stats.utilization()),
                       std::to_string(stats.steals),
                       identical ? "yes" : "NO"});
+        char metric_name[32];
+        std::snprintf(metric_name, sizeof(metric_name),
+                      "speedup_%uj", jobs);
+        ctx.metric(metric_name, "x", speedup, true);
+        if (jobs == 4)
+            ctx.metric("utilization_4j", "frac",
+                       stats.utilization(), true);
         if (!identical) {
-            std::fprintf(stderr,
-                         "FAIL: --jobs %u output differs from "
-                         "--jobs 1\n",
-                         jobs);
-            return 1;
+            ctx.fail("--jobs " + std::to_string(jobs) +
+                     " output differs from --jobs 1");
+            return;
         }
     }
-    std::printf("%s", table.render().c_str());
+    ctx.printf("%s", table.render().c_str());
     if (hw < 8)
-        std::printf("note: host has %u hardware thread(s); the >=3x "
-                    "@ 8 jobs target needs >= 8\n",
-                    hw);
-    return 0;
+        ctx.printf("note: host has %u hardware thread(s); the >=3x "
+                   "@ 8 jobs target needs >= 8\n",
+                   hw);
 }
+NETCHAR_BENCH_MAIN(parallel_scaling)

@@ -20,8 +20,9 @@
 
 using namespace netchar;
 
-int
-main()
+NETCHAR_BENCH(table3_pca_loadings,
+              "Table III: PCA loading factors and explained "
+              "variance over the 44 .NET categories")
 {
     std::fprintf(stderr,
                  "Table III: PCA loadings over 44 .NET categories\n");
@@ -39,10 +40,10 @@ main()
     opts.components = 4;
     const auto pca = stats::runPca(toMatrix(rows), opts);
 
-    std::printf("Table III: loading factors of the top 3 metrics on "
-                "the four principal components\n");
-    std::printf("(.NET suite, 44 categories, 24 standardized Table I "
-                "metrics)\n\n");
+    ctx.printf("Table III: loading factors of the top 3 metrics on "
+               "the four principal components\n");
+    ctx.printf("(.NET suite, 44 categories, 24 standardized Table I "
+               "metrics)\n\n");
 
     TextTable table({"PRCO", "Variance", "Metric #1", "Load",
                      "Metric #2", "Load", "Metric #3", "Load"});
@@ -57,12 +58,15 @@ main()
         }
         table.addRow(std::move(row));
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
-    std::printf("Cumulative variance of top 4 PRCOs: %s "
-                "(paper: 0.79)\n",
-                fmtFixed(pca.cumulativeExplained(), 3).c_str());
-    std::printf("Paper variances per PRCO: 0.306 / 0.229 / 0.148 / "
-                "0.107\n");
-    return 0;
+    ctx.printf("Cumulative variance of top 4 PRCOs: %s "
+               "(paper: 0.79)\n",
+               fmtFixed(pca.cumulativeExplained(), 3).c_str());
+    ctx.printf("Paper variances per PRCO: 0.306 / 0.229 / 0.148 / "
+               "0.107\n");
+    ctx.metric("prco1_variance", "frac", pca.explainedVariance[0]);
+    ctx.metric("cumulative_variance_top4", "frac",
+               pca.cumulativeExplained(), true);
 }
+NETCHAR_BENCH_MAIN(table3_pca_loadings)

@@ -43,8 +43,9 @@ subsetFor(const Characterizer &ch,
 
 } // namespace
 
-int
-main()
+NETCHAR_BENCH(table4_subsets,
+              "Table IV: 8-element representative subsets per "
+              "suite from the PCA+clustering pipeline")
 {
     std::fprintf(stderr, "Table IV: representative subsets\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -60,8 +61,8 @@ main()
     const auto paper_aspnet = bench::names(bench::tableIvAspnet());
     const auto paper_spec = bench::names(bench::tableIvSpec());
 
-    std::printf("Table IV: 8-element representative subsets "
-                "(pipeline pick vs paper pick)\n\n");
+    ctx.printf("Table IV: 8-element representative subsets "
+               "(pipeline pick vs paper pick)\n\n");
     TextTable table({".NET (ours)", ".NET (paper)", "ASP.NET (ours)",
                      "ASP.NET (paper)", "SPEC (ours)",
                      "SPEC (paper)"});
@@ -69,11 +70,13 @@ main()
         table.addRow({dotnet[i], paper_dotnet[i], aspnet[i],
                       paper_aspnet[i], spec[i], paper_spec[i]});
     }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Note: representatives are centroid-closest cluster "
-                "members; the paper chose randomly among cluster "
-                "members, so name-level differences are expected "
-                "while the clustering itself is the reproduced "
-                "artifact (see bench_fig01_dendrogram).\n");
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Note: representatives are centroid-closest cluster "
+               "members; the paper chose randomly among cluster "
+               "members, so name-level differences are expected "
+               "while the clustering itself is the reproduced "
+               "artifact (see bench_fig01_dendrogram).\n");
+    ctx.metric("subset_size_dotnet", "count",
+               static_cast<double>(dotnet.size()), true);
 }
+NETCHAR_BENCH_MAIN(table4_subsets)

@@ -10,7 +10,6 @@
  * the check can gate CI.
  */
 
-#include <chrono>
 #include <cstdio>
 
 #include "common.hh"
@@ -19,22 +18,9 @@
 
 using namespace netchar;
 
-namespace
-{
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start)
-        .count();
-}
-
-} // namespace
-
-int
-main()
+NETCHAR_BENCH(trace_overhead,
+              "CI overhead check: traced captures vs plain runs over "
+              "the .NET subset (target <= 10%)")
 {
     std::fprintf(stderr, "Trace overhead: capture vs plain run\n");
     Characterizer ch(sim::MachineConfig::intelCoreI99980Xe());
@@ -51,41 +37,37 @@ main()
     std::uint64_t events = 0, records = 0;
     for (int r = 0; r < reps; ++r) {
         for (const auto &p : profiles) {
-            const auto t0 = Clock::now();
+            const double t0 = bench::nowSeconds();
             const auto plain = ch.run(p, opts);
-            plain_s += secondsSince(t0);
+            plain_s += bench::nowSeconds() - t0;
 
-            const auto t1 = Clock::now();
+            const double t1 = bench::nowSeconds();
             const auto cap = ch.capture(p, opts);
-            traced_s += secondsSince(t1);
+            traced_s += bench::nowSeconds() - t1;
             events += cap.trace.events.totalPushed();
             records += cap.trace.samples.totalPushed();
 
             if (cap.result.counters.instructions !=
                 plain.counters.instructions) {
-                std::fprintf(stderr,
-                             "  %s: traced window diverged!\n",
-                             p.name.c_str());
-                return 1;
+                ctx.fail(p.name + ": traced window diverged");
+                return;
             }
         }
     }
 
     const double overhead =
         plain_s > 0.0 ? (traced_s - plain_s) / plain_s : 0.0;
-    std::printf("Trace overhead over the .NET subset (%d rep(s))\n\n",
-                reps);
+    ctx.printf("Trace overhead over the .NET subset (%d rep(s))\n\n",
+               reps);
     TextTable table({"Path", "Wall s", "Events", "Counter records"});
     table.addRow({"plain run", fmtFixed(plain_s, 3), "-", "-"});
     table.addRow({"traced capture", fmtFixed(traced_s, 3),
                   std::to_string(events), std::to_string(records)});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("overhead: %+.1f%% (target: <= 10%%)\n",
-                100.0 * overhead);
-    if (overhead > 0.10) {
-        std::printf("FAIL: tracing exceeded the overhead budget\n");
-        return 1;
-    }
-    std::printf("PASS\n");
-    return 0;
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("overhead: %+.1f%% (target: <= 10%%)\n",
+               100.0 * overhead);
+    // The OVH-01 gate enforces the budget over the best repeat; a
+    // hard failure here would make a single noisy sample fatal.
+    ctx.metric("overhead_frac", "frac", overhead, false);
 }
+NETCHAR_BENCH_MAIN(trace_overhead)

@@ -1,7 +1,6 @@
 #include "common.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 
 #include "stats/summary.hh"
@@ -53,23 +52,6 @@ tableIvSpec()
 {
     return byNames({"mcf", "cactuBSSN", "wrf", "gcc", "omnetpp",
                     "perlbench", "xalancbmk", "bwaves"});
-}
-
-bool
-quickMode()
-{
-    // NETCHAR_QUICK only scales iteration counts; the quick/full
-    // choice is part of the run's recorded configuration, not a
-    // hidden nondeterminism source.
-    // netchar-lint: allow-flow(flow-env) -- quick-mode scaling is recorded run configuration
-    const char *env = std::getenv("NETCHAR_QUICK");
-    return env != nullptr && env[0] != '\0' && env[0] != '0';
-}
-
-std::uint64_t
-scaledInstructions(std::uint64_t full)
-{
-    return quickMode() ? full / 5 : full;
 }
 
 RunOptions

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/characterize.hh"
+#include "harness.hh"
 #include "workloads/profile.hh"
 
 namespace netchar::bench
@@ -26,11 +27,8 @@ std::vector<wl::WorkloadProfile> tableIvAspnet();
 /** Table IV: the 8-element SPEC CPU17 representative subset. */
 std::vector<wl::WorkloadProfile> tableIvSpec();
 
-/**
- * True when NETCHAR_QUICK is set in the environment: benches shrink
- * their instruction budgets ~5x for smoke runs.
- */
-bool quickMode();
+// quickMode()/scaledInstructions()/nowSeconds() live in harness.hh:
+// one clock and one quick-mode policy for every bench binary.
 
 /** Standard §III methodology options (honors quick mode). */
 RunOptions standardOptions();

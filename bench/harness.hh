@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Shared bench harness: every binary under bench/ registers itself
+ * here as a named benchmark that reports named metrics. The harness
+ * owns the things the ad-hoc mains used to reimplement — the clock,
+ * quick/full mode, warmup and repeat control, percentile aggregation
+ * over repeats, and the table/CSV/JSON reporters — and adds the
+ * perf-gate machinery: committed JSON baselines plus a `--ci-check`
+ * mode that compares a fresh run against a baseline under named
+ * thresholds (SIM-01, PAR-01, OVH-01, ...) and exits nonzero with a
+ * per-gate verdict table on regression.
+ *
+ * Two build modes share the same sources:
+ *  - standalone: each bench_X.cc compiles to its own binary whose
+ *    main() runs just that benchmark (NETCHAR_BENCH_MAIN expands to
+ *    a real main);
+ *  - combined: every bench_X.cc is compiled with
+ *    NETCHAR_BENCH_COMBINED into the netchar_bench driver, whose
+ *    CLI (--list/--filter/--json/--csv/--table/--ci-check) runs any
+ *    subset of the registry.
+ */
+
+#ifndef NETCHAR_BENCH_HARNESS_HH
+#define NETCHAR_BENCH_HARNESS_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netchar::bench
+{
+
+// ---------------------------------------------------------------
+// Shared run-mode helpers (the one clock / one quick-mode policy).
+// ---------------------------------------------------------------
+
+/**
+ * True when NETCHAR_QUICK is set in the environment: benches shrink
+ * their instruction budgets ~5x and their repeat counts for smoke
+ * runs. This is the single quick-mode read in the tree.
+ */
+bool quickMode();
+
+/** Scale an instruction budget down in quick mode. */
+std::uint64_t scaledInstructions(std::uint64_t full);
+
+/**
+ * Monotonic host time in seconds. The single sanctioned wall-clock
+ * read under bench/: every measurement in every bench flows from
+ * here, so warmup/repeat policy and clock choice cannot drift
+ * between binaries.
+ */
+double nowSeconds();
+
+// ---------------------------------------------------------------
+// Benchmark registration.
+// ---------------------------------------------------------------
+
+class Context;
+
+using BenchFn = void (*)(Context &);
+
+/** One registered benchmark. */
+struct BenchDef
+{
+    std::string name;        ///< registry key, e.g. "fig03_kernel_frac"
+    std::string description; ///< one line, shown by --list
+    BenchFn fn = nullptr;
+    int repeats = 1;      ///< full-mode measured repeats
+    int quickRepeats = 1; ///< quick-mode measured repeats
+    int warmupRepeats = 0; ///< unmeasured executions before repeats
+};
+
+/**
+ * Named-benchmark registry. Benches self-register into global() via
+ * static Registration objects; tests build private registries. The
+ * iteration order is always name-sorted, never registration order,
+ * so reports are byte-stable however the linker arranges the
+ * registration objects.
+ */
+class Registry
+{
+  public:
+    /** The process-wide registry NETCHAR_BENCH registers into. */
+    static Registry &global();
+
+    /** Add a definition; throws std::logic_error on a duplicate name. */
+    void add(BenchDef def);
+
+    /** All definitions, sorted by name. */
+    std::vector<const BenchDef *> sorted() const;
+
+    /** Definition by exact name, or nullptr. */
+    const BenchDef *find(std::string_view name) const;
+
+  private:
+    std::vector<BenchDef> defs_;
+};
+
+/** Static registrar: constructs into Registry::global(). */
+struct Registration
+{
+    explicit Registration(BenchDef def);
+};
+
+// ---------------------------------------------------------------
+// Per-run context handed to benchmark bodies.
+// ---------------------------------------------------------------
+
+/**
+ * What a benchmark body talks to: named metric samples (one value
+ * per repeat), the figure/table text stream (stdout in standalone
+ * mode, captured in the combined driver so 27 figures don't
+ * interleave), and a failure latch replacing the old `return 1`.
+ */
+class Context
+{
+  public:
+    Context(bool echoText, int repeat, int repeats);
+
+    /**
+     * Record one sample of a named metric for the current repeat.
+     * Units are free-form but documented per bench in
+     * docs/BENCHMARKS.md; `higherIsBetter` steers the regression
+     * direction of ratio gates and the self-test perturbation.
+     */
+    void metric(const std::string &name, const std::string &unit,
+                double value, bool higherIsBetter = false);
+
+    /** printf-style append to the figure/table text stream. */
+    void printf(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Append raw text to the figure/table text stream. */
+    void print(const std::string &text);
+
+    /** Latch the run as failed (invariant broke, budget exceeded). */
+    void fail(const std::string &why);
+
+    bool failed() const { return failed_; }
+    const std::string &failure() const { return failure_; }
+
+    /** Current measured repeat, 0-based; -1 during warmup. */
+    int repeat() const { return repeat_; }
+    /** Total measured repeats this run. */
+    int repeats() const { return repeats_; }
+    /** True on the final measured repeat (figure text is usually
+     *  only worth emitting once). */
+    bool lastRepeat() const { return repeat_ + 1 == repeats_; }
+    bool warmup() const { return repeat_ < 0; }
+
+    /** One metric sample as recorded. */
+    struct Sample
+    {
+        std::string name;
+        std::string unit;
+        bool higherIsBetter = false;
+        double value = 0.0;
+    };
+    const std::vector<Sample> &samples() const { return samples_; }
+    const std::string &text() const { return text_; }
+
+  private:
+    std::vector<Sample> samples_;
+    std::string text_;
+    std::string failure_;
+    bool echo_ = false;
+    bool failed_ = false;
+    int repeat_ = 0;
+    int repeats_ = 1;
+};
+
+/** Register a benchmark with default repeat policy. */
+#define NETCHAR_BENCH(ident, desc)                                   \
+    NETCHAR_BENCH_REPEATS(ident, desc, 1, 1, 0)
+
+/** Register a benchmark with explicit full/quick/warmup repeats. */
+#define NETCHAR_BENCH_REPEATS(ident, desc, full, quick, warm)        \
+    static void netchar_bench_body_##ident(                          \
+        ::netchar::bench::Context &);                                \
+    static const ::netchar::bench::Registration                      \
+        netchar_bench_reg_##ident{::netchar::bench::BenchDef{        \
+            #ident, desc, &netchar_bench_body_##ident, full, quick,  \
+            warm}};                                                  \
+    static void netchar_bench_body_##ident(                          \
+        ::netchar::bench::Context &ctx)
+
+/**
+ * Standalone entry point: expands to a real main() unless the file
+ * is being compiled into the combined netchar_bench driver.
+ */
+#ifdef NETCHAR_BENCH_COMBINED
+#define NETCHAR_BENCH_MAIN(ident)
+#else
+#define NETCHAR_BENCH_MAIN(ident)                                    \
+    int main(int argc, char **argv)                                  \
+    {                                                                \
+        return ::netchar::bench::standaloneMain(#ident, argc, argv); \
+    }
+#endif
+
+// ---------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------
+
+/** Order statistics of one metric's samples across repeats. */
+struct Aggregate
+{
+    std::size_t n = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+};
+
+/**
+ * Linear-interpolation percentile (the numpy/`PERCENTILE.EXC`-free
+ * definition: rank = q*(n-1), interpolate between floor and ceil).
+ * `sorted` must be ascending and non-empty; q in [0,1].
+ */
+double percentile(const std::vector<double> &sorted, double q);
+
+/** Aggregate a sample vector (unsorted ok; must be non-empty). */
+Aggregate aggregate(std::vector<double> samples);
+
+/** One metric after aggregation over repeats. */
+struct MetricResult
+{
+    std::string name;
+    std::string unit;
+    bool higherIsBetter = false;
+    Aggregate agg;
+};
+
+/** One benchmark's aggregated run (also the parsed-baseline shape). */
+struct BenchResult
+{
+    std::string name;
+    bool failed = false;
+    std::string failure;
+    std::vector<MetricResult> metrics; ///< sorted by name
+
+    const MetricResult *find(std::string_view metric) const;
+};
+
+/** A full report: results plus the configuration that produced it. */
+struct Report
+{
+    std::string mode;            ///< "quick" or "full"
+    unsigned hardwareThreads = 0;
+    std::vector<BenchResult> benches; ///< sorted by name
+
+    const BenchResult *find(std::string_view bench) const;
+};
+
+// ---------------------------------------------------------------
+// Run engine.
+// ---------------------------------------------------------------
+
+struct RunConfig
+{
+    /** Substrings; empty = run everything. A bench runs when its
+     *  name contains any of the filters. */
+    std::vector<std::string> filters;
+    int repeatOverride = 0;  ///< >0 forces the measured repeat count
+    bool echoText = true;    ///< stream figure text to stdout live
+    bool progress = true;    ///< per-bench progress lines on stderr
+    /** Injectable clock for deterministic tests; null = nowSeconds. */
+    double (*clock)() = nullptr;
+};
+
+/** Run one definition (warmup + repeats, wall_s auto-metric). */
+BenchResult runBench(const BenchDef &def, const RunConfig &config);
+
+/** Run every matching definition; result is name-sorted. */
+Report runAll(const Registry &registry, const RunConfig &config);
+
+// ---------------------------------------------------------------
+// Reporters. All three are pure functions of the Report, so bytes
+// are identical for identical results regardless of registration
+// order or host.
+// ---------------------------------------------------------------
+
+std::string reportTable(const Report &report);
+std::string reportCsv(const Report &report);
+std::string reportJson(const Report &report);
+
+/**
+ * Parse a reportJson()/BENCH_baseline.json document. Returns false
+ * with a message in `error` on malformed input; unknown fields are
+ * ignored so the schema can grow.
+ */
+bool parseReportJson(const std::string &text, Report &out,
+                     std::string &error);
+
+// ---------------------------------------------------------------
+// Perf gates.
+// ---------------------------------------------------------------
+
+enum class GateKind
+{
+    MinRatioVsBaseline, ///< current >= threshold * baseline
+    MaxRatioVsBaseline, ///< current <= threshold * baseline
+    MinAbsolute,        ///< current >= threshold
+    MaxAbsolute,        ///< current <= threshold
+};
+
+/** One named CI gate over a (bench, metric) pair's best sample
+ * (max when higher is better, min otherwise) — robust to scheduler
+ * noise on shared CI hosts. */
+struct Gate
+{
+    std::string id;     ///< e.g. "SIM-01"
+    std::string bench;  ///< registry name
+    std::string metric; ///< metric name inside the bench
+    GateKind kind = GateKind::MinRatioVsBaseline;
+    double threshold = 0.0;
+    /** Gate is skipped (reported, not failed) on hosts with fewer
+     *  hardware threads: PAR-01 needs real cores to say anything. */
+    unsigned minHardwareThreads = 0;
+    std::string rationale; ///< one line for --list-gates and docs
+};
+
+/** The committed gate set CI enforces (docs/BENCHMARKS.md table). */
+const std::vector<Gate> &ciGates();
+
+enum class Verdict
+{
+    Pass,
+    Regress,       ///< threshold violated
+    MissingMetric, ///< gate metric absent from results or baseline
+    Skipped,       ///< host precondition not met
+};
+
+std::string_view verdictName(Verdict v);
+
+struct GateOutcome
+{
+    Gate gate;
+    Verdict verdict = Verdict::Pass;
+    double current = 0.0;  ///< measured best sample (0 if missing)
+    double baseline = 0.0; ///< baseline best (ratio gates only)
+    double bound = 0.0;    ///< the resolved pass bound
+    std::string note;
+};
+
+struct GateReport
+{
+    std::vector<GateOutcome> outcomes;
+    /** Metrics present in the current run but absent from the
+     *  baseline — candidates for the next baseline refresh. */
+    std::vector<std::string> newMetrics;
+    bool pass = true; ///< no Regress/MissingMetric outcome
+};
+
+/** Evaluate gates for `current` against `baseline`. */
+GateReport checkGates(const Report &current, const Report &baseline,
+                      const std::vector<Gate> &gates,
+                      unsigned hardwareThreads);
+
+/** Render the per-gate pass/fail table (markdown-compatible pipes
+ *  so CI can drop it into a job summary). */
+std::string gateTable(const GateReport &report);
+
+/**
+ * Multiply every gated metric of `report` by a losing factor (half
+ * the higher-is-better values, double the rest) — the --self-test
+ * regression used to prove the gate actually trips.
+ */
+void injectRegression(Report &report, const std::vector<Gate> &gates);
+
+// ---------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------
+
+/**
+ * main() of a standalone bench binary: runs one registered bench
+ * with figure text streaming to stdout. Exit 0 on pass, 1 on bench
+ * failure, 2 on usage error.
+ */
+int standaloneMain(const char *benchName, int argc, char **argv);
+
+/**
+ * main() of the combined netchar_bench driver. Exit 0 on success,
+ * 1 on bench failure or gate regression, 2 on usage/IO/parse error.
+ */
+int driverMain(int argc, char **argv);
+
+} // namespace netchar::bench
+
+#endif // NETCHAR_BENCH_HARNESS_HH
