@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Serving throughput over a loopback socket (feeds the SRV-01 gate).
+ *
+ * One daemon, one client, TCP on 127.0.0.1: after warming the
+ * content-addressed cache with a single run request, the bench
+ * measures (a) ping round-trips per second — the floor cost of the
+ * NDJSON protocol and the poll loop — and (b) cache-hit run
+ * round-trips per second, the "repeat queries are free" promise that
+ * characterization-as-a-service rests on. A cache hit must cost a
+ * hash plus a socket round-trip, never a simulation; if hit
+ * throughput collapses toward miss latency, the serving layer has
+ * broken its contract.
+ */
+
+#include "common.hh"
+#include "core/executor.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace netchar;
+
+NETCHAR_BENCH_REPEATS(serve_loopback,
+                      "Loopback serving throughput: ping and "
+                      "cache-hit round-trips per second (feeds the "
+                      "SRV-01 gate)",
+                      3, 2, 1)
+{
+    serve::ServerOptions sopts;
+    sopts.listen = "127.0.0.1:0";
+    sopts.jobs = 1;
+    serve::Server server(sopts);
+    std::string error;
+    if (!server.start(error)) {
+        ctx.printf("serve_loopback: cannot start daemon: %s\n",
+                   error.c_str());
+        ctx.metric("ping_rps", "req/s", -1.0, true);
+        ctx.metric("hit_rps", "req/s", -1.0, true);
+        return;
+    }
+
+    const int pings = bench::quickMode() ? 2000 : 10000;
+    const int hits = bench::quickMode() ? 1000 : 5000;
+    const std::string ping_line = R"({"verb":"ping"})";
+    const std::string run_line =
+        R"({"verb":"run","benchmark":"SeekUnroll",)"
+        R"("options":{"warmup":20000,"measure":40000}})";
+    double ping_rps = -1.0;
+    double hit_rps = -1.0;
+    double miss_ms = -1.0;
+    std::string failure;
+
+    // Task 0 is the daemon's event loop; task 1 is the client. The
+    // Executor is the sanctioned way to run them concurrently.
+    Executor executor(2);
+    executor.forEach(2, [&](std::size_t task) {
+        if (task == 0) {
+            server.serve();
+            return;
+        }
+        serve::ClientOptions copts;
+        copts.address = server.address();
+        copts.maxAttempts = 20;
+        copts.backoffBaseMicros = 1000;
+        serve::Client client(copts);
+        std::string response, err;
+
+        // Cache warm-up: the one real simulation this bench pays.
+        double t0 = bench::nowSeconds();
+        if (!client.request(run_line, response, err))
+            failure = "warm-up run: " + err;
+        miss_ms = 1e3 * (bench::nowSeconds() - t0);
+
+        if (failure.empty()) {
+            t0 = bench::nowSeconds();
+            for (int i = 0; i < pings && failure.empty(); ++i)
+                if (!client.request(ping_line, response, err))
+                    failure = "ping: " + err;
+            ping_rps = pings / (bench::nowSeconds() - t0);
+        }
+        if (failure.empty()) {
+            t0 = bench::nowSeconds();
+            for (int i = 0; i < hits && failure.empty(); ++i)
+                if (!client.request(run_line, response, err))
+                    failure = "cached run: " + err;
+            hit_rps = hits / (bench::nowSeconds() - t0);
+        }
+        client.request(R"({"verb":"shutdown"})", response, err);
+    });
+
+    if (!failure.empty())
+        ctx.printf("serve_loopback FAILED: %s\n", failure.c_str());
+    ctx.metric("ping_rps", "req/s", ping_rps, true);
+    ctx.metric("hit_rps", "req/s", hit_rps, true);
+    ctx.metric("miss_ms", "ms", miss_ms, false);
+    ctx.printf("loopback serving: %.0f ping/s, %.0f cache-hit "
+               "run/s (first miss %.2f ms); cache %llu hit(s) / "
+               "%llu miss(es)\n",
+               ping_rps, hit_rps, miss_ms,
+               static_cast<unsigned long long>(
+                   server.cacheCounters().hits),
+               static_cast<unsigned long long>(
+                   server.cacheCounters().misses));
+}
+NETCHAR_BENCH_MAIN(serve_loopback)

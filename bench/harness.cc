@@ -861,6 +861,11 @@ ciGates()
          GateKind::MaxAbsolute, 0.10, 0,
          "resilience machinery with injection disabled must stay "
          "invisible (PR-3 budget)"},
+        {"SRV-01", "serve_loopback", "hit_rps",
+         GateKind::MinRatioVsBaseline, 0.40, 0,
+         "a cached-hit query must stay a hash plus a socket round "
+         "trip; if serving throughput collapses toward miss "
+         "latency the repeat-queries-are-free contract is broken"},
     };
     return gates;
 }

@@ -1,0 +1,222 @@
+#include "core/canonical.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace netchar
+{
+
+namespace
+{
+
+/**
+ * Bit-exact double rendering: %.17g round-trips every IEEE-754
+ * double, so two equal values always render identical bytes and two
+ * different values never collide.
+ */
+std::string
+canonNum(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+void
+field(std::ostringstream &os, const char *key, const std::string &v)
+{
+    os << key << '=' << v << ';';
+}
+
+void
+field(std::ostringstream &os, const char *key, double v)
+{
+    os << key << '=' << canonNum(v) << ';';
+}
+
+void
+field(std::ostringstream &os, const char *key, std::uint64_t v)
+{
+    os << key << '=' << v << ';';
+}
+
+void
+field(std::ostringstream &os, const char *key, unsigned v)
+{
+    os << key << '=' << v << ';';
+}
+
+void
+field(std::ostringstream &os, const char *key, bool v)
+{
+    os << key << '=' << (v ? 1 : 0) << ';';
+}
+
+void
+cacheField(std::ostringstream &os, const char *key,
+           const sim::CacheGeometry &g)
+{
+    os << key << '=' << g.sizeBytes << '/' << g.associativity << '/'
+       << g.lineBytes << ';';
+}
+
+void
+tlbField(std::ostringstream &os, const char *key,
+         const sim::TlbGeometry &g)
+{
+    os << key << '=' << g.entries << '/' << g.associativity << '/'
+       << g.pageBytes << ';';
+}
+
+} // namespace
+
+std::string
+canonicalProfile(const wl::WorkloadProfile &p)
+{
+    std::ostringstream os;
+    os << "profile{";
+    field(os, "name", p.name);
+    field(os, "suite", wl::suiteName(p.suite));
+    field(os, "instructions", p.instructions);
+    field(os, "branchFrac", p.branchFrac);
+    field(os, "loadFrac", p.loadFrac);
+    field(os, "storeFrac", p.storeFrac);
+    field(os, "mulFrac", p.mulFrac);
+    field(os, "divFrac", p.divFrac);
+    field(os, "microcodedFrac", p.microcodedFrac);
+    field(os, "kernelFrac", p.kernelFrac);
+    field(os, "kernelBurstLen", p.kernelBurstLen);
+    field(os, "ilp", p.ilp);
+    field(os, "mlp", p.mlp);
+    field(os, "cpuUtil", p.cpuUtil);
+    field(os, "methods", p.methods);
+    field(os, "meanMethodBytes", p.meanMethodBytes);
+    field(os, "methodZipf", p.methodZipf);
+    field(os, "callFrac", p.callFrac);
+    field(os, "takenFrac", p.takenFrac);
+    field(os, "branchBias", p.branchBias);
+    field(os, "dataFootprint", p.dataFootprint);
+    field(os, "dataZipf", p.dataZipf);
+    field(os, "streamFrac", p.streamFrac);
+    field(os, "stackFrac", p.stackFrac);
+    field(os, "warmFrac", p.warmFrac);
+    field(os, "coolFrac", p.coolFrac);
+    field(os, "managed", p.managed);
+    field(os, "allocBytesPerInst", p.allocBytesPerInst);
+    field(os, "meanObjectBytes", p.meanObjectBytes);
+    field(os, "maxHeapBytes", p.maxHeapBytes);
+    field(os, "gcMode",
+          static_cast<unsigned>(static_cast<int>(p.gcMode)));
+    field(os, "gcAssist",
+          static_cast<unsigned>(static_cast<int>(p.gcAssist)));
+    field(os, "tierUpCallThreshold", p.tierUpCallThreshold);
+    field(os, "exceptionPki", p.exceptionPki);
+    field(os, "contentionPki", p.contentionPki);
+    field(os, "seed", p.seed);
+    os << '}';
+    return os.str();
+}
+
+std::string
+canonicalMachine(const sim::MachineConfig &m)
+{
+    std::ostringstream os;
+    os << "machine{";
+    field(os, "name", m.name);
+    field(os, "isa", static_cast<unsigned>(static_cast<int>(m.isa)));
+    field(os, "physicalCores", m.physicalCores);
+    field(os, "logicalCores", m.logicalCores);
+    cacheField(os, "l1d", m.l1d);
+    cacheField(os, "l1i", m.l1i);
+    cacheField(os, "l2", m.l2);
+    cacheField(os, "llc", m.llc);
+    field(os, "llcSlices", m.llcSlices);
+    tlbField(os, "itlb", m.itlb);
+    tlbField(os, "dtlb", m.dtlb);
+    tlbField(os, "stlb", m.stlb);
+    field(os, "btbEntries", m.btbEntries);
+    field(os, "predictorBits", m.predictorBits);
+    field(os, "predictorHistoryBits", m.predictorHistoryBits);
+    field(os, "nominalGhz", m.nominalGhz);
+    field(os, "maxGhz", m.maxGhz);
+    const sim::PipelineParams &p = m.pipe;
+    field(os, "slotsPerCycle", p.slotsPerCycle);
+    field(os, "decodeWidth", p.decodeWidth);
+    field(os, "issueWidth", p.issueWidth);
+    field(os, "robEntries", p.robEntries);
+    field(os, "l1Latency", p.l1Latency);
+    field(os, "l2Latency", p.l2Latency);
+    field(os, "llcLatency", p.llcLatency);
+    field(os, "dramLatency", p.dramLatency);
+    field(os, "dramRowMissExtra", p.dramRowMissExtra);
+    field(os, "tlbWalkLatency", p.tlbWalkLatency);
+    field(os, "stlbHitLatency", p.stlbHitLatency);
+    field(os, "branchMispredictPenalty", p.branchMispredictPenalty);
+    field(os, "btbResteerPenalty", p.btbResteerPenalty);
+    field(os, "msSwitchPenalty", p.msSwitchPenalty);
+    field(os, "pageFaultPenalty", p.pageFaultPenalty);
+    field(os, "feExposure", p.feExposure);
+    field(os, "memStallExposure", p.memStallExposure);
+    field(os, "dsbLines", p.dsbLines);
+    field(os, "loopBufferLines", p.loopBufferLines);
+    field(os, "dsbBandwidthStall", p.dsbBandwidthStall);
+    field(os, "miteBandwidthStall", p.miteBandwidthStall);
+    field(os, "bandwidthStallCycles", p.bandwidthStallCycles);
+    field(os, "l1BandwidthStall", p.l1BandwidthStall);
+    field(os, "storeBufferStall", p.storeBufferStall);
+    field(os, "storeStallCycles", p.storeStallCycles);
+    field(os, "divLatency", p.divLatency);
+    field(os, "codeSpreadFactor", m.codeSpreadFactor);
+    field(os, "dataSpreadFactor", m.dataSpreadFactor);
+    os << '}';
+    return os.str();
+}
+
+std::string
+canonicalRunOptions(const RunOptions &o)
+{
+    std::ostringstream os;
+    os << "options{";
+    field(os, "warmupInstructions", o.warmupInstructions);
+    field(os, "measuredInstructions", o.measuredInstructions);
+    field(os, "cores", o.cores);
+    field(os, "seed", o.seed);
+    field(os, "jitHint", o.jitHint);
+    field(os, "nocSliceServiceRate", o.noc.sliceServiceRate);
+    field(os, "nocMaxQueueCycles", o.noc.maxQueueCycles);
+    field(os, "nocRateSmoothing", o.noc.rateSmoothing);
+    field(os, "nocContentionEnabled", o.noc.contentionEnabled);
+    if (o.gcMode)
+        field(os, "gcMode",
+              static_cast<unsigned>(static_cast<int>(*o.gcMode)));
+    else
+        os << "gcMode=unset;";
+    if (o.gcAssist)
+        field(os, "gcAssist",
+              static_cast<unsigned>(static_cast<int>(*o.gcAssist)));
+    else
+        os << "gcAssist=unset;";
+    if (o.maxHeapBytes)
+        field(os, "maxHeapBytes", *o.maxHeapBytes);
+    else
+        os << "maxHeapBytes=unset;";
+    field(os, "allocScale", o.allocScale);
+    field(os, "quantum", o.quantum);
+    field(os, "runBudgetCycles", o.runBudgetCycles);
+    os << '}';
+    return os.str();
+}
+
+std::string
+cacheKeyText(const wl::WorkloadProfile &profile,
+             const sim::MachineConfig &config,
+             const RunOptions &options)
+{
+    std::ostringstream os;
+    os << "netchar-key/v" << kCanonicalVersion << '{'
+       << canonicalProfile(profile) << canonicalMachine(config)
+       << canonicalRunOptions(options) << '}';
+    return os.str();
+}
+
+} // namespace netchar

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Canonical text renderings of the structs that define one
+ * characterization run: WorkloadProfile, sim::MachineConfig and
+ * RunOptions.
+ *
+ * The serve layer's content-addressed result cache keys on a hash of
+ * these renderings, so they must be *canonical*: every field emitted,
+ * always in the same order, with a bit-exact number format — two
+ * semantically identical runs must render identical bytes no matter
+ * how their structs were populated (explicit defaults vs. omitted
+ * fields, request-option order, host, build). The renderings live in
+ * core rather than serve so a new field added to any of these structs
+ * is added to its canonical form in the same layer that owns the
+ * struct; a version tag guards against silent drift (bump it whenever
+ * a field is added/removed so stale persisted caches self-invalidate).
+ */
+
+#ifndef NETCHAR_CORE_CANONICAL_HH
+#define NETCHAR_CORE_CANONICAL_HH
+
+#include <string>
+
+#include "core/characterize.hh"
+#include "sim/config.hh"
+#include "workloads/profile.hh"
+
+namespace netchar
+{
+
+/**
+ * Canonical-form schema version. Embedded in cacheKeyText(): any
+ * change to the rendered field set bumps this, so caches persisted
+ * under the old schema miss cleanly instead of serving stale bodies.
+ */
+inline constexpr int kCanonicalVersion = 1;
+
+/** Canonical `key=value;` rendering of every profile field. */
+std::string canonicalProfile(const wl::WorkloadProfile &profile);
+
+/** Canonical rendering of every machine-config field (geometries,
+ *  pipeline parameters, spread factors — the complete model). */
+std::string canonicalMachine(const sim::MachineConfig &config);
+
+/** Canonical rendering of every run option; disengaged optionals
+ *  render as `unset`, identical to a default-constructed field. */
+std::string canonicalRunOptions(const RunOptions &options);
+
+/**
+ * The full cache-key text of one (profile, machine, options) run:
+ * version tag plus the three canonical renderings. Hash this (see
+ * serve::ResultCache) to address a cached result; compare it to
+ * attribute a collision.
+ */
+std::string cacheKeyText(const wl::WorkloadProfile &profile,
+                         const sim::MachineConfig &config,
+                         const RunOptions &options);
+
+} // namespace netchar
+
+#endif // NETCHAR_CORE_CANONICAL_HH

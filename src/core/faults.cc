@@ -4,40 +4,13 @@
 #include <limits>
 #include <sstream>
 
+#include "stats/hash.hh" // fnv1a / splitmix64 / unitInterval
+
 namespace netchar
 {
 
 namespace
 {
-
-/** FNV-1a over a string: stable, platform-independent. */
-std::uint64_t
-fnv1a(std::string_view s)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
-/** splitmix64 finalizer: full-avalanche integer mix. */
-std::uint64_t
-mix(std::uint64_t x)
-{
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-}
-
-/** Uniform double in [0, 1) from a mixed hash. */
-double
-unitInterval(std::uint64_t h)
-{
-    return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
 
 FaultKind
 kindFromName(std::string_view name)
@@ -181,16 +154,16 @@ FaultPlan::decide(std::string_view benchmark, std::string_view machine,
     FaultDecision decision;
     if (!enabled())
         return decision;
-    const std::uint64_t h =
-        mix(fnv1a(benchmark) ^ mix(fnv1a(machine)) ^ mix(seed_) ^
-            (static_cast<std::uint64_t>(attempt) *
-             0xD1B54A32D192ED03ULL));
+    const std::uint64_t h = splitmix64(
+        fnv1a(benchmark) ^ splitmix64(fnv1a(machine)) ^
+        splitmix64(seed_) ^
+        (static_cast<std::uint64_t>(attempt) * 0xD1B54A32D192ED03ULL));
     if (unitInterval(h) >= rate_)
         return decision;
 
-    const std::uint64_t h2 = mix(h);
+    const std::uint64_t h2 = splitmix64(h);
     decision.kind = kinds_[h2 % kinds_.size()];
-    decision.selector = mix(h2);
+    decision.selector = splitmix64(h2);
     switch (decision.selector % 3) {
     case 0:
         decision.badValue = std::numeric_limits<double>::quiet_NaN();
@@ -205,7 +178,8 @@ FaultPlan::decide(std::string_view benchmark, std::string_view machine,
     // Small enough that any realistic capture overflows it: counter
     // records land once per advance chunk (~dozens per run minimum).
     decision.traceCapacity =
-        8 + static_cast<std::size_t>(mix(decision.selector) % 25);
+        8 +
+        static_cast<std::size_t>(splitmix64(decision.selector) % 25);
     return decision;
 }
 
@@ -224,9 +198,9 @@ perturbedSeed(std::uint64_t base, std::string_view benchmark,
 {
     if (attempt <= 1)
         return base;
-    return mix(base ^ fnv1a(benchmark) ^
-               (static_cast<std::uint64_t>(attempt) *
-                0x9E3779B97F4A7C15ULL));
+    return splitmix64(base ^ fnv1a(benchmark) ^
+                      (static_cast<std::uint64_t>(attempt) *
+                       0x9E3779B97F4A7C15ULL));
 }
 
 } // namespace netchar

@@ -33,14 +33,19 @@ idIn(const Token &t, const std::vector<std::string_view> &set)
 }
 
 /** The serialization surface. A tainted argument to any of these is
- *  a flow finding: csv/json text helpers, the export entry points
- *  and the trace exporters — everything a --ledger/--stats/
- *  --trace-out stream is written from. */
+ *  a flow finding: csv/json text helpers, the export entry points,
+ *  the trace exporters — everything a --ledger/--stats/--trace-out
+ *  stream is written from — and the serve-layer wire/cache builders
+ *  (okResponse and friends, requestLine, sweepBodyJson): anything
+ *  nondeterministic reaching those would be transmitted to clients
+ *  or pinned into the content-addressed result cache. */
 constexpr std::string_view kSinkNames[] = {
     "csvField",         "jsonEscape",       "chromeTraceJson",
     "traceCsv",         "suiteStatsCsv",    "suiteStatsJson",
     "failureLedgerCsv", "failureLedgerJson", "metricsCsv",
     "topdownCsv",       "runResultJson",    "suiteJson",
+    "okResponse",       "okCachedResponse", "errorResponse",
+    "jsonString",       "requestLine",      "sweepBodyJson",
 };
 
 bool

@@ -1,0 +1,154 @@
+#include "serve/cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/canonical.hh" // kCanonicalVersion (persist header)
+
+namespace netchar::serve
+{
+
+ResultCache::ResultCache(CacheConfig config) : config_(config) {}
+
+const std::string *
+ResultCache::lookup(const std::string &key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++counters_.misses;
+        return nullptr;
+    }
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->body;
+}
+
+void
+ResultCache::insert(const std::string &key, std::string body)
+{
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        counters_.bytes -= it->second->body.size();
+        counters_.bytes += body.size();
+        it->second->body = std::move(body);
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(Entry{key, std::move(body)});
+        index_[key] = lru_.begin();
+        counters_.bytes += lru_.front().body.size();
+        ++counters_.entries;
+    }
+    ++counters_.inserts;
+    evictOverBudget();
+}
+
+void
+ResultCache::evictOverBudget()
+{
+    while (!lru_.empty() &&
+           ((config_.maxEntries != 0 &&
+             counters_.entries > config_.maxEntries) ||
+            (config_.maxBytes != 0 &&
+             counters_.bytes > config_.maxBytes))) {
+        // Never evict down to zero on an over-large single body: a
+        // cache that cannot hold its own latest answer is useless.
+        if (lru_.size() == 1)
+            break;
+        const Entry &victim = lru_.back();
+        counters_.bytes -= victim.body.size();
+        --counters_.entries;
+        ++counters_.evictions;
+        index_.erase(victim.key);
+        lru_.pop_back();
+    }
+}
+
+std::vector<std::string>
+ResultCache::keysByRecency() const
+{
+    std::vector<std::string> keys;
+    keys.reserve(lru_.size());
+    for (const Entry &entry : lru_)
+        keys.push_back(entry.key);
+    return keys;
+}
+
+bool
+ResultCache::save(const std::string &path, std::string &error) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        error = "cannot write cache file '" + path + "'";
+        return false;
+    }
+    out << "netchar-cache/v" << kCanonicalVersion << '\n'
+        << lru_.size() << '\n';
+    // LRU-first: sequential re-insertion on load() leaves the same
+    // entry at MRU that was MRU when saved.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+        out << it->key << ' ' << it->body.size() << '\n'
+            << it->body << '\n';
+    out.flush();
+    if (!out) {
+        error = "short write to cache file '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultCache::load(const std::string &path, std::string &error)
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return true; // fresh daemon: nothing persisted yet
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot read cache file '" + path + "'";
+        return false;
+    }
+    std::string header;
+    if (!std::getline(in, header)) {
+        error = "cache file '" + path + "': missing header";
+        return false;
+    }
+    std::ostringstream want;
+    want << "netchar-cache/v" << kCanonicalVersion;
+    if (header != want.str()) {
+        error = "cache file '" + path + "': schema '" + header +
+                "' does not match '" + want.str() +
+                "' (stale persistence; delete the file)";
+        return false;
+    }
+    std::size_t count = 0;
+    if (!(in >> count)) {
+        error = "cache file '" + path + "': missing entry count";
+        return false;
+    }
+    in.ignore(1); // the newline after the count
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string key;
+        std::size_t length = 0;
+        if (!(in >> key >> length)) {
+            error = "cache file '" + path + "': truncated entry " +
+                    std::to_string(i);
+            return false;
+        }
+        in.ignore(1);
+        std::string body(length, '\0');
+        in.read(body.data(), static_cast<std::streamsize>(length));
+        if (in.gcount() != static_cast<std::streamsize>(length)) {
+            error = "cache file '" + path + "': truncated body " +
+                    std::to_string(i);
+            return false;
+        }
+        in.ignore(1);
+        insert(key, std::move(body));
+    }
+    // Replayed inserts are bookkeeping, not fresh results.
+    counters_.inserts -= count;
+    return true;
+}
+
+} // namespace netchar::serve

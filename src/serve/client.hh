@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Client side of the serve protocol: one-line-out, one-line-back
+ * requests with reconnect and bounded exponential backoff.
+ *
+ * Retrying a request is always safe: every verb is idempotent (run/
+ * sweep/subset answers are pure functions of the request, served
+ * through the content-addressed cache; ping/stats are reads), so a
+ * request whose response was lost to a connection failure can simply
+ * be sent again. The backoff schedule matches the sweep runner's:
+ * before attempt k the client sleeps base * 2^(k-2) microseconds,
+ * capped at 100 ms — host time only, never visible in results.
+ */
+
+#ifndef NETCHAR_SERVE_CLIENT_HH
+#define NETCHAR_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace netchar::serve
+{
+
+/** Connection and retry policy of a Client. */
+struct ClientOptions
+{
+    /** Daemon address: `host:port` or a Unix socket path. */
+    std::string address;
+    /** Total attempts per request() (connect + round-trip). */
+    unsigned maxAttempts = 5;
+    /** Backoff base, microseconds (0 = retry immediately). */
+    std::uint64_t backoffBaseMicros = 1000;
+};
+
+/** Blocking NDJSON client for one daemon. */
+class Client
+{
+  public:
+    explicit Client(ClientOptions options);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send one request line and wait for its one-line response
+     * (returned without the newline). Reconnects and retries with
+     * backoff up to maxAttempts; returns false with the last failure
+     * in `error` once attempts are exhausted.
+     */
+    bool request(const std::string &line, std::string &response,
+                 std::string &error);
+
+    const std::string &address() const { return options_.address; }
+
+  private:
+    bool connectOnce(std::string &error);
+    bool roundTrip(const std::string &line, std::string &response,
+                   std::string &error);
+    void disconnect();
+
+    ClientOptions options_;
+    int fd_ = -1;
+    std::string buffer_; ///< bytes received past the last response
+};
+
+} // namespace netchar::serve
+
+#endif // NETCHAR_SERVE_CLIENT_HH

@@ -1,0 +1,563 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "runtime/gc.hh"
+#include "stats/textio.hh"
+
+namespace netchar::serve
+{
+
+// ---------------------------------------------------------------
+// JSON parsing.
+// ---------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : object)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over one request line. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool parse(JsonValue &out, std::string &error)
+    {
+        if (!value(out, error))
+            return false;
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "trailing bytes after JSON document at offset " +
+                    std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\r' || text_[pos_] == '\n'))
+            ++pos_;
+    }
+
+    bool fail(std::string &error, const std::string &what)
+    {
+        error = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool value(JsonValue &out, std::string &error)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail(error, "unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return objectValue(out, error);
+        if (c == '[')
+            return arrayValue(out, error);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return stringValue(out.string, error);
+        }
+        if (literal("true")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return numberValue(out, error);
+    }
+
+    bool objectValue(JsonValue &out, std::string &error)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail(error, "expected object key string");
+            std::string key;
+            if (!stringValue(key, error))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail(error, "expected ':' after object key");
+            ++pos_;
+            JsonValue member;
+            if (!value(member, error))
+                return false;
+            out.object.emplace_back(std::move(key),
+                                    std::move(member));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail(error, "expected ',' or '}' in object");
+        }
+    }
+
+    bool arrayValue(JsonValue &out, std::string &error)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            if (!value(element, error))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail(error, "expected ',' or ']' in array");
+        }
+    }
+
+    bool stringValue(std::string &out, std::string &error)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail(error, "dangling escape");
+                const char esc = text_[pos_ + 1];
+                pos_ += 2;
+                switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail(error, "truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |=
+                                static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |=
+                                static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail(error,
+                                        "bad \\u escape digit");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode the BMP code point (requests
+                    // never need surrogate pairs; reject them).
+                    if (code >= 0xD800 && code <= 0xDFFF)
+                        return fail(error,
+                                    "surrogate \\u escapes are not "
+                                    "supported");
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    return fail(error, "unknown escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail(error, "unterminated string");
+    }
+
+    bool numberValue(JsonValue &out, std::string &error)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail(error, "unexpected character");
+        // Reject leading zeros ("01"): JSON numbers are canonical,
+        // and a sloppy literal must not alias a distinct cache key.
+        std::size_t digits = start;
+        if (digits < pos_ && text_[digits] == '-')
+            ++digits;
+        if (digits + 1 < pos_ && text_[digits] == '0' &&
+            text_[digits + 1] >= '0' && text_[digits + 1] <= '9')
+            return fail(error, "number with leading zero");
+        const std::string token(text_.substr(start, pos_ - start));
+        try {
+            std::size_t used = 0;
+            out.number = std::stod(token, &used);
+            if (used != token.size())
+                throw std::invalid_argument(token);
+        } catch (const std::exception &) {
+            pos_ = start;
+            return fail(error, "malformed number '" + token + "'");
+        }
+        if (!std::isfinite(out.number)) {
+            pos_ = start;
+            return fail(error, "non-finite number '" + token + "'");
+        }
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &error)
+{
+    return Parser(text).parse(out, error);
+}
+
+// ---------------------------------------------------------------
+// Request parsing.
+// ---------------------------------------------------------------
+
+std::string_view
+verbName(Verb verb)
+{
+    switch (verb) {
+    case Verb::Ping: return "ping";
+    case Verb::Run: return "run";
+    case Verb::Sweep: return "sweep";
+    case Verb::Subset: return "subset";
+    case Verb::Stats: return "stats";
+    case Verb::Shutdown: return "shutdown";
+    }
+    return "ping";
+}
+
+namespace
+{
+
+[[noreturn]] void
+protocolError(const std::string &message)
+{
+    throw ProtocolError(message);
+}
+
+std::uint64_t
+wholeNumber(const JsonValue &v, const std::string &key)
+{
+    if (!v.isNumber() || v.number < 0.0 ||
+        v.number != std::floor(v.number) || v.number > 1e18)
+        protocolError("option '" + key +
+                      "' expects a non-negative integer");
+    return static_cast<std::uint64_t>(v.number);
+}
+
+double
+finiteNumber(const JsonValue &v, const std::string &key)
+{
+    if (!v.isNumber())
+        protocolError("option '" + key + "' expects a number");
+    return v.number;
+}
+
+void
+applyOption(RunOptions &options, const std::string &key,
+            const JsonValue &v)
+{
+    if (key == "warmup") {
+        options.warmupInstructions = wholeNumber(v, key);
+    } else if (key == "measure") {
+        options.measuredInstructions = wholeNumber(v, key);
+    } else if (key == "cores") {
+        const std::uint64_t cores = wholeNumber(v, key);
+        if (cores == 0 || cores > 1024)
+            protocolError("option 'cores' must be in [1,1024]");
+        options.cores = static_cast<unsigned>(cores);
+    } else if (key == "seed") {
+        options.seed = wholeNumber(v, key);
+    } else if (key == "jitHint") {
+        if (v.kind != JsonValue::Kind::Bool)
+            protocolError("option 'jitHint' expects true/false");
+        options.jitHint = v.boolean;
+    } else if (key == "gcMode") {
+        if (v.string == "workstation")
+            options.gcMode = rt::GcMode::Workstation;
+        else if (v.string == "server")
+            options.gcMode = rt::GcMode::Server;
+        else
+            protocolError("option 'gcMode' expects \"workstation\" "
+                          "or \"server\"");
+    } else if (key == "gcAssist") {
+        if (v.string == "software")
+            options.gcAssist = rt::GcAssist::Software;
+        else if (v.string == "hardware")
+            options.gcAssist = rt::GcAssist::Hardware;
+        else
+            protocolError("option 'gcAssist' expects \"software\" "
+                          "or \"hardware\"");
+    } else if (key == "maxHeap") {
+        options.maxHeapBytes = wholeNumber(v, key);
+    } else if (key == "allocScale") {
+        const double scale = finiteNumber(v, key);
+        if (scale < 0.0)
+            protocolError("option 'allocScale' must be >= 0");
+        options.allocScale = scale;
+    } else if (key == "quantum") {
+        options.quantum = wholeNumber(v, key);
+    } else if (key == "runBudget") {
+        options.runBudgetCycles = wholeNumber(v, key);
+    } else {
+        protocolError("unknown option '" + key + "'");
+    }
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line)
+{
+    JsonValue root;
+    std::string error;
+    if (!parseJson(line, root, error))
+        protocolError("bad JSON: " + error);
+    if (!root.isObject())
+        protocolError("request must be a JSON object");
+
+    Request request;
+    const JsonValue *verb = root.find("verb");
+    if (verb == nullptr || !verb->isString())
+        protocolError("request needs a string 'verb'");
+    if (verb->string == "ping")
+        request.verb = Verb::Ping;
+    else if (verb->string == "run")
+        request.verb = Verb::Run;
+    else if (verb->string == "sweep")
+        request.verb = Verb::Sweep;
+    else if (verb->string == "subset")
+        request.verb = Verb::Subset;
+    else if (verb->string == "stats")
+        request.verb = Verb::Stats;
+    else if (verb->string == "shutdown")
+        request.verb = Verb::Shutdown;
+    else
+        protocolError("unknown verb '" + verb->string +
+                      "' (valid: ping, run, sweep, subset, stats, "
+                      "shutdown)");
+
+    for (const auto &[key, value] : root.object) {
+        if (key == "verb")
+            continue;
+        if (key == "benchmark") {
+            if (!value.isString())
+                protocolError("'benchmark' expects a string");
+            request.benchmark = value.string;
+        } else if (key == "suite") {
+            if (!value.isString())
+                protocolError("'suite' expects a string");
+            request.suite = value.string;
+        } else if (key == "machine") {
+            if (!value.isString())
+                protocolError("'machine' expects a string");
+            request.machine = value.string;
+        } else if (key == "format") {
+            if (!value.isString())
+                protocolError("'format' expects a string");
+            request.format = value.string;
+        } else if (key == "size") {
+            const std::uint64_t size = wholeNumber(value, key);
+            if (size == 0)
+                protocolError("'size' must be >= 1");
+            request.subsetSize = static_cast<std::size_t>(size);
+        } else if (key == "options") {
+            if (!value.isObject())
+                protocolError("'options' expects an object");
+            for (const auto &[okey, ovalue] : value.object)
+                applyOption(request.options, okey, ovalue);
+        } else {
+            protocolError("unknown request field '" + key + "'");
+        }
+    }
+
+    if (request.machine != "i9" && request.machine != "xeon" &&
+        request.machine != "arm")
+        protocolError("unknown machine '" + request.machine +
+                      "' (valid: i9, xeon, arm)");
+    if (request.format != "csv" && request.format != "json")
+        protocolError("unknown format '" + request.format +
+                      "' (valid: csv, json)");
+    if (request.verb == Verb::Run && request.benchmark.empty())
+        protocolError("run needs a 'benchmark'");
+    if ((request.verb == Verb::Sweep ||
+         request.verb == Verb::Subset) &&
+        request.suite.empty())
+        protocolError(std::string(verbName(request.verb)) +
+                      " needs a 'suite'");
+    if (!request.suite.empty() && request.suite != "dotnet" &&
+        request.suite != "aspnet" && request.suite != "spec")
+        protocolError("unknown suite '" + request.suite +
+                      "' (valid: dotnet, aspnet, spec)");
+    return request;
+}
+
+std::string
+requestLine(const Request &request)
+{
+    std::ostringstream os;
+    os << "{\"verb\":" << jsonString(std::string(
+                              verbName(request.verb)));
+    if (!request.benchmark.empty())
+        os << ",\"benchmark\":" << jsonString(request.benchmark);
+    if (!request.suite.empty())
+        os << ",\"suite\":" << jsonString(request.suite);
+    os << ",\"machine\":" << jsonString(request.machine);
+    os << ",\"format\":" << jsonString(request.format);
+    if (request.verb == Verb::Subset)
+        os << ",\"size\":" << request.subsetSize;
+    const RunOptions &o = request.options;
+    os << ",\"options\":{";
+    os << "\"warmup\":" << o.warmupInstructions;
+    os << ",\"measure\":" << o.measuredInstructions;
+    os << ",\"cores\":" << o.cores;
+    os << ",\"seed\":" << o.seed;
+    if (o.jitHint)
+        os << ",\"jitHint\":true";
+    if (o.gcMode)
+        os << ",\"gcMode\":"
+           << (*o.gcMode == rt::GcMode::Server
+                   ? "\"server\""
+                   : "\"workstation\"");
+    if (o.gcAssist)
+        os << ",\"gcAssist\":"
+           << (*o.gcAssist == rt::GcAssist::Hardware
+                   ? "\"hardware\""
+                   : "\"software\"");
+    if (o.maxHeapBytes)
+        os << ",\"maxHeap\":" << *o.maxHeapBytes;
+    if (o.allocScale != 1.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", o.allocScale);
+        os << ",\"allocScale\":" << buf;
+    }
+    if (o.quantum != RunOptions{}.quantum)
+        os << ",\"quantum\":" << o.quantum;
+    if (o.runBudgetCycles)
+        os << ",\"runBudget\":" << o.runBudgetCycles;
+    os << "}}";
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------
+
+std::string
+jsonString(const std::string &raw)
+{
+    std::string quoted;
+    quoted.reserve(raw.size() + 2);
+    quoted.push_back('"');
+    quoted += jsonEscape(raw);
+    quoted.push_back('"');
+    return quoted;
+}
+
+std::string
+okResponse(const std::string &verb, const std::string &body)
+{
+    return "{\"ok\":true,\"verb\":" + jsonString(verb) +
+           ",\"body\":" + body + "}";
+}
+
+std::string
+okCachedResponse(const std::string &verb, bool hit,
+                 const std::string &key, const std::string &body)
+{
+    return "{\"ok\":true,\"verb\":" + jsonString(verb) +
+           ",\"cache\":" + (hit ? "\"hit\"" : "\"miss\"") +
+           ",\"key\":" + jsonString(key) + ",\"body\":" + body + "}";
+}
+
+std::string
+errorResponse(const std::string &message)
+{
+    return "{\"ok\":false,\"error\":" + jsonString(message) + "}";
+}
+
+} // namespace netchar::serve

@@ -1,0 +1,602 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/canonical.hh"
+#include "core/export.hh"
+#include "core/subset.hh"
+#include "serve/protocol.hh"
+#include "serve/shard.hh"
+#include "stats/hash.hh"
+#include "workloads/registry.hh"
+
+namespace netchar::serve
+{
+
+namespace
+{
+
+sim::MachineConfig
+machineConfigFor(const std::string &name)
+{
+    if (name == "xeon")
+        return sim::MachineConfig::intelXeonE52620V4();
+    if (name == "arm")
+        return sim::MachineConfig::armServer();
+    return sim::MachineConfig::intelCoreI99980Xe();
+}
+
+wl::Suite
+suiteFor(const std::string &name)
+{
+    if (name == "aspnet")
+        return wl::Suite::AspNet;
+    if (name == "spec")
+        return wl::Suite::SpecCpu17;
+    return wl::Suite::DotNet;
+}
+
+/** Deterministic number rendering for stats/subset bodies (same
+ *  precision the exporters use). */
+std::string
+num(double value)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    return os.str();
+}
+
+/** Split exporter CSV (header + one line per row, each '\n'-
+ *  terminated) into its lines, without the newlines. */
+std::vector<std::string>
+csvLines(const std::string &csv)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < csv.size()) {
+        const auto nl = csv.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(csv.substr(start));
+            break;
+        }
+        lines.push_back(csv.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache),
+      executor_(options_.jobs)
+{
+}
+
+Server::~Server() { closeListener(); }
+
+void
+Server::closeListener()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (unixSocket_ && !unixPath_.empty()) {
+        ::unlink(unixPath_.c_str());
+        unixPath_.clear();
+    }
+}
+
+bool
+Server::start(std::string &error)
+{
+    if (options_.shards == 0 || options_.shard >= options_.shards) {
+        error = "shard " + std::to_string(options_.shard) + "/" +
+                std::to_string(options_.shards) +
+                " needs 0 <= shard < shards";
+        return false;
+    }
+    if (!options_.persistPath.empty() &&
+        !cache_.load(options_.persistPath, error))
+        return false;
+
+    // `host:port` (no '/') is TCP; anything else is a socket path.
+    const auto colon = options_.listen.rfind(':');
+    const bool tcp = colon != std::string::npos &&
+                     options_.listen.find('/') == std::string::npos;
+    if (tcp) {
+        std::string host = options_.listen.substr(0, colon);
+        if (host.empty())
+            host = "127.0.0.1";
+        const std::string port_text = options_.listen.substr(colon + 1);
+        unsigned long port = 0;
+        try {
+            std::size_t used = 0;
+            port = std::stoul(port_text, &used);
+            if (used != port_text.size() || port > 65535)
+                throw std::invalid_argument(port_text);
+        } catch (const std::exception &) {
+            error = "bad port in listen address '" + options_.listen +
+                    "'";
+            return false;
+        }
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            error = std::string("socket: ") + std::strerror(errno);
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            error = "bad host in listen address '" + options_.listen +
+                    "'";
+            closeListener();
+            return false;
+        }
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            error = "bind " + options_.listen + ": " +
+                    std::strerror(errno);
+            closeListener();
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0) {
+            error = std::string("getsockname: ") +
+                    std::strerror(errno);
+            closeListener();
+            return false;
+        }
+        address_ = host + ":" + std::to_string(ntohs(bound.sin_port));
+    } else {
+        sockaddr_un addr{};
+        if (options_.listen.size() >= sizeof(addr.sun_path)) {
+            error = "socket path '" + options_.listen + "' too long";
+            return false;
+        }
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            error = std::string("socket: ") + std::strerror(errno);
+            return false;
+        }
+        ::unlink(options_.listen.c_str()); // stale socket from a
+                                           // crashed daemon
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, options_.listen.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            error = "bind " + options_.listen + ": " +
+                    std::strerror(errno);
+            closeListener();
+            return false;
+        }
+        unixSocket_ = true;
+        unixPath_ = options_.listen;
+        address_ = options_.listen;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        closeListener();
+        return false;
+    }
+    return true;
+}
+
+std::string
+Server::statsBody() const
+{
+    const CacheCounters &c = cache_.counters();
+    std::ostringstream os;
+    os << "{\"serving\":{\"requests\":" << counters_.requests
+       << ",\"errors\":" << counters_.errors
+       << ",\"connections\":" << counters_.connections
+       << ",\"shard\":" << options_.shard
+       << ",\"shards\":" << options_.shards
+       << ",\"jobs\":" << options_.jobs
+       << "},\"cache\":{\"hits\":" << c.hits
+       << ",\"misses\":" << c.misses
+       << ",\"evictions\":" << c.evictions
+       << ",\"inserts\":" << c.inserts
+       << ",\"entries\":" << c.entries << ",\"bytes\":" << c.bytes
+       << "}}";
+    return os.str();
+}
+
+std::string
+Server::handleParsed(const Request &request)
+{
+    switch (request.verb) {
+    case Verb::Ping:
+        return okResponse("ping", "\"pong\"");
+    case Verb::Stats:
+        return okResponse("stats", statsBody());
+    case Verb::Shutdown:
+        stopping_ = true;
+        return okResponse("shutdown", "\"bye\"");
+    case Verb::Run:
+        // Handled by the batch path; reaching here is a logic error
+        // worth a structured answer rather than an assert.
+        return errorResponse("internal: run outside batch");
+    case Verb::Sweep:
+    case Verb::Subset:
+        break;
+    }
+
+    const sim::MachineConfig config = machineConfigFor(request.machine);
+    const auto profiles = wl::suiteProfiles(suiteFor(request.suite));
+
+    if (request.verb == Verb::Sweep) {
+        const auto indices = shardIndices(
+            profiles.size(), options_.shard, options_.shards);
+        std::ostringstream key_text;
+        key_text << "netchar-key/v" << kCanonicalVersion
+                 << "/sweep{suite=" << request.suite
+                 << ";format=" << request.format
+                 << ";shard=" << options_.shard << '/'
+                 << options_.shards
+                 << ";maxAttempts=" << options_.maxAttempts
+                 << ";machine{" << canonicalMachine(config)
+                 << "}options{" << canonicalRunOptions(request.options)
+                 << '}';
+        std::vector<wl::WorkloadProfile> slice;
+        for (const std::size_t idx : indices) {
+            slice.push_back(profiles[idx]);
+            key_text << "profile{" << canonicalProfile(profiles[idx])
+                     << '}';
+        }
+        const std::string key = contentHashHex(key_text.str());
+        if (const std::string *body = cache_.lookup(key))
+            return okCachedResponse("sweep", true, key, *body);
+
+        Characterizer ch(config);
+        Parallelism par;
+        par.jobs = options_.jobs;
+        par.maxAttempts = options_.maxAttempts;
+        SuiteRunStats stats;
+        std::vector<RunResult> results;
+        try {
+            results = ch.runAll(slice, request.options, par, &stats);
+        } catch (const std::exception &ex) {
+            ++counters_.errors;
+            return errorResponse(std::string("sweep: ") + ex.what());
+        }
+
+        SweepPartial partial;
+        partial.suite = request.suite;
+        partial.format = request.format;
+        partial.shard = options_.shard;
+        partial.shards = options_.shards;
+        partial.suiteSize = profiles.size();
+        std::vector<std::string> names;
+        for (const auto &p : slice)
+            names.push_back(p.name);
+        if (request.format == "json") {
+            for (std::size_t j = 0; j < slice.size(); ++j)
+                partial.rows.push_back(
+                    {indices[j], names[j],
+                     runResultJson(names[j], results[j])});
+        } else {
+            const auto lines = csvLines(metricsCsv(names, results));
+            partial.header = lines.empty() ? "" : lines.front();
+            for (std::size_t j = 0; j < slice.size(); ++j)
+                partial.rows.push_back(
+                    {indices[j], names[j], lines[j + 1]});
+        }
+        partial.failures = stats.failures;
+        for (RunFailure &f : partial.failures)
+            f.index = indices[f.index]; // slice pos -> suite index
+
+        std::string body = sweepBodyJson(partial);
+        cache_.insert(key, body);
+        return okCachedResponse("sweep", false, key, body);
+    }
+
+    // Subset: always over the full suite (PCA + clustering need the
+    // whole metric matrix), so sharded daemons answer it identically.
+    std::ostringstream key_text;
+    key_text << "netchar-key/v" << kCanonicalVersion
+             << "/subset{suite=" << request.suite
+             << ";size=" << request.subsetSize
+             << ";maxAttempts=" << options_.maxAttempts
+             << ";machine{" << canonicalMachine(config) << "}options{"
+             << canonicalRunOptions(request.options) << '}';
+    for (const auto &p : profiles)
+        key_text << "profile{" << canonicalProfile(p) << '}';
+    const std::string key = contentHashHex(key_text.str());
+    if (const std::string *body = cache_.lookup(key))
+        return okCachedResponse("subset", true, key, *body);
+
+    Characterizer ch(config);
+    Parallelism par;
+    par.jobs = options_.jobs;
+    par.maxAttempts = options_.maxAttempts;
+    SuiteRunStats stats;
+    std::vector<RunResult> results;
+    try {
+        results = ch.runAll(profiles, request.options, par, &stats);
+    } catch (const std::exception &ex) {
+        ++counters_.errors;
+        return errorResponse(std::string("subset: ") + ex.what());
+    }
+
+    std::vector<MetricVector> rows;
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (stats.runs[i].succeeded) {
+            rows.push_back(results[i].metrics);
+            survivors.push_back(i);
+        }
+    }
+    SubsetOptions sopts;
+    sopts.subsetSize = request.subsetSize;
+    SubsetResult subset;
+    try {
+        subset = buildSubset(rows, sopts);
+    } catch (const std::exception &ex) {
+        ++counters_.errors;
+        return errorResponse(std::string("subset: ") + ex.what());
+    }
+
+    std::ostringstream body;
+    body << "{\"suite\":" << jsonString(request.suite)
+         << ",\"size\":" << request.subsetSize
+         << ",\"total\":" << profiles.size()
+         << ",\"surviving\":" << rows.size() << ",\"prcoVariance\":"
+         << num(subset.pca.cumulativeExplained())
+         << ",\"representatives\":[";
+    for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+        const std::size_t rep = survivors[subset.representatives[c]];
+        if (c > 0)
+            body << ',';
+        body << "{\"benchmark\":" << jsonString(profiles[rep].name)
+             << ",\"clusterSize\":" << subset.clusters[c].size()
+             << '}';
+    }
+    body << "]}";
+    cache_.insert(key, body.str());
+    return okCachedResponse("subset", false, key, body.str());
+}
+
+std::vector<std::string>
+Server::handleBatch(const std::vector<std::string> &lines)
+{
+    counters_.requests += lines.size();
+    std::vector<std::string> responses(lines.size());
+
+    struct Parsed
+    {
+        bool ok = false;
+        Request request;
+    };
+    std::vector<Parsed> parsed(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        try {
+            parsed[i].request = parseRequest(lines[i]);
+            parsed[i].ok = true;
+        } catch (const ProtocolError &ex) {
+            ++counters_.errors;
+            responses[i] = errorResponse(ex.what());
+        }
+    }
+
+    // The batch's uncached run requests execute as one Executor
+    // fan-out; in-batch duplicates compute once and share the body.
+    struct RunJob
+    {
+        std::string key;
+        wl::WorkloadProfile profile;
+        sim::MachineConfig config;
+        RunOptions options;
+        std::vector<std::size_t> lines;
+        std::string body;
+        std::string error;
+    };
+    std::vector<RunJob> jobs;
+    std::map<std::string, std::size_t> jobByKey;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (!parsed[i].ok || parsed[i].request.verb != Verb::Run)
+            continue;
+        const Request &r = parsed[i].request;
+        const auto profile = wl::findProfile(r.benchmark);
+        if (!profile) {
+            ++counters_.errors;
+            responses[i] = errorResponse("unknown benchmark '" +
+                                         r.benchmark + "'");
+            continue;
+        }
+        const sim::MachineConfig config =
+            machineConfigFor(r.machine);
+        const std::string key = contentHashHex(
+            "run/" + cacheKeyText(*profile, config, r.options));
+        if (const std::string *body = cache_.lookup(key)) {
+            responses[i] = okCachedResponse("run", true, key, *body);
+            continue;
+        }
+        const auto it = jobByKey.find(key);
+        if (it != jobByKey.end()) {
+            jobs[it->second].lines.push_back(i);
+            continue;
+        }
+        jobByKey[key] = jobs.size();
+        jobs.push_back(
+            {key, *profile, config, r.options, {i}, "", ""});
+    }
+
+    if (!jobs.empty()) {
+        const auto failures = executor_.forEachCollect(
+            jobs.size(), [&](std::size_t j) {
+                Characterizer ch(jobs[j].config);
+                const RunResult result =
+                    ch.run(jobs[j].profile, jobs[j].options);
+                jobs[j].body =
+                    runResultJson(jobs[j].profile.name, result);
+            });
+        for (const TaskFailure &f : failures)
+            jobs[f.index].error = f.what;
+        for (const RunJob &job : jobs) {
+            if (!job.error.empty()) {
+                counters_.errors += job.lines.size();
+                for (const std::size_t i : job.lines)
+                    responses[i] = errorResponse("run: " + job.error);
+                continue;
+            }
+            cache_.insert(job.key, job.body);
+            for (const std::size_t i : job.lines)
+                responses[i] =
+                    okCachedResponse("run", false, job.key, job.body);
+        }
+    }
+
+    // Everything else answers inline, in request order (sweeps and
+    // subsets parallelize internally through runAll).
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (responses[i].empty() && parsed[i].ok)
+            responses[i] = handleParsed(parsed[i].request);
+    }
+    return responses;
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    return handleBatch({line}).front();
+}
+
+int
+Server::serve()
+{
+    std::vector<Connection> conns;
+    while (true) {
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const Connection &conn : conns)
+            fds.push_back({conn.fd, POLLIN, 0});
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "serve: poll: %s\n",
+                         std::strerror(errno));
+            return 1;
+        }
+
+        if ((fds[0].revents & POLLIN) != 0) {
+            const int fd = ::accept(listenFd_, nullptr, nullptr);
+            if (fd >= 0) {
+                conns.push_back({fd, "", true});
+                ++counters_.connections;
+            }
+        }
+
+        // Gather this round's complete lines across every readable
+        // connection into one batch.
+        std::vector<std::string> lines;
+        std::vector<std::size_t> owner;
+        for (std::size_t c = 0; c + 1 < fds.size(); ++c) {
+            Connection &conn = conns[c];
+            const short events = fds[c + 1].revents;
+            if ((events & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            char buf[4096];
+            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n == 0) {
+                conn.open = false;
+                continue;
+            }
+            if (n < 0) {
+                if (errno != EINTR && errno != EAGAIN)
+                    conn.open = false;
+                continue;
+            }
+            conn.in.append(buf, static_cast<std::size_t>(n));
+            std::size_t nl = 0;
+            while ((nl = conn.in.find('\n')) != std::string::npos) {
+                std::string line = conn.in.substr(0, nl);
+                conn.in.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                lines.push_back(std::move(line));
+                owner.push_back(c);
+            }
+        }
+
+        if (!lines.empty()) {
+            const auto responses = handleBatch(lines);
+            std::vector<std::string> out(conns.size());
+            for (std::size_t i = 0; i < responses.size(); ++i)
+                out[owner[i]] += responses[i] + "\n";
+            for (std::size_t c = 0; c < conns.size(); ++c) {
+                if (conns[c].open && !out[c].empty() &&
+                    !sendAll(conns[c].fd, out[c]))
+                    conns[c].open = false;
+            }
+        }
+
+        for (auto it = conns.begin(); it != conns.end();) {
+            if (!it->open) {
+                ::close(it->fd);
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (stopping_)
+            break;
+    }
+
+    for (const Connection &conn : conns)
+        ::close(conn.fd);
+    closeListener();
+    if (!options_.persistPath.empty()) {
+        std::string error;
+        if (!cache_.save(options_.persistPath, error)) {
+            std::fprintf(stderr, "serve: %s\n", error.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace netchar::serve

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The `netchar serve` daemon: characterization-as-a-service.
+ *
+ * A Server listens on a Unix-domain or loopback TCP socket, reads
+ * newline-delimited JSON requests (serve/protocol.hh) and answers
+ * through a content-addressed result cache (serve/cache.hh). All
+ * socket I/O and cache bookkeeping happen on the single thread
+ * inside serve(); parallelism lives below it — each poll round's
+ * complete request lines are handled as one batch, and the batch's
+ * uncached `run` requests fan out together over the core::Executor
+ * (sweeps parallelize internally through Characterizer::runAll).
+ * That layering keeps responses a pure function of requests: no
+ * locks around the cache, no cross-request ordering races.
+ *
+ * A daemon started with shard i/n (ServerOptions::shard/shards)
+ * answers sweep requests only for its round-robin slice of the
+ * suite; `netchar query --merge` reassembles the partials
+ * byte-identically to a single-process sweep (serve/shard.hh).
+ */
+
+#ifndef NETCHAR_SERVE_SERVER_HH
+#define NETCHAR_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/executor.hh"
+#include "serve/cache.hh"
+
+namespace netchar::serve
+{
+
+/** Daemon configuration. */
+struct ServerOptions
+{
+    /**
+     * Listen address: `host:port` (TCP; port 0 picks a free port,
+     * reported by address()) or a filesystem path (Unix-domain
+     * socket, created on start and unlinked on shutdown).
+     */
+    std::string listen;
+    /** Executor concurrency for run batches and sweeps
+     *  (0 = one per hardware thread). */
+    unsigned jobs = 1;
+    /** Retry budget per sweep run (Parallelism::maxAttempts). */
+    unsigned maxAttempts = 2;
+    /** Sweep shard this worker owns (0-based) ... */
+    unsigned shard = 0;
+    /** ... of this many workers (1 = unsharded). */
+    unsigned shards = 1;
+    /** Result-cache budgets. */
+    CacheConfig cache;
+    /** When non-empty: load the cache from this file on start() and
+     *  persist it back on clean shutdown. */
+    std::string persistPath;
+};
+
+/** Request counters (the `stats` verb's serving section). */
+struct ServerCounters
+{
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t connections = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind and listen (and load the persisted cache, when
+     * configured). Returns false with a message in `error` on any
+     * failure; the daemon must not half-start.
+     */
+    bool start(std::string &error);
+
+    /** Resolved listen address (TCP port 0 filled in). Valid after
+     *  start(). */
+    const std::string &address() const { return address_; }
+
+    /**
+     * Accept and answer requests until a `shutdown` request arrives.
+     * Returns 0 on clean shutdown (cache persisted when configured),
+     * 1 on an unrecoverable I/O failure.
+     */
+    int serve();
+
+    /**
+     * Answer one request line (no socket involved): the unit-test
+     * and in-process entry point. Exactly the computation serve()
+     * performs per line, including cache effects.
+     */
+    std::string handleLine(const std::string &line);
+
+    /**
+     * Answer a batch of request lines in order: uncached `run`
+     * requests across the whole batch execute as one Executor
+     * fan-out. serve() feeds every complete line of a poll round
+     * through here.
+     */
+    std::vector<std::string>
+    handleBatch(const std::vector<std::string> &lines);
+
+    /** True once a shutdown request has been answered. */
+    bool stopping() const { return stopping_; }
+
+    const ServerCounters &counters() const { return counters_; }
+    const CacheCounters &cacheCounters() const
+    {
+        return cache_.counters();
+    }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string in;  ///< bytes read, not yet split into lines
+        bool open = true;
+    };
+
+    std::string handleParsed(const struct Request &request);
+    std::string statsBody() const;
+    void closeListener();
+
+    ServerOptions options_;
+    std::string address_;
+    ResultCache cache_;
+    Executor executor_;
+    ServerCounters counters_;
+    int listenFd_ = -1;
+    bool unixSocket_ = false;
+    std::string unixPath_;
+    bool stopping_ = false;
+};
+
+} // namespace netchar::serve
+
+#endif // NETCHAR_SERVE_SERVER_HH

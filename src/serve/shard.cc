@@ -1,0 +1,274 @@
+#include "serve/shard.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/textio.hh"
+
+namespace netchar::serve
+{
+
+std::vector<std::size_t>
+shardIndices(std::size_t n, unsigned shard, unsigned shards)
+{
+    std::vector<std::size_t> indices;
+    if (shards == 0)
+        return indices;
+    for (std::size_t k = shard; k < n; k += shards)
+        indices.push_back(k);
+    return indices;
+}
+
+bool
+parseShardSpec(const std::string &spec, unsigned &shard,
+               unsigned &shards, std::string &error)
+{
+    const auto slash = spec.find('/');
+    if (slash == std::string::npos) {
+        error = "shard spec '" + spec + "' must look like i/n";
+        return false;
+    }
+    try {
+        std::size_t used_i = 0, used_n = 0;
+        const std::string left = spec.substr(0, slash);
+        const std::string right = spec.substr(slash + 1);
+        const unsigned long i = std::stoul(left, &used_i);
+        const unsigned long n = std::stoul(right, &used_n);
+        if (used_i != left.size() || used_n != right.size())
+            throw std::invalid_argument(spec);
+        if (n == 0 || i >= n) {
+            error = "shard spec '" + spec +
+                    "' needs 0 <= i < n (n >= 1)";
+            return false;
+        }
+        shard = static_cast<unsigned>(i);
+        shards = static_cast<unsigned>(n);
+        return true;
+    } catch (const std::exception &) {
+        error = "shard spec '" + spec + "' must look like i/n";
+        return false;
+    }
+}
+
+std::string
+sweepBodyJson(const SweepPartial &partial)
+{
+    std::ostringstream os;
+    os << "{\"suite\":" << jsonString(partial.suite)
+       << ",\"format\":" << jsonString(partial.format)
+       << ",\"shard\":" << partial.shard
+       << ",\"shards\":" << partial.shards
+       << ",\"suiteSize\":" << partial.suiteSize
+       << ",\"header\":" << jsonString(partial.header)
+       << ",\"rows\":[";
+    for (std::size_t i = 0; i < partial.rows.size(); ++i) {
+        const SweepRow &row = partial.rows[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"index\":" << row.index
+           << ",\"benchmark\":" << jsonString(row.benchmark)
+           << ",\"text\":" << jsonString(row.text) << '}';
+    }
+    os << "],\"failures\":[";
+    for (std::size_t i = 0; i < partial.failures.size(); ++i) {
+        const RunFailure &f = partial.failures[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"index\":" << f.index
+           << ",\"benchmark\":" << jsonString(f.benchmark)
+           << ",\"attempt\":" << f.attempt
+           << ",\"kind\":" << jsonString(f.kind)
+           << ",\"seed\":" << f.seed
+           << ",\"backoff_micros\":" << f.backoffMicros
+           << ",\"error\":" << jsonString(f.error) << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+namespace
+{
+
+bool
+wantString(const JsonValue &obj, const char *key, std::string &out,
+           std::string &error)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isString()) {
+        error = std::string("sweep body: missing string '") + key +
+                "'";
+        return false;
+    }
+    out = v->string;
+    return true;
+}
+
+bool
+wantCount(const JsonValue &obj, const char *key, std::uint64_t &out,
+          std::string &error)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isNumber() || v->number < 0.0) {
+        error = std::string("sweep body: missing count '") + key +
+                "'";
+        return false;
+    }
+    out = static_cast<std::uint64_t>(v->number);
+    return true;
+}
+
+} // namespace
+
+bool
+parseSweepBody(const JsonValue &body, SweepPartial &out,
+               std::string &error)
+{
+    if (!body.isObject()) {
+        error = "sweep body is not an object";
+        return false;
+    }
+    std::uint64_t shard = 0, shards = 0, suite_size = 0;
+    if (!wantString(body, "suite", out.suite, error) ||
+        !wantString(body, "format", out.format, error) ||
+        !wantCount(body, "shard", shard, error) ||
+        !wantCount(body, "shards", shards, error) ||
+        !wantCount(body, "suiteSize", suite_size, error) ||
+        !wantString(body, "header", out.header, error))
+        return false;
+    out.shard = static_cast<unsigned>(shard);
+    out.shards = static_cast<unsigned>(shards);
+    out.suiteSize = static_cast<std::size_t>(suite_size);
+
+    const JsonValue *rows = body.find("rows");
+    if (rows == nullptr || rows->kind != JsonValue::Kind::Array) {
+        error = "sweep body: missing 'rows' array";
+        return false;
+    }
+    for (const JsonValue &row : rows->array) {
+        SweepRow parsed;
+        std::uint64_t index = 0;
+        if (!wantCount(row, "index", index, error) ||
+            !wantString(row, "benchmark", parsed.benchmark, error) ||
+            !wantString(row, "text", parsed.text, error))
+            return false;
+        parsed.index = static_cast<std::size_t>(index);
+        out.rows.push_back(std::move(parsed));
+    }
+
+    const JsonValue *failures = body.find("failures");
+    if (failures == nullptr ||
+        failures->kind != JsonValue::Kind::Array) {
+        error = "sweep body: missing 'failures' array";
+        return false;
+    }
+    for (const JsonValue &fail : failures->array) {
+        RunFailure parsed;
+        std::uint64_t index = 0, attempt = 0, seed = 0, backoff = 0;
+        if (!wantCount(fail, "index", index, error) ||
+            !wantString(fail, "benchmark", parsed.benchmark,
+                        error) ||
+            !wantCount(fail, "attempt", attempt, error) ||
+            !wantString(fail, "kind", parsed.kind, error) ||
+            !wantCount(fail, "seed", seed, error) ||
+            !wantCount(fail, "backoff_micros", backoff, error) ||
+            !wantString(fail, "error", parsed.error, error))
+            return false;
+        parsed.index = static_cast<std::size_t>(index);
+        parsed.attempt = static_cast<unsigned>(attempt);
+        parsed.seed = seed;
+        parsed.backoffMicros = backoff;
+        out.failures.push_back(std::move(parsed));
+    }
+    return true;
+}
+
+bool
+mergeSweep(const std::vector<SweepPartial> &partials,
+           std::string &merged, std::string &error)
+{
+    if (partials.empty()) {
+        error = "merge: no partials";
+        return false;
+    }
+    const SweepPartial &first = partials.front();
+    if (partials.size() != first.shards) {
+        error = "merge: have " + std::to_string(partials.size()) +
+                " partial(s) for " + std::to_string(first.shards) +
+                " shard(s)";
+        return false;
+    }
+    std::vector<bool> seen_shard(first.shards, false);
+    for (const SweepPartial &p : partials) {
+        if (p.suite != first.suite || p.format != first.format ||
+            p.shards != first.shards ||
+            p.suiteSize != first.suiteSize ||
+            p.header != first.header) {
+            error = "merge: partials disagree on suite/format/"
+                    "shards/suiteSize/header (responses from "
+                    "different sweeps?)";
+            return false;
+        }
+        if (p.shard >= first.shards || seen_shard[p.shard]) {
+            error = "merge: shard " + std::to_string(p.shard) +
+                    " missing or duplicated";
+            return false;
+        }
+        seen_shard[p.shard] = true;
+    }
+
+    std::vector<const SweepRow *> by_index(first.suiteSize, nullptr);
+    for (const SweepPartial &p : partials) {
+        for (const SweepRow &row : p.rows) {
+            if (row.index >= first.suiteSize ||
+                by_index[row.index] != nullptr) {
+                error = "merge: row index " +
+                        std::to_string(row.index) +
+                        " out of range or duplicated";
+                return false;
+            }
+            by_index[row.index] = &row;
+        }
+    }
+    for (std::size_t i = 0; i < by_index.size(); ++i) {
+        if (by_index[i] == nullptr) {
+            error = "merge: suite index " + std::to_string(i) +
+                    " missing from every partial";
+            return false;
+        }
+    }
+
+    std::ostringstream os;
+    if (first.format == "csv") {
+        os << first.header << '\n';
+        for (const SweepRow *row : by_index)
+            os << row->text << '\n';
+    } else {
+        os << '[';
+        for (std::size_t i = 0; i < by_index.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            os << by_index[i]->text;
+        }
+        os << ']';
+    }
+    merged = os.str();
+    return true;
+}
+
+SuiteRunStats
+mergeLedgers(const std::vector<SweepPartial> &partials)
+{
+    SuiteRunStats stats;
+    for (const SweepPartial &p : partials)
+        stats.failures.insert(stats.failures.end(),
+                              p.failures.begin(), p.failures.end());
+    std::sort(stats.failures.begin(), stats.failures.end(),
+              [](const RunFailure &a, const RunFailure &b) {
+                  if (a.index != b.index)
+                      return a.index < b.index;
+                  return a.attempt < b.attempt;
+              });
+    return stats;
+}
+
+} // namespace netchar::serve

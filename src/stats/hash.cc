@@ -1,0 +1,54 @@
+#include "stats/hash.hh"
+
+#include <string>
+
+namespace netchar
+{
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    return fnv1a(s, 1469598103934665603ULL);
+}
+
+std::uint64_t
+fnv1a(std::string_view s, std::uint64_t h)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+double
+unitInterval(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::string
+contentHashHex(std::string_view s)
+{
+    const std::uint64_t lo = splitmix64(fnv1a(s));
+    std::string reversed(s.rbegin(), s.rend());
+    const std::uint64_t hi = splitmix64(fnv1a(reversed) ^ lo);
+    static const char digits[] = "0123456789abcdef";
+    std::string hex(32, '0');
+    for (int i = 0; i < 16; ++i) {
+        hex[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+        hex[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+    }
+    return hex;
+}
+
+} // namespace netchar

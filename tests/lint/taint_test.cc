@@ -158,6 +158,38 @@ TEST(Taint, DistinctSinksAreDistinctFlows)
     EXPECT_EQ(flows[1].line, 4);
 }
 
+TEST(Taint, ServeWireAndCacheBuildersAreSinks)
+{
+    // The serve-layer response/request builders serialize onto the
+    // wire and into the content-addressed result cache; anything
+    // nondeterministic reaching them is a finding.
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "void answer() {\n"
+          "  auto t = std::chrono::steady_clock::now();\n"
+          "  double s = t.time_since_epoch().count();\n"
+          "  send(okResponse(\"stats\", s));\n"
+          "  send(okCachedResponse(\"run\", s, key, body));\n"
+          "  send(errorResponse(s));\n"
+          "  wire += requestLine(s);\n"
+          "  cache.insert(key, sweepBodyJson(s));\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 5u);
+    for (const Finding &f : flows)
+        EXPECT_EQ(f.rule, "flow-wallclock");
+    EXPECT_NE(flows[0].message.find("okResponse"),
+              std::string::npos);
+    EXPECT_NE(flows[1].message.find("okCachedResponse"),
+              std::string::npos);
+    EXPECT_NE(flows[2].message.find("errorResponse"),
+              std::string::npos);
+    EXPECT_NE(flows[3].message.find("requestLine"),
+              std::string::npos);
+    EXPECT_NE(flows[4].message.find("sweepBodyJson"),
+              std::string::npos);
+}
+
 TEST(Taint, UntaintedSerializationIsClean)
 {
     const auto r = lintSources(

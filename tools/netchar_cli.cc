@@ -8,6 +8,8 @@
  *   netchar trace <benchmark> [options]            (timeline export)
  *   netchar suite <dotnet|aspnet|spec> [options]   (CSV/JSON export)
  *   netchar subset <dotnet|aspnet|spec> [--size K] [options]
+ *   netchar serve <LISTEN> [options]               (daemon)
+ *   netchar query <ADDR[,ADDR...]> [options]       (daemon client)
  *
  * docs/CLI.md documents every subcommand, option, exit code and an
  * example transcript per command; keep it in sync with usage().
@@ -27,6 +29,10 @@
 #include "core/report.hh"
 #include "core/subset.hh"
 #include "core/topdown.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/shard.hh"
 #include "trace/analyzer.hh"
 #include "trace/export_trace.hh"
 #include "workloads/registry.hh"
@@ -72,6 +78,10 @@ usage()
         "  trace <benchmark>                timeline trace export\n"
         "  suite <dotnet|aspnet|spec>       whole-suite export\n"
         "  subset <dotnet|aspnet|spec>      representative subset\n"
+        "  serve <LISTEN>                   characterization daemon\n"
+        "                                   (host:port or socket\n"
+        "                                   path; see --shard)\n"
+        "  query <ADDR[,ADDR...]>           query serve daemon(s)\n"
         "run options (characterize/topdown/trace/suite/subset):\n"
         "  --machine i9|xeon|arm   machine model (default i9)\n"
         "  --cores N               active cores (default 1)\n"
@@ -104,6 +114,25 @@ usage()
         "  --backoff-us N          retry backoff base, microseconds\n"
         "  --ledger FILE           write the failure ledger (CSV, or\n"
         "                          JSON when FILE ends in .json)\n"
+        "serve options:\n"
+        "  --jobs N                run/sweep concurrency (0 = auto)\n"
+        "  --shard I/N             answer sweeps for round-robin\n"
+        "                          slice I of N (default 0/1)\n"
+        "  --max-attempts N        attempts per sweep run\n"
+        "  --cache-entries N       result-cache entries (def. 256)\n"
+        "  --cache-bytes N         result-cache byte budget\n"
+        "  --cache-persist FILE    load/save the cache on start/stop\n"
+        "query options:\n"
+        "  --verb V                ping|run|sweep|subset|stats|\n"
+        "                          shutdown (default ping)\n"
+        "  --benchmark NAME        run: benchmark to characterize\n"
+        "  --suite S               sweep/subset: dotnet|aspnet|spec\n"
+        "  --merge                 sweep: merge the shard partials\n"
+        "                          of all ADDRs into the bytes\n"
+        "                          `netchar suite` would print\n"
+        "  --retries N             attempts per request (default 5)\n"
+        "  --backoff-us N          retry backoff base, microseconds\n"
+        "  (plus --machine/--format/--size and run options above)\n"
         "exit codes: 0 clean, 1 usage/total failure, 2 partial\n"
         "see docs/CLI.md for details and example transcripts\n");
     return EXIT_FAILURE;
@@ -640,6 +669,321 @@ cmdSubset(const std::string &suite_name, const CliOptions &opts)
     return sweep_code;
 }
 
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions sopts;
+    sopts.listen = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(EXIT_FAILURE);
+            }
+            return argv[++i];
+        };
+        auto nextNumber = [&]() -> std::uint64_t {
+            const std::string value = next();
+            try {
+                std::size_t used = 0;
+                const std::uint64_t n = std::stoull(value, &used);
+                if (used == value.size())
+                    return n;
+            } catch (const std::exception &) {
+            }
+            std::fprintf(stderr,
+                         "netchar: %s expects a number, got '%s'\n",
+                         arg.c_str(), value.c_str());
+            std::exit(EXIT_FAILURE);
+        };
+        if (arg == "--jobs")
+            sopts.jobs = static_cast<unsigned>(nextNumber());
+        else if (arg == "--max-attempts")
+            sopts.maxAttempts = static_cast<unsigned>(nextNumber());
+        else if (arg == "--shard") {
+            std::string error;
+            if (!serve::parseShardSpec(next(), sopts.shard,
+                                       sopts.shards, error)) {
+                std::fprintf(stderr, "netchar serve: %s\n",
+                             error.c_str());
+                return EXIT_FAILURE;
+            }
+        } else if (arg == "--cache-entries")
+            sopts.cache.maxEntries =
+                static_cast<std::size_t>(nextNumber());
+        else if (arg == "--cache-bytes")
+            sopts.cache.maxBytes = nextNumber();
+        else if (arg == "--cache-persist")
+            sopts.persistPath = next();
+        else {
+            std::fprintf(stderr, "netchar: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (sopts.maxAttempts == 0) {
+        std::fprintf(stderr,
+                     "netchar: --max-attempts must be >= 1\n");
+        return EXIT_FAILURE;
+    }
+
+    serve::Server server(sopts);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "netchar serve: %s\n", error.c_str());
+        return EXIT_FAILURE;
+    }
+    // Scripts scrape this line for the bound address (port 0 picks
+    // a free port); keep it the first thing on stdout.
+    std::printf("LISTENING %s\n", server.address().c_str());
+    std::fflush(stdout);
+    std::fprintf(stderr,
+                 "  serving on %s  shard %u/%u  %u job(s)\n",
+                 server.address().c_str(), sopts.shard, sopts.shards,
+                 sopts.jobs);
+    return server.serve();
+}
+
+/** Raw body text of a response line (the bytes after `,"body":` up
+ *  to the closing brace — re-rendering via the JSON model could
+ *  disturb byte-identity, so the substring is spliced out). */
+bool
+extractBody(const std::string &response, std::string &body)
+{
+    const auto pos = response.find(",\"body\":");
+    if (pos == std::string::npos || response.empty() ||
+        response.back() != '}')
+        return false;
+    const auto start = pos + 8;
+    body = response.substr(start, response.size() - start - 1);
+    return true;
+}
+
+int
+cmdQuery(int argc, char **argv)
+{
+    std::vector<std::string> addresses;
+    {
+        const std::string spec = argv[2];
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            const auto comma = spec.find(',', start);
+            if (comma == std::string::npos) {
+                addresses.push_back(spec.substr(start));
+                break;
+            }
+            addresses.push_back(spec.substr(start, comma - start));
+            start = comma + 1;
+        }
+    }
+
+    serve::Request req;
+    std::string verb = "ping";
+    bool merge = false;
+    std::string ledger_file;
+    serve::ClientOptions copts;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(EXIT_FAILURE);
+            }
+            return argv[++i];
+        };
+        auto nextNumber = [&]() -> std::uint64_t {
+            const std::string value = next();
+            try {
+                std::size_t used = 0;
+                const std::uint64_t n = std::stoull(value, &used);
+                if (used == value.size())
+                    return n;
+            } catch (const std::exception &) {
+            }
+            std::fprintf(stderr,
+                         "netchar: %s expects a number, got '%s'\n",
+                         arg.c_str(), value.c_str());
+            std::exit(EXIT_FAILURE);
+        };
+        if (arg == "--verb")
+            verb = next();
+        else if (arg == "--benchmark")
+            req.benchmark = next();
+        else if (arg == "--suite")
+            req.suite = next();
+        else if (arg == "--machine")
+            req.machine = next();
+        else if (arg == "--format")
+            req.format = next();
+        else if (arg == "--size")
+            req.subsetSize =
+                static_cast<std::size_t>(nextNumber());
+        else if (arg == "--cores")
+            req.options.cores =
+                static_cast<unsigned>(nextNumber());
+        else if (arg == "--warmup")
+            req.options.warmupInstructions = nextNumber();
+        else if (arg == "--measure")
+            req.options.measuredInstructions = nextNumber();
+        else if (arg == "--seed")
+            req.options.seed = nextNumber();
+        else if (arg == "--merge")
+            merge = true;
+        else if (arg == "--ledger")
+            ledger_file = next();
+        else if (arg == "--retries")
+            copts.maxAttempts =
+                static_cast<unsigned>(nextNumber());
+        else if (arg == "--backoff-us")
+            copts.backoffBaseMicros = nextNumber();
+        else {
+            std::fprintf(stderr, "netchar: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    if (verb == "ping")
+        req.verb = serve::Verb::Ping;
+    else if (verb == "run")
+        req.verb = serve::Verb::Run;
+    else if (verb == "sweep")
+        req.verb = serve::Verb::Sweep;
+    else if (verb == "subset")
+        req.verb = serve::Verb::Subset;
+    else if (verb == "stats")
+        req.verb = serve::Verb::Stats;
+    else if (verb == "shutdown")
+        req.verb = serve::Verb::Shutdown;
+    else {
+        std::fprintf(stderr, "netchar query: unknown verb '%s'\n",
+                     verb.c_str());
+        return EXIT_FAILURE;
+    }
+    if (merge && req.verb != serve::Verb::Sweep) {
+        std::fprintf(stderr,
+                     "netchar query: --merge needs --verb sweep\n");
+        return EXIT_FAILURE;
+    }
+    if (!merge && addresses.size() != 1) {
+        std::fprintf(stderr, "netchar query: multiple addresses "
+                             "need --merge\n");
+        return EXIT_FAILURE;
+    }
+
+    std::string line;
+    try {
+        line = serve::requestLine(req);
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "netchar query: %s\n", ex.what());
+        return EXIT_FAILURE;
+    }
+
+    std::vector<std::string> responses;
+    for (const std::string &address : addresses) {
+        serve::ClientOptions one = copts;
+        one.address = address;
+        serve::Client client(one);
+        std::string response, error;
+        if (!client.request(line, response, error)) {
+            std::fprintf(stderr, "netchar query: %s: %s\n",
+                         address.c_str(), error.c_str());
+            return EXIT_FAILURE;
+        }
+        serve::JsonValue doc;
+        std::string jerr;
+        if (!serve::parseJson(response, doc, jerr)) {
+            std::fprintf(stderr,
+                         "netchar query: %s: bad response: %s\n",
+                         address.c_str(), jerr.c_str());
+            return EXIT_FAILURE;
+        }
+        const serve::JsonValue *ok = doc.find("ok");
+        if (ok == nullptr ||
+            ok->kind != serve::JsonValue::Kind::Bool) {
+            std::fprintf(stderr,
+                         "netchar query: %s: response without ok\n",
+                         address.c_str());
+            return EXIT_FAILURE;
+        }
+        if (!ok->boolean) {
+            const serve::JsonValue *err = doc.find("error");
+            std::fprintf(stderr,
+                         "netchar query: %s: server error: %s\n",
+                         address.c_str(),
+                         err != nullptr && err->isString()
+                             ? err->string.c_str()
+                             : "(no message)");
+            return EXIT_FAILURE;
+        }
+        const serve::JsonValue *cache = doc.find("cache");
+        const serve::JsonValue *key = doc.find("key");
+        if (cache != nullptr && cache->isString() && key != nullptr &&
+            key->isString())
+            std::fprintf(stderr, "  %s: cache %s (key %s)\n",
+                         address.c_str(), cache->string.c_str(),
+                         key->string.c_str());
+        responses.push_back(std::move(response));
+    }
+
+    if (!merge) {
+        std::string body;
+        if (!extractBody(responses.front(), body)) {
+            std::fprintf(stderr,
+                         "netchar query: response without body\n");
+            return EXIT_FAILURE;
+        }
+        std::printf("%s\n", body.c_str());
+        return EXIT_SUCCESS;
+    }
+
+    std::vector<serve::SweepPartial> partials;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        serve::JsonValue doc;
+        std::string jerr;
+        // Parsed once above; re-parse here to keep ownership simple.
+        if (!serve::parseJson(responses[i], doc, jerr)) {
+            std::fprintf(stderr, "netchar query: %s\n",
+                         jerr.c_str());
+            return EXIT_FAILURE;
+        }
+        const serve::JsonValue *body = doc.find("body");
+        serve::SweepPartial partial;
+        std::string perr;
+        if (body == nullptr ||
+            !serve::parseSweepBody(*body, partial, perr)) {
+            std::fprintf(stderr, "netchar query: %s: %s\n",
+                         addresses[i].c_str(), perr.c_str());
+            return EXIT_FAILURE;
+        }
+        partials.push_back(std::move(partial));
+    }
+    std::string merged, merr;
+    if (!serve::mergeSweep(partials, merged, merr)) {
+        std::fprintf(stderr, "netchar query: %s\n", merr.c_str());
+        return EXIT_FAILURE;
+    }
+    if (req.format == "json")
+        std::printf("%s\n", merged.c_str());
+    else
+        std::printf("%s", merged.c_str());
+    const SuiteRunStats stats = serve::mergeLedgers(partials);
+    if (!writeLedger(stats, ledger_file))
+        return EXIT_FAILURE;
+    if (!stats.failures.empty()) {
+        for (const auto &f : stats.failures)
+            std::fprintf(stderr,
+                         "warning: %s attempt %u failed: %s\n",
+                         f.benchmark.c_str(), f.attempt,
+                         f.error.c_str());
+        return kExitPartialFailure;
+    }
+    return EXIT_SUCCESS;
+}
+
 } // namespace
 
 int
@@ -655,6 +999,10 @@ main(int argc, char **argv)
         return cmdMachines();
     if (argc < 3)
         return usage();
+    if (cmd == "serve")
+        return cmdServe(argc, argv);
+    if (cmd == "query")
+        return cmdQuery(argc, argv);
     const std::string target = argv[2];
     const auto opts = parseOptions(argc, argv, 3);
 
