@@ -866,6 +866,12 @@ ciGates()
          "a cached-hit query must stay a hash plus a socket round "
          "trip; if serving throughput collapses toward miss "
          "latency the repeat-queries-are-free contract is broken"},
+        {"SRV-02", "serve_loopback", "admission_overhead_frac",
+         GateKind::MaxAbsolute, 0.05, 0,
+         "admission control (request/byte budgets, line caps, idle "
+         "timers) must be invisible on the uncontended fast path: "
+         "overload protection that taxes normal serving would just "
+         "move the overload"},
     };
     return gates;
 }

@@ -203,4 +203,174 @@ perturbedSeed(std::uint64_t base, std::string_view benchmark,
                        0x9E3779B97F4A7C15ULL));
 }
 
+// ---------------------------------------------------------------
+// Wire faults
+// ---------------------------------------------------------------
+
+namespace
+{
+
+WireFaultKind
+wireKindFromName(std::string_view name)
+{
+    if (name == "split")
+        return WireFaultKind::SplitWrite;
+    if (name == "merge")
+        return WireFaultKind::MergeFrames;
+    if (name == "stall")
+        return WireFaultKind::StallWrite;
+    if (name == "reset")
+        return WireFaultKind::ResetMidResponse;
+    if (name == "journal")
+        return WireFaultKind::TruncateJournal;
+    return WireFaultKind::None;
+}
+
+const std::vector<WireFaultKind> &
+allWireKinds()
+{
+    static const std::vector<WireFaultKind> kinds = {
+        WireFaultKind::SplitWrite,      WireFaultKind::MergeFrames,
+        WireFaultKind::StallWrite,      WireFaultKind::ResetMidResponse,
+        WireFaultKind::TruncateJournal,
+    };
+    return kinds;
+}
+
+} // namespace
+
+std::string_view
+wireFaultKindName(WireFaultKind kind)
+{
+    switch (kind) {
+    case WireFaultKind::None:
+        return "none";
+    case WireFaultKind::SplitWrite:
+        return "split";
+    case WireFaultKind::MergeFrames:
+        return "merge";
+    case WireFaultKind::StallWrite:
+        return "stall";
+    case WireFaultKind::ResetMidResponse:
+        return "reset";
+    case WireFaultKind::TruncateJournal:
+        return "journal";
+    }
+    return "none";
+}
+
+WireFaultPlan
+WireFaultPlan::parse(const std::string &spec)
+{
+    WireFaultPlan plan;
+    plan.kinds_ = allWireKinds();
+    bool have_rate = false;
+
+    std::istringstream fields(spec);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+        if (field.empty())
+            continue;
+        const auto eq = field.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "chaos-wire spec: expected key=value, got '" + field +
+                "' (example: rate=0.25,kinds=split+reset,seed=9)");
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "rate") {
+            try {
+                std::size_t used = 0;
+                plan.rate_ = std::stod(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                throw std::invalid_argument(
+                    "chaos-wire spec: rate expects a number in "
+                    "[0,1], got '" + value + "'");
+            }
+            if (!(plan.rate_ >= 0.0 && plan.rate_ <= 1.0))
+                throw std::invalid_argument(
+                    "chaos-wire spec: rate must be in [0,1], got '" +
+                    value + "'");
+            have_rate = true;
+        } else if (key == "kinds") {
+            plan.kinds_.clear();
+            std::istringstream names(value);
+            std::string name;
+            while (std::getline(names, name, '+')) {
+                const WireFaultKind kind = wireKindFromName(name);
+                if (kind == WireFaultKind::None)
+                    throw std::invalid_argument(
+                        "chaos-wire spec: unknown kind '" + name +
+                        "' (valid: split, merge, stall, reset, "
+                        "journal)");
+                plan.kinds_.push_back(kind);
+            }
+            if (plan.kinds_.empty())
+                throw std::invalid_argument(
+                    "chaos-wire spec: kinds= needs at least one of "
+                    "split, merge, stall, reset, journal");
+        } else if (key == "seed") {
+            try {
+                std::size_t used = 0;
+                plan.seed_ = std::stoull(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                throw std::invalid_argument(
+                    "chaos-wire spec: seed expects an integer, "
+                    "got '" + value + "'");
+            }
+        } else {
+            throw std::invalid_argument(
+                "chaos-wire spec: unknown key '" + key +
+                "' (valid: rate, kinds, seed)");
+        }
+    }
+    if (!have_rate)
+        throw std::invalid_argument(
+            "chaos-wire spec: rate= is required "
+            "(example: rate=0.25,kinds=split+reset,seed=9)");
+    return plan;
+}
+
+std::string
+WireFaultPlan::describe() const
+{
+    std::ostringstream os;
+    os << "rate=" << rate_ << ",kinds=";
+    for (std::size_t i = 0; i < kinds_.size(); ++i) {
+        if (i > 0)
+            os << '+';
+        os << wireFaultKindName(kinds_[i]);
+    }
+    os << ",seed=" << seed_;
+    return os.str();
+}
+
+WireFaultDecision
+WireFaultPlan::decide(std::uint64_t sequence) const
+{
+    WireFaultDecision decision;
+    if (!enabled())
+        return decision;
+    const std::uint64_t h = splitmix64(
+        splitmix64(seed_ ^ 0xA5A5A5A5DEADBEEFULL) ^
+        (sequence * 0xD1B54A32D192ED03ULL));
+    if (unitInterval(h) >= rate_)
+        return decision;
+
+    const std::uint64_t h2 = splitmix64(h);
+    decision.kind = kinds_[h2 % kinds_.size()];
+    const std::uint64_t h3 = splitmix64(h2);
+    // All magnitudes are hash-chosen and bounded: chaos perturbs
+    // delivery, never the response bytes themselves.
+    decision.chunkBytes = 1 + static_cast<std::size_t>(h3 % 16);
+    decision.stallMicros = 1000 + (h3 % 20) * 1000; // 1..20 ms
+    decision.resetAfterBytes = static_cast<std::size_t>(h3 % 64);
+    decision.truncateBytes = 1 + (h3 % 48);
+    return decision;
+}
+
 } // namespace netchar

@@ -188,6 +188,107 @@ std::uint64_t perturbedSeed(std::uint64_t base,
                             std::string_view benchmark,
                             unsigned attempt);
 
+// ---------------------------------------------------------------
+// Wire faults: the serving-layer chaos family.
+// ---------------------------------------------------------------
+
+/**
+ * Kinds of fault a WireFaultPlan can inject into the serve daemon's
+ * transport and persistence edges (PR 3's simulator chaos extended
+ * up through the wire):
+ *
+ *  - SplitWrite     : a response is sent in tiny partial writes, so
+ *                     one NDJSON frame arrives split across many TCP
+ *                     segments;
+ *  - MergeFrames    : a response is withheld and coalesced with the
+ *                     connection's next flush, so several frames
+ *                     arrive merged in one segment;
+ *  - StallWrite     : a bounded delay before the response bytes move
+ *                     (a stalled read from the peer's perspective);
+ *  - ResetMidResponse : only a prefix of the response is sent before
+ *                     the connection is closed (torn frame — the
+ *                     client must retry the idempotent request);
+ *  - TruncateJournal : bytes are chopped off the cache journal's
+ *                     tail after an append (a torn write the next
+ *                     start's recovery path must skip and report).
+ */
+enum class WireFaultKind
+{
+    None = 0,
+    SplitWrite,
+    MergeFrames,
+    StallWrite,
+    ResetMidResponse,
+    TruncateJournal,
+};
+
+/** Short spec-syntax name ("split", "merge", "stall", "reset",
+ *  "journal"). */
+std::string_view wireFaultKindName(WireFaultKind kind);
+
+/** What WireFaultPlan::decide() resolved for one response. */
+struct WireFaultDecision
+{
+    WireFaultKind kind = WireFaultKind::None;
+    /** SplitWrite: bytes per partial write (1..16). */
+    std::size_t chunkBytes = 0;
+    /** StallWrite: delay before the bytes move (<= 20 ms). */
+    std::uint64_t stallMicros = 0;
+    /** ResetMidResponse: prefix bytes delivered before the close
+     *  (may be 0 — the whole frame is lost). */
+    std::size_t resetAfterBytes = 0;
+    /** TruncateJournal: tail bytes chopped off the journal (1..48). */
+    std::uint64_t truncateBytes = 0;
+
+    explicit operator bool() const { return kind != WireFaultKind::None; }
+};
+
+/**
+ * A seeded wire-fault plan: overall rate, enabled kinds, seed.
+ *
+ * Spec syntax (parse()) mirrors FaultPlan::parse():
+ *
+ *   rate=0.25                 fraction of responses hit (required)
+ *   kinds=split+merge+stall+reset+journal
+ *                             enabled kinds (default: all five)
+ *   seed=9                    plan seed (default 1)
+ *
+ * Decisions are a pure hash of (seed, sequence): for a given request
+ * arrival order the daemon injects the identical fault set on any
+ * host, so a chaos-wire sweep is replayable.
+ */
+class WireFaultPlan
+{
+  public:
+    WireFaultPlan() = default;
+
+    /** Parse a spec string; throws std::invalid_argument with a
+     *  descriptive message on any malformed field. */
+    static WireFaultPlan parse(const std::string &spec);
+
+    /** True when the plan can inject anything at all. */
+    bool enabled() const { return rate_ > 0.0 && !kinds_.empty(); }
+
+    double rate() const { return rate_; }
+    std::uint64_t seed() const { return seed_; }
+    const std::vector<WireFaultKind> &kinds() const { return kinds_; }
+
+    /** Canonical one-line rendering (for logs). */
+    std::string describe() const;
+
+    /**
+     * Decide the fault (if any) for the `sequence`-th response the
+     * daemon sends (0-based, monotonically increasing). Pure
+     * function of (plan, sequence).
+     */
+    WireFaultDecision decide(std::uint64_t sequence) const;
+
+  private:
+    double rate_ = 0.0;
+    std::vector<WireFaultKind> kinds_;
+    std::uint64_t seed_ = 1;
+};
+
 } // namespace netchar
 
 #endif // NETCHAR_CORE_FAULTS_HH

@@ -46,6 +46,7 @@ constexpr std::string_view kSinkNames[] = {
     "topdownCsv",       "runResultJson",    "suiteJson",
     "okResponse",       "okCachedResponse", "errorResponse",
     "jsonString",       "requestLine",      "sweepBodyJson",
+    "errorCodeResponse", "journalRecord",
 };
 
 bool

@@ -44,6 +44,14 @@ ResultCache::insert(const std::string &key, std::string body)
 }
 
 void
+ResultCache::restore(const std::string &key, std::string body)
+{
+    insert(key, std::move(body));
+    // Replayed persistence, not a fresh result.
+    --counters_.inserts;
+}
+
+void
 ResultCache::evictOverBudget()
 {
     while (!lru_.empty() &&
@@ -77,21 +85,36 @@ ResultCache::keysByRecency() const
 bool
 ResultCache::save(const std::string &path, std::string &error) const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-        error = "cannot write cache file '" + path + "'";
-        return false;
+    // Temp file + rename(): the old snapshot stays valid until the
+    // new one is complete, so a crash mid-persist loses at most the
+    // work since the previous checkpoint, never the file itself.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            error = "cannot write cache file '" + tmp + "'";
+            return false;
+        }
+        out << "netchar-cache/v" << kCanonicalVersion << '\n'
+            << lru_.size() << '\n';
+        // LRU-first: sequential re-insertion on load() leaves the
+        // same entry at MRU that was MRU when saved.
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
+            out << it->key << ' ' << it->body.size() << '\n'
+                << it->body << '\n';
+        out.flush();
+        if (!out) {
+            error = "short write to cache file '" + tmp + "'";
+            return false;
+        }
     }
-    out << "netchar-cache/v" << kCanonicalVersion << '\n'
-        << lru_.size() << '\n';
-    // LRU-first: sequential re-insertion on load() leaves the same
-    // entry at MRU that was MRU when saved.
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it)
-        out << it->key << ' ' << it->body.size() << '\n'
-            << it->body << '\n';
-    out.flush();
-    if (!out) {
-        error = "short write to cache file '" + path + "'";
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        error = "cannot move cache file '" + tmp + "' into place: " +
+                ec.message();
+        std::error_code ignored;
+        std::filesystem::remove(tmp, ignored);
         return false;
     }
     return true;

@@ -76,6 +76,14 @@ class ResultCache
      */
     void insert(const std::string &key, std::string body);
 
+    /**
+     * Replay an entry recovered from persistence (checkpoint or
+     * journal): same placement and eviction as insert(), but not
+     * counted as a fresh insert — counters after a restart reflect
+     * only work done since.
+     */
+    void restore(const std::string &key, std::string body);
+
     const CacheCounters &counters() const { return counters_; }
 
     /** Keys most-recently-used first (eviction order is the
@@ -84,8 +92,10 @@ class ResultCache
 
     /**
      * Write every entry to `path` (LRU-first, so a load() replays
-     * recency). Returns false with a message in `error` on I/O
-     * failure.
+     * recency). The snapshot is written to `path + ".tmp"` and moved
+     * into place with rename(), so a crash mid-persist can never
+     * leave a half-written file where a valid one was. Returns false
+     * with a message in `error` on I/O failure.
      */
     bool save(const std::string &path, std::string &error) const;
 

@@ -9,8 +9,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "serve/protocol.hh" // parseJson (structured refusals)
 
 namespace netchar::serve
 {
@@ -30,6 +33,50 @@ backoffMicros(std::uint64_t base, unsigned attempt)
     for (unsigned k = 2; k < attempt && delay < kCap; ++k)
         delay *= 2;
     return delay < kCap ? delay : kCap;
+}
+
+/** Monotonic milliseconds for the overall request deadline. Host
+ *  time steers retry policy only; it never reaches a result. */
+std::uint64_t
+monotonicMillis()
+{
+    // netchar-lint: allow(no-wallclock) -- client retry budget only
+    using Clock = std::chrono::steady_clock;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+/** A structured refusal the client reacts to (rather than treating
+ *  the response as final). */
+enum class Refusal { None, Overloaded, Draining };
+
+Refusal
+classifyRefusal(const std::string &response,
+                std::uint64_t &retryAfterMs)
+{
+    JsonValue root;
+    std::string parseError;
+    if (!parseJson(response, root, parseError) || !root.isObject())
+        return Refusal::None;
+    const JsonValue *ok = root.find("ok");
+    if (ok == nullptr || ok->kind != JsonValue::Kind::Bool ||
+        ok->boolean)
+        return Refusal::None;
+    const JsonValue *code = root.find("code");
+    if (code == nullptr || !code->isString())
+        return Refusal::None;
+    if (code->string == "overloaded") {
+        const JsonValue *hint = root.find("retryAfterMs");
+        if (hint != nullptr && hint->isNumber() && hint->number > 0)
+            retryAfterMs =
+                static_cast<std::uint64_t>(hint->number);
+        return Refusal::Overloaded;
+    }
+    if (code->string == "draining")
+        return Refusal::Draining;
+    return Refusal::None;
 }
 
 } // namespace
@@ -116,6 +163,17 @@ Client::connectOnce(std::string &error)
             return false;
         }
     }
+    if (options_.ioTimeoutMs != 0) {
+        // A stalled peer surfaces as a retryable timeout instead of
+        // blocking the client forever.
+        timeval tv{};
+        tv.tv_sec =
+            static_cast<time_t>(options_.ioTimeoutMs / 1000);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (options_.ioTimeoutMs % 1000) * 1000);
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     return true;
 }
 
@@ -133,6 +191,11 @@ Client::roundTrip(const std::string &line, std::string &response,
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error = "timeout: send stalled past " +
+                        std::to_string(options_.ioTimeoutMs) + "ms";
+                return false;
+            }
             error = std::string("send: ") + std::strerror(errno);
             return false;
         }
@@ -156,6 +219,11 @@ Client::roundTrip(const std::string &line, std::string &response,
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error = "timeout: no response within " +
+                        std::to_string(options_.ioTimeoutMs) + "ms";
+                return false;
+            }
             error = std::string("recv: ") + std::strerror(errno);
             return false;
         }
@@ -169,17 +237,57 @@ Client::request(const std::string &line, std::string &response,
 {
     const unsigned attempts =
         options_.maxAttempts < 1 ? 1 : options_.maxAttempts;
+    const std::uint64_t startMs =
+        options_.deadlineMs != 0 ? monotonicMillis() : 0;
+    const auto deadlineExpired = [&]() {
+        return options_.deadlineMs != 0 &&
+               monotonicMillis() - startMs > options_.deadlineMs;
+    };
+    std::uint64_t overloadedHintMs = 0;
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
-        const std::uint64_t delay =
+        // An `overloaded` refusal's own hint replaces the default
+        // backoff before this attempt.
+        std::uint64_t delayMicros =
             backoffMicros(options_.backoffBaseMicros, attempt);
-        if (delay > 0)
+        if (overloadedHintMs != 0) {
+            delayMicros = overloadedHintMs * 1000;
+            overloadedHintMs = 0;
+        }
+        if (delayMicros > 0)
             std::this_thread::sleep_for(
-                std::chrono::microseconds(delay));
+                std::chrono::microseconds(delayMicros));
+        if (deadlineExpired()) {
+            error = "deadline: request budget of " +
+                    std::to_string(options_.deadlineMs) +
+                    "ms exhausted" +
+                    (error.empty() ? "" : " (last: " + error + ")");
+            return false;
+        }
         if (!connectOnce(error))
             continue;
-        if (roundTrip(line, response, error))
-            return true;
-        disconnect(); // a torn connection cannot carry a retry
+        if (!roundTrip(line, response, error)) {
+            disconnect(); // a torn connection cannot carry a retry
+            continue;
+        }
+        if (attempt < attempts) {
+            // Honor structured refusals instead of surfacing them:
+            // the request is idempotent, the server told us when
+            // (overloaded) or where not (draining) to retry.
+            const Refusal refusal =
+                classifyRefusal(response, overloadedHintMs);
+            if (refusal == Refusal::Overloaded) {
+                if (overloadedHintMs == 0)
+                    overloadedHintMs = 1;
+                error = "server overloaded";
+                continue;
+            }
+            if (refusal == Refusal::Draining) {
+                disconnect();
+                error = "server draining";
+                continue;
+            }
+        }
+        return true;
     }
     return false;
 }

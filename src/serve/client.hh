@@ -10,6 +10,19 @@
  * be sent again. The backoff schedule matches the sweep runner's:
  * before attempt k the client sleeps base * 2^(k-2) microseconds,
  * capped at 100 ms — host time only, never visible in results.
+ *
+ * Three failure shapes are handled beyond a torn connection:
+ *
+ *  - a structured `overloaded` refusal is retried after the
+ *    response's own retryAfterMs hint (same connection);
+ *  - a structured `draining` refusal reconnects before retrying
+ *    (the daemon is going away);
+ *  - an overall deadline (ClientOptions::deadlineMs) bounds total
+ *    elapsed time across all attempts, so a dead server fails with
+ *    a named `deadline:` error instead of sleeping through the
+ *    whole backoff ladder. Per-I/O read/write timeouts
+ *    (ioTimeoutMs) turn a stalled peer into a retryable `timeout:`
+ *    error.
  */
 
 #ifndef NETCHAR_SERVE_CLIENT_HH
@@ -30,6 +43,12 @@ struct ClientOptions
     unsigned maxAttempts = 5;
     /** Backoff base, microseconds (0 = retry immediately). */
     std::uint64_t backoffBaseMicros = 1000;
+    /** Overall budget across all attempts, milliseconds (0 = none).
+     *  On exhaustion request() fails with a `deadline:` error. */
+    std::uint64_t deadlineMs = 0;
+    /** Per-send/recv timeout, milliseconds (0 = block forever). A
+     *  stalled peer yields a retryable `timeout:` error. */
+    std::uint64_t ioTimeoutMs = 0;
 };
 
 /** Blocking NDJSON client for one daemon. */

@@ -1,0 +1,213 @@
+#include "serve/journal.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "stats/hash.hh" // contentHashHex (record checksums)
+
+namespace netchar::serve
+{
+
+namespace
+{
+
+constexpr std::string_view kJournalHeader = "netchar-journal/v1\n";
+
+} // namespace
+
+std::string
+journalRecord(const std::string &key, const std::string &body)
+{
+    std::ostringstream os;
+    os << "R " << key.size() << ' ' << body.size() << ' '
+       << contentHashHex(key + body) << '\n'
+       << key << body << '\n';
+    return os.str();
+}
+
+CacheJournal::~CacheJournal() { close(); }
+
+void
+CacheJournal::close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    path_.clear();
+    bytes_ = 0;
+}
+
+bool
+CacheJournal::open(const std::string &path, std::string &error)
+{
+    close();
+    std::FILE *file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) {
+        error = "cannot open journal '" + path + "' for append";
+        return false;
+    }
+    file_ = file;
+    path_ = path;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    bytes_ = ec ? 0 : size;
+    if (bytes_ == 0) {
+        if (std::fwrite(kJournalHeader.data(), 1,
+                        kJournalHeader.size(),
+                        file_) != kJournalHeader.size() ||
+            std::fflush(file_) != 0) {
+            error = "cannot write journal header to '" + path + "'";
+            close();
+            return false;
+        }
+        bytes_ = kJournalHeader.size();
+    }
+    return true;
+}
+
+bool
+CacheJournal::append(const std::string &key, const std::string &body,
+                     std::string &error)
+{
+    if (file_ == nullptr) {
+        error = "journal is not open";
+        return false;
+    }
+    const std::string record = journalRecord(key, body);
+    if (std::fwrite(record.data(), 1, record.size(), file_) !=
+            record.size() ||
+        std::fflush(file_) != 0) {
+        error = "short write to journal '" + path_ + "'";
+        return false;
+    }
+    bytes_ += record.size();
+    return true;
+}
+
+bool
+CacheJournal::reset(std::string &error)
+{
+    if (file_ == nullptr) {
+        error = "journal is not open";
+        return false;
+    }
+    // Truncate back to a bare header: the checkpoint the caller just
+    // wrote already holds every journaled insert.
+    std::FILE *fresh = std::freopen(path_.c_str(), "wb", file_);
+    if (fresh == nullptr) {
+        file_ = nullptr; // freopen failure closes the old stream
+        error = "cannot truncate journal '" + path_ + "'";
+        return false;
+    }
+    file_ = fresh;
+    if (std::fwrite(kJournalHeader.data(), 1, kJournalHeader.size(),
+                    file_) != kJournalHeader.size() ||
+        std::fflush(file_) != 0) {
+        error = "cannot rewrite journal header in '" + path_ + "'";
+        return false;
+    }
+    bytes_ = kJournalHeader.size();
+    return true;
+}
+
+bool
+CacheJournal::replay(
+    const std::string &path,
+    std::vector<std::pair<std::string, std::string>> &entries,
+    JournalRecoveryReport &report, std::string &error)
+{
+    report = {};
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return true; // fresh daemon: nothing journaled yet
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot read journal '" + path + "'";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string data = buffer.str();
+    if (data.empty())
+        return true; // created but never written: clean empty state
+
+    if (data.size() < kJournalHeader.size() ||
+        data.compare(0, kJournalHeader.size(), kJournalHeader) != 0) {
+        // A foreign or torn header means nothing in the file can be
+        // trusted — recover an empty cache rather than failing the
+        // start (the snapshot checkpoint is the authoritative base).
+        report.bytesDropped = data.size();
+        report.note = "unrecognized journal header; dropped file";
+        return true;
+    }
+
+    std::size_t pos = kJournalHeader.size();
+    while (pos < data.size()) {
+        const std::size_t recordStart = pos;
+        const auto stop = [&](const char *why) {
+            ++report.recordsDropped;
+            report.bytesDropped = data.size() - recordStart;
+            report.note = why;
+        };
+        const std::size_t eol = data.find('\n', pos);
+        if (eol == std::string::npos) {
+            stop("torn record header at tail");
+            break;
+        }
+        const std::string header = data.substr(pos, eol - pos);
+        std::istringstream fields(header);
+        char tag = '\0';
+        std::size_t keyLen = 0;
+        std::size_t bodyLen = 0;
+        std::string checksum;
+        if (!(fields >> tag >> keyLen >> bodyLen >> checksum) ||
+            tag != 'R' || checksum.size() != 32) {
+            stop("corrupt record header");
+            break;
+        }
+        const std::size_t payloadStart = eol + 1;
+        // +1 for the record's trailing newline.
+        if (payloadStart + keyLen + bodyLen + 1 > data.size()) {
+            stop("torn record payload at tail");
+            break;
+        }
+        const std::string key = data.substr(payloadStart, keyLen);
+        const std::string body =
+            data.substr(payloadStart + keyLen, bodyLen);
+        if (data[payloadStart + keyLen + bodyLen] != '\n' ||
+            contentHashHex(key + body) != checksum) {
+            stop("record checksum mismatch");
+            break;
+        }
+        entries.emplace_back(key, body);
+        ++report.recordsRecovered;
+        pos = payloadStart + keyLen + bodyLen + 1;
+    }
+    return true;
+}
+
+bool
+CacheJournal::truncateTail(const std::string &path,
+                           std::uint64_t tailBytes, std::string &error)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+        error = "cannot stat journal '" + path +
+                "': " + ec.message();
+        return false;
+    }
+    const std::uint64_t keep = size > tailBytes ? size - tailBytes : 0;
+    std::filesystem::resize_file(path, keep, ec);
+    if (ec) {
+        error = "cannot truncate journal '" + path +
+                "': " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+} // namespace netchar::serve

@@ -289,6 +289,8 @@ class Parser
 bool
 parseJson(std::string_view text, JsonValue &out, std::string &error)
 {
+    // Reused out-params must not leak members from a previous parse.
+    out = JsonValue{};
     return Parser(text).parse(out, error);
 }
 
@@ -445,6 +447,8 @@ parseRequest(const std::string &line)
             if (size == 0)
                 protocolError("'size' must be >= 1");
             request.subsetSize = static_cast<std::size_t>(size);
+        } else if (key == "deadlineMs") {
+            request.deadlineMs = wholeNumber(value, key);
         } else if (key == "options") {
             if (!value.isObject())
                 protocolError("'options' expects an object");
@@ -490,6 +494,8 @@ requestLine(const Request &request)
     os << ",\"format\":" << jsonString(request.format);
     if (request.verb == Verb::Subset)
         os << ",\"size\":" << request.subsetSize;
+    if (request.deadlineMs != 0)
+        os << ",\"deadlineMs\":" << request.deadlineMs;
     const RunOptions &o = request.options;
     os << ",\"options\":{";
     os << "\"warmup\":" << o.warmupInstructions;
@@ -558,6 +564,71 @@ std::string
 errorResponse(const std::string &message)
 {
     return "{\"ok\":false,\"error\":" + jsonString(message) + "}";
+}
+
+std::string
+errorCodeResponse(const std::string &code, const std::string &message,
+                  std::uint64_t retryAfterMs)
+{
+    std::string response = "{\"ok\":false,\"error\":" +
+                           jsonString(message) +
+                           ",\"code\":" + jsonString(code);
+    if (retryAfterMs != 0)
+        response +=
+            ",\"retryAfterMs\":" + std::to_string(retryAfterMs);
+    response += "}";
+    return response;
+}
+
+// ---------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------
+
+void
+LineFramer::feed(std::string_view bytes)
+{
+    if (overflowed_)
+        return; // connection is being torn down; don't buffer more
+    buffer_.append(bytes.data(), bytes.size());
+    if (maxLineBytes_ != 0 && buffer_.find('\n') == std::string::npos &&
+        buffer_.size() > maxLineBytes_) {
+        overflowed_ = true;
+        buffer_.clear();
+    }
+}
+
+bool
+LineFramer::next(std::string &line)
+{
+    if (overflowed_)
+        return false;
+    const std::size_t eol = buffer_.find('\n');
+    if (eol == std::string::npos)
+        return false;
+    if (maxLineBytes_ != 0 && eol > maxLineBytes_) {
+        overflowed_ = true;
+        buffer_.clear();
+        return false;
+    }
+    line.assign(buffer_, 0, eol);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    buffer_.erase(0, eol + 1);
+    // An over-budget partial tail may have arrived in the same chunk
+    // as this line; latch now rather than waiting for the next feed.
+    if (maxLineBytes_ != 0 && buffer_.find('\n') == std::string::npos &&
+        buffer_.size() > maxLineBytes_) {
+        overflowed_ = true;
+        buffer_.clear();
+    }
+    return true;
+}
+
+void
+LineFramer::reset()
+{
+    buffer_.clear();
+    overflowed_ = false;
 }
 
 } // namespace netchar::serve

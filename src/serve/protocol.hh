@@ -26,11 +26,23 @@
  * key — a typoed option must never silently fall back to a default
  * and poison the content-addressed cache with a mislabeled entry.
  *
+ * Any request may also carry "deadlineMs": a per-request time budget
+ * the server sheds against (0 / absent = none). The deadline is
+ * operational metadata, not part of the result's identity, so it is
+ * excluded from the cache key.
+ *
  * Responses:
  *
  *   {"ok":true,"verb":V,...payload...}
  *   {"ok":true,"verb":V,"cache":"hit|miss","key":HEX,"body":...}
  *   {"ok":false,"error":MESSAGE}
+ *   {"ok":false,"error":MESSAGE,"code":CODE[,"retryAfterMs":N]}
+ *
+ * where CODE names a machine-actionable refusal: "overloaded" (shed
+ * by admission control; retry after the hint), "draining" (server is
+ * shutting down; go elsewhere), "deadline" (the request's own budget
+ * expired in queue), "oversized" (request line exceeded the framing
+ * budget).
  *
  * Everything in a response is a pure function of the request and the
  * registry (no wall times, hostnames or pids), which is what makes
@@ -111,6 +123,10 @@ struct Request
     std::string machine = "i9";
     std::string format = "csv"; ///< sweep: csv | json
     std::size_t subsetSize = 8; ///< subset
+    /** Per-request time budget in milliseconds (0 = none). Not part
+     *  of the cache key — a deadline changes whether a result is
+     *  delivered, never what the result is. */
+    std::uint64_t deadlineMs = 0;
     RunOptions options;
 };
 
@@ -146,8 +162,69 @@ std::string okCachedResponse(const std::string &verb, bool hit,
 /** `{"ok":false,"error":MESSAGE}`. */
 std::string errorResponse(const std::string &message);
 
+/**
+ * `{"ok":false,"error":MESSAGE,"code":CODE[,"retryAfterMs":N]}` — a
+ * machine-actionable refusal. `retryAfterMs` is emitted only when
+ * nonzero (the `overloaded` shed path's backoff hint, honored by
+ * serve::Client).
+ */
+std::string errorCodeResponse(const std::string &code,
+                              const std::string &message,
+                              std::uint64_t retryAfterMs = 0);
+
 /** A JSON string literal: quoted + escaped. */
 std::string jsonString(const std::string &raw);
+
+// ---------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------
+
+/**
+ * Incremental NDJSON line framer with a per-line byte budget.
+ *
+ * The daemon feeds raw socket chunks in whatever sizes the transport
+ * delivers them — one byte at a time, several requests merged into
+ * one segment, a frame split across many reads — and next() yields
+ * exactly the complete lines, in order, independent of the chunking
+ * (the adversarial-framing fuzz tests in tests/serve/ sweep every
+ * split point). A '\r' before the delimiter is stripped.
+ *
+ * When a single line grows past `maxLineBytes` (0 = unlimited) the
+ * framer latches overflowed(): no further lines are delivered and
+ * buffered input is discarded, so a peer streaming an unbounded
+ * "line" cannot balloon daemon memory. The caller answers with a
+ * structured `oversized` error and drops the connection.
+ */
+class LineFramer
+{
+  public:
+    explicit LineFramer(std::size_t maxLineBytes = 0)
+        : maxLineBytes_(maxLineBytes)
+    {
+    }
+
+    /** Accept more raw bytes from the transport. */
+    void feed(std::string_view bytes);
+
+    /** Pop the next complete line into `line` (delimiter and any
+     *  trailing '\r' stripped). False when no complete line is
+     *  buffered or the framer has overflowed. */
+    bool next(std::string &line);
+
+    /** True once any line exceeded the byte budget (sticky). */
+    bool overflowed() const { return overflowed_; }
+
+    /** Bytes buffered awaiting a delimiter. */
+    std::size_t buffered() const { return buffer_.size(); }
+
+    /** Forget buffered input and clear the overflow latch. */
+    void reset();
+
+  private:
+    std::string buffer_;
+    std::size_t maxLineBytes_ = 0;
+    bool overflowed_ = false;
+};
 
 } // namespace netchar::serve
 

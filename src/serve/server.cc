@@ -1,15 +1,20 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -95,6 +100,44 @@ sendAll(int fd, const std::string &bytes)
     return true;
 }
 
+/**
+ * Monotonic milliseconds for queue-age and idle-timeout decisions.
+ * These values steer *whether* a request is answered (shed, evict),
+ * never *what* the answer is — they must not flow into a response or
+ * the journal (netchar-lint's taint pass enforces that).
+ */
+std::uint64_t
+monotonicMillis()
+{
+    // netchar-lint: allow(no-wallclock) -- admission/idle timers only
+    using Clock = std::chrono::steady_clock;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+/** Structured shed response for an expired per-request deadline. The
+ *  rendered value is the request's own budget, never a clock. */
+std::string
+deadlineError(std::uint64_t deadlineMs)
+{
+    return errorCodeResponse(
+        "deadline", "deadline of " + std::to_string(deadlineMs) +
+                        "ms expired before the request was served");
+}
+
+/** Async-signal-safe drain request flag: the only thing the
+ *  SIGTERM/SIGINT handler touches. Polled by every serve() loop
+ *  within one tick. */
+volatile std::sig_atomic_t gDrainRequested = 0;
+
+void
+onDrainSignal(int)
+{
+    gDrainRequested = 1;
+}
+
 } // namespace
 
 Server::Server(ServerOptions options)
@@ -127,9 +170,41 @@ Server::start(std::string &error)
                 " needs 0 <= shard < shards";
         return false;
     }
-    if (!options_.persistPath.empty() &&
-        !cache_.load(options_.persistPath, error))
-        return false;
+    if (!options_.persistPath.empty()) {
+        // Recovery order: snapshot checkpoint first (always written
+        // atomically, so a readable file is a trustworthy base),
+        // then replay the insert journal over it. replay() stops at
+        // the first torn or corrupt record — after a crash the
+        // recovered cache is exactly a prefix of the pre-crash
+        // insert sequence, never a corrupt entry, never a refused
+        // start (the kill-at-every-offset sweep in tests/serve/
+        // asserts this).
+        if (!cache_.load(options_.persistPath, error))
+            return false;
+        std::vector<std::pair<std::string, std::string>> replayed;
+        if (!CacheJournal::replay(journalPath(), replayed, recovery_,
+                                  error))
+            return false;
+        for (auto &[key, body] : replayed)
+            cache_.restore(key, std::move(body));
+        if (recovery_.recordsDropped != 0 ||
+            recovery_.bytesDropped != 0)
+            std::fprintf(stderr,
+                         "serve: journal recovery dropped %llu "
+                         "record(s), %llu byte(s): %s\n",
+                         static_cast<unsigned long long>(
+                             recovery_.recordsDropped),
+                         static_cast<unsigned long long>(
+                             recovery_.bytesDropped),
+                         recovery_.note.c_str());
+        // Fold the replayed inserts into a fresh checkpoint and
+        // start with an empty journal.
+        if (!cache_.save(options_.persistPath, error))
+            return false;
+        if (!journal_.open(journalPath(), error) ||
+            !journal_.reset(error))
+            return false;
+    }
 
     // `host:port` (no '/') is TCP; anything else is a socket path.
     const auto colon = options_.listen.rfind(':');
@@ -235,6 +310,18 @@ Server::statsBody() const
        << ",\"shard\":" << options_.shard
        << ",\"shards\":" << options_.shards
        << ",\"jobs\":" << options_.jobs
+       << "},\"admission\":{\"overloaded\":" << counters_.overloaded
+       << ",\"deadlineExpired\":" << counters_.deadlineExpired
+       << ",\"oversized\":" << counters_.oversized
+       << ",\"drained\":" << counters_.drained
+       << ",\"idleEvicted\":" << counters_.idleEvicted
+       << ",\"wireFaults\":" << counters_.wireFaults
+       << "},\"journal\":{\"recovered\":"
+       << recovery_.recordsRecovered
+       << ",\"dropped\":" << recovery_.recordsDropped
+       << ",\"bytesDropped\":" << recovery_.bytesDropped
+       << ",\"checkpoints\":" << counters_.checkpoints
+       << ",\"bytes\":" << journal_.bytes()
        << "},\"cache\":{\"hits\":" << c.hits
        << ",\"misses\":" << c.misses
        << ",\"evictions\":" << c.evictions
@@ -242,6 +329,45 @@ Server::statsBody() const
        << ",\"entries\":" << c.entries << ",\"bytes\":" << c.bytes
        << "}}";
     return os.str();
+}
+
+std::string
+Server::journalPath() const
+{
+    return options_.persistPath + ".journal";
+}
+
+void
+Server::recordInsert(const std::string &key, const std::string &body)
+{
+    cache_.insert(key, body);
+    if (!journal_.isOpen())
+        return;
+    // Journal before the response leaves the daemon: an acknowledged
+    // result is never less durable than its acknowledgment.
+    std::string error;
+    if (!journal_.append(key, body, error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return;
+    }
+    if (options_.checkpointBytes != 0 &&
+        journal_.bytes() > options_.checkpointBytes) {
+        if (!checkpoint(error))
+            std::fprintf(stderr, "serve: %s\n", error.c_str());
+    }
+}
+
+bool
+Server::checkpoint(std::string &error)
+{
+    if (options_.persistPath.empty())
+        return true;
+    if (!cache_.save(options_.persistPath, error))
+        return false;
+    if (journal_.isOpen() && !journal_.reset(error))
+        return false;
+    ++counters_.checkpoints;
+    return true;
 }
 
 std::string
@@ -329,7 +455,7 @@ Server::handleParsed(const Request &request)
             f.index = indices[f.index]; // slice pos -> suite index
 
         std::string body = sweepBodyJson(partial);
-        cache_.insert(key, body);
+        recordInsert(key, body);
         return okCachedResponse("sweep", false, key, body);
     }
 
@@ -395,14 +521,26 @@ Server::handleParsed(const Request &request)
              << '}';
     }
     body << "]}";
-    cache_.insert(key, body.str());
+    recordInsert(key, body.str());
     return okCachedResponse("subset", false, key, body.str());
 }
 
 std::vector<std::string>
-Server::handleBatch(const std::vector<std::string> &lines)
+Server::handleBatch(const std::vector<std::string> &lines,
+                    const std::vector<std::uint64_t> *enqueuedAtMs)
 {
     counters_.requests += lines.size();
+    if (draining_) {
+        // Drain contract: in-flight batches finished before this
+        // one was formed; everything newer is refused with a
+        // structured error so the client fails over.
+        counters_.drained += lines.size();
+        return std::vector<std::string>(
+            lines.size(),
+            errorCodeResponse("draining",
+                              "server is draining; retry against "
+                              "another replica"));
+    }
     std::vector<std::string> responses(lines.size());
 
     struct Parsed
@@ -439,6 +577,12 @@ Server::handleBatch(const std::vector<std::string> &lines)
         if (!parsed[i].ok || parsed[i].request.verb != Verb::Run)
             continue;
         const Request &r = parsed[i].request;
+        if (enqueuedAtMs != nullptr && r.deadlineMs != 0 &&
+            monotonicMillis() - (*enqueuedAtMs)[i] > r.deadlineMs) {
+            ++counters_.deadlineExpired;
+            responses[i] = deadlineError(r.deadlineMs);
+            continue;
+        }
         const auto profile = wl::findProfile(r.benchmark);
         if (!profile) {
             ++counters_.errors;
@@ -482,7 +626,7 @@ Server::handleBatch(const std::vector<std::string> &lines)
                     responses[i] = errorResponse("run: " + job.error);
                 continue;
             }
-            cache_.insert(job.key, job.body);
+            recordInsert(job.key, job.body);
             for (const std::size_t i : job.lines)
                 responses[i] =
                     okCachedResponse("run", false, job.key, job.body);
@@ -490,10 +634,20 @@ Server::handleBatch(const std::vector<std::string> &lines)
     }
 
     // Everything else answers inline, in request order (sweeps and
-    // subsets parallelize internally through runAll).
+    // subsets parallelize internally through runAll). Each inline
+    // request re-checks its deadline here: the run fan-out and the
+    // inline requests ahead of it may have consumed its budget.
     for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (responses[i].empty() && parsed[i].ok)
-            responses[i] = handleParsed(parsed[i].request);
+        if (!responses[i].empty() || !parsed[i].ok)
+            continue;
+        const Request &r = parsed[i].request;
+        if (enqueuedAtMs != nullptr && r.deadlineMs != 0 &&
+            monotonicMillis() - (*enqueuedAtMs)[i] > r.deadlineMs) {
+            ++counters_.deadlineExpired;
+            responses[i] = deadlineError(r.deadlineMs);
+            continue;
+        }
+        responses[i] = handleParsed(r);
     }
     return responses;
 }
@@ -504,72 +658,272 @@ Server::handleLine(const std::string &line)
     return handleBatch({line}).front();
 }
 
+void
+Server::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    closeListener(); // stop accepting; connect attempts fail over
+}
+
+void
+Server::installDrainSignalHandlers()
+{
+    struct sigaction action = {};
+    action.sa_handler = onDrainSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: poll() wakes promptly
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+}
+
+void
+Server::flushHeld(Connection &conn)
+{
+    if (!conn.open || conn.held.empty())
+        return;
+    std::string held = std::move(conn.held);
+    conn.held.clear();
+    if (!sendAll(conn.fd, held))
+        conn.open = false;
+}
+
+void
+Server::deliverResponse(Connection &conn, const std::string &frame)
+{
+    WireFaultDecision fault;
+    if (options_.chaosWire.enabled()) {
+        fault = options_.chaosWire.decide(responseSequence_);
+        if (fault)
+            ++counters_.wireFaults;
+    }
+    ++responseSequence_;
+
+    if (fault.kind == WireFaultKind::TruncateJournal &&
+        journal_.isOpen()) {
+        // Torn-write chaos: chop bytes off the journal tail. The
+        // next start's replay drops the torn record and recomputes
+        // on demand — chaos costs cache warmth, never correctness.
+        std::string error;
+        if (!CacheJournal::truncateTail(journal_.path(),
+                                        fault.truncateBytes, error))
+            std::fprintf(stderr, "serve: %s\n", error.c_str());
+    }
+
+    if (!conn.open)
+        return;
+
+    // Bytes withheld by an earlier MergeFrames fault always travel
+    // in front of this frame — order on the wire never changes.
+    std::string outbound = std::move(conn.held);
+    conn.held.clear();
+
+    if (fault.kind == WireFaultKind::MergeFrames) {
+        // Withhold the frame: it coalesces with this connection's
+        // next frame into one segment, or goes out at the next
+        // poll-tick flush.
+        conn.held = frame;
+        if (!outbound.empty() && !sendAll(conn.fd, outbound))
+            conn.open = false;
+        return;
+    }
+
+    if (fault.kind == WireFaultKind::StallWrite)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(fault.stallMicros));
+
+    if (fault.kind == WireFaultKind::ResetMidResponse) {
+        outbound += frame.substr(
+            0, std::min<std::size_t>(fault.resetAfterBytes,
+                                     frame.size()));
+        sendAll(conn.fd, outbound);
+        conn.open = false; // torn frame: the peer must retry
+        return;
+    }
+
+    outbound += frame;
+    if (fault.kind == WireFaultKind::SplitWrite) {
+        for (std::size_t off = 0; off < outbound.size();
+             off += fault.chunkBytes) {
+            if (!sendAll(conn.fd,
+                         outbound.substr(off, fault.chunkBytes))) {
+                conn.open = false;
+                return;
+            }
+        }
+        return;
+    }
+    if (!outbound.empty() && !sendAll(conn.fd, outbound))
+        conn.open = false;
+}
+
 int
 Server::serve()
 {
+    // Finite poll tick: the loop must wake to notice a drain
+    // request, flush merge-held bytes and evict idle peers even
+    // when no traffic arrives.
+    constexpr int kTickMs = 50;
     std::vector<Connection> conns;
     while (true) {
+        if (!draining_ && gDrainRequested != 0) {
+            gDrainRequested = 0; // consume: one signal, one drain
+            beginDrain();
+        }
+
+        const bool listening = listenFd_ >= 0;
         std::vector<pollfd> fds;
-        fds.push_back({listenFd_, POLLIN, 0});
+        if (listening)
+            fds.push_back({listenFd_, POLLIN, 0});
         for (const Connection &conn : conns)
             fds.push_back({conn.fd, POLLIN, 0});
-        if (::poll(fds.data(), fds.size(), -1) < 0) {
+        if (::poll(fds.data(), fds.size(), kTickMs) < 0) {
             if (errno == EINTR)
                 continue;
             std::fprintf(stderr, "serve: poll: %s\n",
                          std::strerror(errno));
             return 1;
         }
+        const std::uint64_t nowMs = monotonicMillis();
+        const std::size_t base = listening ? 1 : 0;
 
-        if ((fds[0].revents & POLLIN) != 0) {
+        // Merge-held bytes from the previous round go out first:
+        // a withheld frame is delayed at most one tick.
+        for (Connection &conn : conns)
+            flushHeld(conn);
+
+        if (listening && (fds[0].revents & POLLIN) != 0) {
             const int fd = ::accept(listenFd_, nullptr, nullptr);
             if (fd >= 0) {
-                conns.push_back({fd, "", true});
+                if (options_.idleTimeoutMs != 0) {
+                    // Bound writes too: a peer that stops reading
+                    // is evicted by the send timeout.
+                    timeval tv{};
+                    tv.tv_sec = static_cast<time_t>(
+                        options_.idleTimeoutMs / 1000);
+                    tv.tv_usec = static_cast<suseconds_t>(
+                        (options_.idleTimeoutMs % 1000) * 1000);
+                    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                                 sizeof(tv));
+                }
+                Connection conn;
+                conn.fd = fd;
+                conn.framer = LineFramer(options_.maxLineBytes);
+                conn.lastActivityMs = nowMs;
+                conns.push_back(std::move(conn));
                 ++counters_.connections;
             }
         }
 
         // Gather this round's complete lines across every readable
-        // connection into one batch.
-        std::vector<std::string> lines;
-        std::vector<std::size_t> owner;
-        for (std::size_t c = 0; c + 1 < fds.size(); ++c) {
+        // connection, applying admission control in arrival order:
+        // lines beyond the per-round request/byte budgets are shed
+        // immediately with `overloaded` instead of queueing.
+        struct PendingLine
+        {
+            std::size_t conn = 0;
+            std::string text;
+            std::string shed; ///< pre-resolved response ("" = admit)
+        };
+        std::vector<PendingLine> pending;
+        std::size_t admitted = 0;
+        std::uint64_t admittedBytes = 0;
+        for (std::size_t c = 0; base + c < fds.size(); ++c) {
             Connection &conn = conns[c];
-            const short events = fds[c + 1].revents;
-            if ((events & (POLLIN | POLLHUP | POLLERR)) == 0)
-                continue;
-            char buf[4096];
-            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
-            if (n == 0) {
-                conn.open = false;
-                continue;
-            }
-            if (n < 0) {
-                if (errno != EINTR && errno != EAGAIN)
+            const short events = fds[base + c].revents;
+            if ((events & (POLLIN | POLLHUP | POLLERR)) != 0) {
+                char buf[4096];
+                const ssize_t n =
+                    ::recv(conn.fd, buf, sizeof(buf), 0);
+                if (n == 0) {
                     conn.open = false;
-                continue;
+                } else if (n < 0) {
+                    if (errno != EINTR && errno != EAGAIN)
+                        conn.open = false;
+                } else {
+                    conn.lastActivityMs = nowMs;
+                    conn.framer.feed(
+                        {buf, static_cast<std::size_t>(n)});
+                }
             }
-            conn.in.append(buf, static_cast<std::size_t>(n));
-            std::size_t nl = 0;
-            while ((nl = conn.in.find('\n')) != std::string::npos) {
-                std::string line = conn.in.substr(0, nl);
-                conn.in.erase(0, nl + 1);
-                if (!line.empty() && line.back() == '\r')
-                    line.pop_back();
-                lines.push_back(std::move(line));
-                owner.push_back(c);
+            if (!conn.open)
+                continue;
+            std::string line;
+            while (conn.framer.next(line)) {
+                PendingLine p;
+                p.conn = c;
+                p.text = std::move(line);
+                const bool overRequests =
+                    options_.maxBatchRequests != 0 &&
+                    admitted >= options_.maxBatchRequests;
+                const bool overBytes =
+                    options_.maxBatchBytes != 0 &&
+                    admittedBytes + p.text.size() >
+                        options_.maxBatchBytes;
+                if (!draining_ && (overRequests || overBytes)) {
+                    ++counters_.requests;
+                    ++counters_.overloaded;
+                    p.shed = errorCodeResponse(
+                        "overloaded",
+                        "server at capacity; retry after the hint",
+                        options_.retryAfterMs);
+                } else {
+                    ++admitted;
+                    admittedBytes += p.text.size();
+                }
+                pending.push_back(std::move(p));
+            }
+            if (conn.framer.overflowed()) {
+                ++counters_.requests;
+                ++counters_.oversized;
+                ++counters_.errors;
+                deliverResponse(
+                    conn,
+                    errorCodeResponse(
+                        "oversized",
+                        "request line exceeds " +
+                            std::to_string(options_.maxLineBytes) +
+                            " bytes") +
+                        "\n");
+                conn.open = false;
             }
         }
 
-        if (!lines.empty()) {
-            const auto responses = handleBatch(lines);
-            std::vector<std::string> out(conns.size());
-            for (std::size_t i = 0; i < responses.size(); ++i)
-                out[owner[i]] += responses[i] + "\n";
-            for (std::size_t c = 0; c < conns.size(); ++c) {
-                if (conns[c].open && !out[c].empty() &&
-                    !sendAll(conns[c].fd, out[c]))
-                    conns[c].open = false;
+        if (!pending.empty()) {
+            std::vector<std::string> lines;
+            std::vector<std::uint64_t> enqueuedAt;
+            constexpr std::size_t kShed = SIZE_MAX;
+            std::vector<std::size_t> slot(pending.size(), kShed);
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                if (!pending[i].shed.empty())
+                    continue;
+                slot[i] = lines.size();
+                lines.push_back(pending[i].text);
+                enqueuedAt.push_back(nowMs);
+            }
+            std::vector<std::string> responses;
+            if (!lines.empty())
+                responses = handleBatch(lines, &enqueuedAt);
+            // Answer in arrival order per connection: shed and
+            // computed responses interleave exactly as requested.
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                const std::string &response =
+                    slot[i] == kShed ? pending[i].shed
+                                     : responses[slot[i]];
+                deliverResponse(conns[pending[i].conn],
+                                response + "\n");
+            }
+        }
+
+        if (options_.idleTimeoutMs != 0) {
+            for (Connection &conn : conns) {
+                if (conn.open &&
+                    nowMs - conn.lastActivityMs >
+                        options_.idleTimeoutMs) {
+                    ++counters_.idleEvicted;
+                    conn.open = false;
+                }
             }
         }
 
@@ -582,19 +936,22 @@ Server::serve()
             }
         }
 
-        if (stopping_)
+        if (stopping_ || draining_)
             break;
     }
 
-    for (const Connection &conn : conns)
+    for (Connection &conn : conns) {
+        flushHeld(conn);
         ::close(conn.fd);
+    }
     closeListener();
     if (!options_.persistPath.empty()) {
         std::string error;
-        if (!cache_.save(options_.persistPath, error)) {
+        if (!checkpoint(error)) {
             std::fprintf(stderr, "serve: %s\n", error.c_str());
             return 1;
         }
+        journal_.close();
     }
     return 0;
 }

@@ -122,6 +122,16 @@ usage()
         "  --cache-entries N       result-cache entries (def. 256)\n"
         "  --cache-bytes N         result-cache byte budget\n"
         "  --cache-persist FILE    load/save the cache on start/stop\n"
+        "                          (insert journal at FILE.journal)\n"
+        "  --max-pending N         requests admitted per poll round;\n"
+        "                          excess shed with `overloaded`\n"
+        "  --max-pending-bytes N   request bytes admitted per round\n"
+        "  --max-line-bytes N      longest accepted request line\n"
+        "  --retry-after-ms N      overloaded retry hint (def. 25)\n"
+        "  --idle-timeout-ms N     evict silent peers (def. 30000)\n"
+        "  --checkpoint-bytes N    journal bytes before compaction\n"
+        "  --chaos-wire SPEC       seeded wire faults, e.g. rate=\n"
+        "                          0.25,kinds=split+reset,seed=9\n"
         "query options:\n"
         "  --verb V                ping|run|sweep|subset|stats|\n"
         "                          shutdown (default ping)\n"
@@ -132,6 +142,9 @@ usage()
         "                          `netchar suite` would print\n"
         "  --retries N             attempts per request (default 5)\n"
         "  --backoff-us N          retry backoff base, microseconds\n"
+        "  --deadline-ms N         overall budget across retries;\n"
+        "                          also sent as the request deadline\n"
+        "  --io-timeout-ms N       per-send/recv timeout\n"
         "  (plus --machine/--format/--size and run options above)\n"
         "exit codes: 0 clean, 1 usage/total failure, 2 partial\n"
         "see docs/CLI.md for details and example transcripts\n");
@@ -717,7 +730,29 @@ cmdServe(int argc, char **argv)
             sopts.cache.maxBytes = nextNumber();
         else if (arg == "--cache-persist")
             sopts.persistPath = next();
-        else {
+        else if (arg == "--max-pending")
+            sopts.maxBatchRequests =
+                static_cast<std::size_t>(nextNumber());
+        else if (arg == "--max-pending-bytes")
+            sopts.maxBatchBytes = nextNumber();
+        else if (arg == "--max-line-bytes")
+            sopts.maxLineBytes =
+                static_cast<std::size_t>(nextNumber());
+        else if (arg == "--retry-after-ms")
+            sopts.retryAfterMs = nextNumber();
+        else if (arg == "--idle-timeout-ms")
+            sopts.idleTimeoutMs = nextNumber();
+        else if (arg == "--checkpoint-bytes")
+            sopts.checkpointBytes = nextNumber();
+        else if (arg == "--chaos-wire") {
+            try {
+                sopts.chaosWire = WireFaultPlan::parse(next());
+            } catch (const std::exception &ex) {
+                std::fprintf(stderr, "netchar serve: %s\n",
+                             ex.what());
+                return EXIT_FAILURE;
+            }
+        } else {
             std::fprintf(stderr, "netchar: unknown option '%s'\n\n",
                          arg.c_str());
             return usage();
@@ -735,6 +770,10 @@ cmdServe(int argc, char **argv)
         std::fprintf(stderr, "netchar serve: %s\n", error.c_str());
         return EXIT_FAILURE;
     }
+    // SIGTERM/SIGINT drain gracefully: in-flight work finishes, new
+    // work is refused with `draining`, the cache is checkpointed,
+    // and serve() returns 0.
+    serve::Server::installDrainSignalHandlers();
     // Scripts scrape this line for the bound address (port 0 picks
     // a free port); keep it the first thing on stdout.
     std::printf("LISTENING %s\n", server.address().c_str());
@@ -839,6 +878,13 @@ cmdQuery(int argc, char **argv)
                 static_cast<unsigned>(nextNumber());
         else if (arg == "--backoff-us")
             copts.backoffBaseMicros = nextNumber();
+        else if (arg == "--deadline-ms") {
+            // One budget, both ends: the client stops retrying and
+            // the server sheds the request once it expires in queue.
+            copts.deadlineMs = nextNumber();
+            req.deadlineMs = copts.deadlineMs;
+        } else if (arg == "--io-timeout-ms")
+            copts.ioTimeoutMs = nextNumber();
         else {
             std::fprintf(stderr, "netchar: unknown option '%s'\n\n",
                          arg.c_str());
