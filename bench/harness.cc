@@ -872,6 +872,11 @@ ciGates()
          "timers) must be invisible on the uncontended fast path: "
          "overload protection that taxes normal serving would just "
          "move the overload"},
+        {"LNT-01", "lint_overhead", "concurrency_ratio",
+         GateKind::MaxAbsolute, 2.0, 0,
+         "the CFG/lockset concurrency pass must stay within 2x of "
+         "taint-only lint, or build-time race detection gets "
+         "dropped from the default CI lint step"},
     };
     return gates;
 }

@@ -5,6 +5,25 @@
 namespace netchar::lint
 {
 
+namespace
+{
+
+/** True when qualified name `def` ends with the `::` components of
+ *  `call` (`a::ns::f` matches call spelling `ns::f` and `f`). */
+bool
+suffixMatches(const std::string &def, const std::string &call)
+{
+    if (def == call)
+        return true;
+    if (def.size() <= call.size())
+        return false;
+    return def.compare(def.size() - call.size(), call.size(),
+                       call) == 0 &&
+           def.compare(def.size() - call.size() - 2, 2, "::") == 0;
+}
+
+} // namespace
+
 CallGraph::CallGraph(const std::vector<FileModel> &files)
 {
     for (std::size_t fi = 0; fi < files.size(); ++fi) {
@@ -12,10 +31,22 @@ CallGraph::CallGraph(const std::vector<FileModel> &files)
         for (std::size_t gi = 0; gi < file.functions.size(); ++gi) {
             const FunctionModel &fn = file.functions[gi];
             defs_[fn.name].push_back({fi, gi});
-            for (const Statement &st : fn.stmts)
-                for (const CallSite &call : st.calls)
-                    callers_[call.callee].push_back({fi, gi});
+            defQualified_[fn.name].push_back(
+                fn.qualified.empty() ? fn.name : fn.qualified);
         }
+    }
+    // Second pass, once every definition is known: caller edges and
+    // the resolved/unresolved link statistics.
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const FileModel &file = files[fi];
+        for (std::size_t gi = 0; gi < file.functions.size(); ++gi)
+            for (const Statement &st : file.functions[gi].stmts)
+                for (const CallSite &call : st.calls) {
+                    callers_[call.callee].push_back({fi, gi});
+                    ++stats_.callSites;
+                    if (resolve(call).empty())
+                        ++stats_.unresolvedCalls;
+                }
     }
     // A function calling `f` twice is one caller edge.
     for (auto &[name, refs] : callers_) {
@@ -30,6 +61,28 @@ CallGraph::definitionsOf(const std::string &name) const
 {
     const auto it = defs_.find(name);
     return it == defs_.end() ? empty_ : it->second;
+}
+
+std::vector<FunctionRef>
+CallGraph::resolve(const CallSite &call) const
+{
+    const auto it = defs_.find(call.callee);
+    if (it == defs_.end())
+        return {};
+    const std::vector<FunctionRef> &all = it->second;
+    if (call.qualified.empty() || call.qualified == call.callee)
+        return all;
+    const std::vector<std::string> &quals =
+        defQualified_.at(call.callee);
+    std::vector<FunctionRef> out;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        if (suffixMatches(quals[i], call.qualified))
+            out.push_back(all[i]);
+    // Definitions written inside `namespace ns { ... }` carry no
+    // `ns::` in their spelling, so a qualified call may match none
+    // of them textually; keep the conservative bare-name link set
+    // rather than dropping the edge.
+    return out.empty() ? all : out;
 }
 
 const std::vector<FunctionRef> &

@@ -44,6 +44,15 @@ struct FunctionRef
     }
 };
 
+/** Link statistics, surfaced in the JSON report (schema v3): how
+ *  many call sites exist and how many failed to link to any
+ *  definition in the analyzed set. */
+struct CallGraphStats
+{
+    std::size_t callSites = 0;
+    std::size_t unresolvedCalls = 0;
+};
+
 /** Name → definitions and name → callers, over a parsed file set. */
 class CallGraph
 {
@@ -54,14 +63,29 @@ class CallGraph
     const std::vector<FunctionRef> &
     definitionsOf(const std::string &name) const;
 
+    /**
+     * Definitions a call site can reach, in file order. A call
+     * written with a qualifier (`serve::parseJson(...)`) links only
+     * to definitions whose own qualified spelling ends with the
+     * same `::` components, so `ns::f()` no longer links to every
+     * unrelated `f`. Bare and member calls keep the conservative
+     * all-definitions-of-the-name behavior.
+     */
+    std::vector<FunctionRef> resolve(const CallSite &call) const;
+
     /** Functions containing a call to `name`, in file order. */
     const std::vector<FunctionRef> &
     callersOf(const std::string &name) const;
 
+    const CallGraphStats &stats() const { return stats_; }
+
   private:
     std::map<std::string, std::vector<FunctionRef>> defs_;
+    /** Qualified spelling of each definition, parallel to defs_. */
+    std::map<std::string, std::vector<std::string>> defQualified_;
     std::map<std::string, std::vector<FunctionRef>> callers_;
     std::vector<FunctionRef> empty_;
+    CallGraphStats stats_;
 };
 
 } // namespace netchar::lint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-function control-flow graphs for netchar-lint.
+ *
+ * The declaration-level parser (parser.hh) flattens control
+ * structure away — good enough for taint, useless for path
+ * questions like "is the mutex released on every exit?". This
+ * builder re-walks a function's body token range and recovers basic
+ * blocks over the same token stream the rest of the linter uses:
+ *
+ *  - `if`/`else` fork the current block and re-join after;
+ *  - `while`/`for` get a dedicated loop-head block with a back
+ *    edge from the body and an exit edge past the loop;
+ *  - `do`/`while` place the condition after the body, so the body
+ *    always runs at least once;
+ *  - `switch` fans out from the header to every `case`/`default`
+ *    section, with fallthrough edges between adjacent sections and
+ *    `break` edges to the block after the switch;
+ *  - `return` edges to the dedicated exit block; `break`/`continue`
+ *    edge to their enclosing construct;
+ *  - `try` bodies are inlined; each `catch` block is modeled as an
+ *    optional branch that re-joins after the handler.
+ *
+ * Brace groups in expression position (lambda bodies, brace
+ * initializers) are skipped as part of the statement that contains
+ * them: a lambda's control flow belongs to its eventual caller, not
+ * to the enclosing function's CFG.
+ *
+ * Determinism contract (same as every lint layer): blocks are
+ * numbered in source order, block 0 is the entry, block 1 the
+ * single exit, successor lists are sorted and de-duplicated —
+ * building the same function twice yields identical graphs.
+ */
+
+#ifndef NETCHAR_LINT_CFG_HH
+#define NETCHAR_LINT_CFG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/parser.hh"
+
+namespace netchar::lint
+{
+
+/** One statement of a basic block: a half-open token range plus the
+ *  position of its first token. Control headers (`if (cond)`,
+ *  `for (init; cond; step)`) are statements of the block that
+ *  evaluates them. */
+struct CfgStmt
+{
+    std::size_t begin = 0; ///< first token index
+    std::size_t end = 0;   ///< one past the last token
+    int line = 0;
+    int column = 0;
+};
+
+/** A maximal straight-line run of statements. */
+struct BasicBlock
+{
+    std::vector<CfgStmt> stmts;
+    /** Successor block indices, sorted ascending, de-duplicated. */
+    std::vector<std::size_t> succs;
+    /** True when the block is reachable from the entry block. */
+    bool reachable = false;
+};
+
+/** The per-function graph. Block 0 is the entry (it may already
+ *  hold statements); block 1 is the single empty exit block every
+ *  `return` — and the fall-off-the-end path — edges into. */
+struct Cfg
+{
+    std::vector<BasicBlock> blocks;
+    static constexpr std::size_t kEntry = 0;
+    static constexpr std::size_t kExit = 1;
+
+    /** Total number of edges, for tests and diagnostics. */
+    std::size_t edgeCount() const;
+};
+
+/** Build the CFG for the body token range [bodyOpen, bodyClose)
+ *  (the braces themselves are not part of any statement). */
+Cfg buildCfg(const std::vector<Token> &tokens, std::size_t bodyOpen,
+             std::size_t bodyClose);
+
+/** Convenience: build the CFG of a parsed function. */
+Cfg buildCfg(const FileModel &file, const FunctionModel &fn);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_CFG_HH

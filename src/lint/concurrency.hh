@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lockset dataflow and escape analysis: build-time race detection.
+ *
+ * TSan only vets the interleavings the tests happen to execute;
+ * this pass makes the absence of data races a property of the
+ * build. It runs a forward dataflow over the per-function CFGs
+ * (cfg.hh), computing at every program point the set of held lock
+ * resources as a (must, may) pair:
+ *
+ *   must — locks held on EVERY path reaching the point (set
+ *          intersection at joins): the safety the code can rely on;
+ *   may  — locks held on SOME path (set union at joins): the basis
+ *          for double-lock and leak diagnostics.
+ *
+ * The lattice is the powerset of the function's lock resources,
+ * ordered by inclusion; transfer functions add and remove single
+ * elements, so the fixpoint terminates in O(blocks × resources).
+ * Resources are named by their receiver spelling (`mu`,
+ * `state.mu`); RAII guards (`lock_guard`, `scoped_lock`,
+ * `unique_lock`) acquire at their declaration and are modeled as
+ * held until function exit — a deliberate approximation (block
+ * scopes are not tracked) that can only miss findings, never
+ * invent them. `unique_lock` receivers may `.lock()`/`.unlock()`
+ * freely: the guard's destructor makes that discipline safe.
+ *
+ * Combined with the call graph, the pass computes an *escape set*:
+ * functions reachable from `core::Executor` task submissions
+ * (`forEach`/`forEachCollect` call sites, plus everything defined
+ * in the executor implementation itself — the thread entry
+ * universe). Writes in escaped code are the race surface.
+ *
+ * Five severity-ranked rules, all carrying SARIF codeFlows:
+ *
+ *  race-shared-write (error)  write to a mutable static or a
+ *      by-reference-captured enclosing local, in escaped code,
+ *      with an empty must-lockset
+ *  lock-leak (error)          raw `.lock()` with no `.unlock()` on
+ *      some path to the function exit
+ *  guard-discipline (error)   double-lock, or unlock-without-lock,
+ *      along any path
+ *  atomic-mixed-access (warning)  one object accessed both
+ *      atomically (`.load()`/`.store()`/`atomic_ref`) and plainly
+ *  flow-unchecked-error (warning) a bool error-carrying return
+ *      discarded in serve/journal code
+ *
+ * Suppression uses the existing token pragma machinery: a
+ * well-formed `allow(<rule>) -- <reason>` comment on the finding
+ * line (or the line above) silences it and counts as suppressed.
+ * Reports are byte-identical across runs and enumeration orders —
+ * the pass walks files in their (already sorted) input order only.
+ */
+
+#ifndef NETCHAR_LINT_CONCURRENCY_HH
+#define NETCHAR_LINT_CONCURRENCY_HH
+
+#include <string_view>
+#include <vector>
+
+#include "lint/callgraph.hh"
+#include "lint/parser.hh"
+#include "lint/rules.hh"
+
+namespace netchar::lint
+{
+
+/** Outcome of the concurrency pass over one parsed file set. */
+struct ConcurrencyAnalysis
+{
+    /** Findings in emission order (the caller sorts). Each carries
+     *  Finding::function and Finding::lockset for the JSON
+     *  `locksets` array. */
+    std::vector<Finding> findings;
+    /** Findings an allow() pragma silenced. */
+    std::size_t suppressed = 0;
+    /** Functions reachable from executor task submissions. */
+    std::size_t escapedFunctions = 0;
+};
+
+/** The concurrency rule namespace, fixed order. These are valid
+ *  names inside allow(...). */
+const std::vector<std::string_view> &concurrencyRuleNames();
+
+/** True when `name` names a concurrency rule (pragma validation). */
+bool isConcurrencyRuleName(std::string_view name);
+
+/** One-line description, for --list-rules and SARIF metadata. */
+std::string_view concurrencyRuleSummary(std::string_view rule);
+
+/** Severity of a concurrency rule. */
+Severity concurrencyRuleSeverity(std::string_view rule);
+
+/** Run the pass. `files` must already be in sorted path order;
+ *  `graph` must have been built over the same `files`. */
+ConcurrencyAnalysis
+analyzeConcurrency(const std::vector<FileModel> &files,
+                   const CallGraph &graph);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_CONCURRENCY_HH

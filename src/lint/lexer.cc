@@ -348,7 +348,19 @@ lex(std::string_view source)
             std::string text;
             while (!c.done()) {
                 const char d = c.peek();
-                if (isIdentChar(d) || d == '.' || d == '\'') {
+                if (isIdentChar(d) || d == '.') {
+                    text += d;
+                    c.advance();
+                    continue;
+                }
+                // C++14 digit separator: a `'` continues the
+                // pp-number only when followed by an alphanumeric
+                // (`1'000'000`, `0xDEAD'BEEF`). A bare `'` after a
+                // digit opens a character literal instead, and
+                // swallowing it would desync every later token —
+                // and with them pragma line attribution.
+                if (d == '\'' && (isDigit(c.peek(1)) ||
+                                  isIdentChar(c.peek(1)))) {
                     text += d;
                     c.advance();
                     continue;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/concurrency.hh"
 #include "lint/parser.hh"
 #include "lint/taint.hh"
 #include "stats/textio.hh"
@@ -129,7 +130,8 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
                 }
                 continue;
             }
-            if (!isRuleName(rule)) {
+            if (!isRuleName(rule) &&
+                !isConcurrencyRuleName(rule)) {
                 Finding f;
                 f.file = path;
                 f.line = pragma.line;
@@ -176,6 +178,7 @@ lintSource(const std::string &path, std::string_view content)
 {
     LintOptions opts;
     opts.taint = false;
+    opts.concurrency = false;
     return lintSources({{path, std::string(content)}}, opts);
 }
 
@@ -192,8 +195,9 @@ lintSources(std::vector<SourceBuffer> sources,
               });
 
     LintResult result;
+    const bool crossFile = opts.taint || opts.concurrency;
     std::vector<FileModel> models;
-    if (opts.taint)
+    if (crossFile)
         models.reserve(sources.size());
     for (const SourceBuffer &src : sources) {
         LexedFile lexed = lex(src.content);
@@ -203,15 +207,30 @@ lintSources(std::vector<SourceBuffer> sources,
                 rule->check(src.path, lexed, found);
         applyPragmas(src.path, lexed, found, result);
         ++result.filesScanned;
-        if (opts.taint)
+        if (crossFile)
             models.push_back(parseFile(src.path, std::move(lexed)));
     }
 
-    if (opts.taint) {
-        TaintAnalysis taint = analyzeTaint(models);
-        for (Finding &f : taint.flows)
-            result.findings.push_back(std::move(f));
-        result.suppressedCount += taint.suppressed;
+    if (crossFile) {
+        // One call graph feeds both cross-file passes; its link
+        // statistics surface in the schema-v3 report either way.
+        const CallGraph graph(models);
+        result.callSites = graph.stats().callSites;
+        result.unresolvedCalls = graph.stats().unresolvedCalls;
+        if (opts.taint) {
+            TaintAnalysis taint = analyzeTaint(models, graph);
+            for (Finding &f : taint.flows)
+                result.findings.push_back(std::move(f));
+            result.suppressedCount += taint.suppressed;
+        }
+        if (opts.concurrency) {
+            ConcurrencyAnalysis conc =
+                analyzeConcurrency(models, graph);
+            for (Finding &f : conc.findings)
+                result.findings.push_back(std::move(f));
+            result.suppressedCount += conc.suppressed;
+            result.escapedFunctions = conc.escapedFunctions;
+        }
     }
 
     sortFindings(result.findings);
@@ -319,11 +338,15 @@ renderJson(const LintResult &result)
         else
             ++nwarning;
     }
-    out << "{\n  \"version\": 2,\n  \"filesScanned\": "
+    out << "{\n  \"version\": 3,\n  \"filesScanned\": "
         << result.filesScanned
         << ",\n  \"suppressed\": " << result.suppressedCount
         << ",\n  \"counts\": {\"error\": " << nerror
         << ", \"warning\": " << nwarning
+        << "},\n  \"callGraph\": {\"callSites\": "
+        << result.callSites
+        << ", \"unresolvedCalls\": " << result.unresolvedCalls
+        << ", \"escapedFunctions\": " << result.escapedFunctions
         << "},\n  \"findings\": [";
     bool first = true;
     for (const Finding &f : result.findings) {
@@ -358,6 +381,25 @@ renderJson(const LintResult &result)
         out << (firstHop ? "]}" : "\n    ]}");
         first = false;
     }
+    out << (first ? "]" : "\n  ]") << ",\n  \"locksets\": [";
+    first = true;
+    for (const Finding &f : result.findings) {
+        if (!isConcurrencyRuleName(f.rule))
+            continue;
+        out << (first ? "\n" : ",\n")
+            << "    {\"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"function\": \""
+            << jsonEscape(f.function) << "\", \"held\": [";
+        bool firstHeld = true;
+        for (const std::string &r : f.lockset) {
+            out << (firstHeld ? "" : ", ") << '"' << jsonEscape(r)
+                << '"';
+            firstHeld = false;
+        }
+        out << "]}";
+        first = false;
+    }
     out << (first ? "]\n}\n" : "\n  ]\n}\n");
     return out.str();
 }
@@ -374,6 +416,10 @@ listRulesText()
            "unknown rule\n";
     for (const std::string_view fr : flowRuleNames())
         out << fr << " (error): " << flowRuleSummary(fr) << '\n';
+    for (const std::string_view cr : concurrencyRuleNames())
+        out << cr << " ("
+            << severityName(concurrencyRuleSeverity(cr))
+            << "): " << concurrencyRuleSummary(cr) << '\n';
     return out.str();
 }
 

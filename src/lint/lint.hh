@@ -46,9 +46,16 @@ struct LintResult
      *  Flow findings carry their source→…→sink path. */
     std::vector<Finding> findings;
     /** How many findings valid pragmas suppressed (token findings
-     *  plus sanitized flows). */
+     *  plus sanitized flows and silenced concurrency findings). */
     std::size_t suppressedCount = 0;
     std::size_t filesScanned = 0;
+    /** Call-graph link statistics (schema v3 `callGraph` object);
+     *  zero when neither cross-file pass ran. */
+    std::size_t callSites = 0;
+    std::size_t unresolvedCalls = 0;
+    /** Functions the concurrency pass proved reachable from
+     *  executor task submissions. */
+    std::size_t escapedFunctions = 0;
     /** True when any finding has Severity::Error. */
     bool hasError() const;
 };
@@ -58,6 +65,8 @@ struct LintOptions
 {
     /** Run the flow-aware taint pass (on by default). */
     bool taint = true;
+    /** Run the CFG/lockset concurrency pass (on by default). */
+    bool concurrency = true;
 };
 
 /** One in-memory source buffer with the path it pretends to live
@@ -99,12 +108,14 @@ LintResult lintPaths(const std::vector<std::string> &paths,
  *  by their indented hop lines) plus a summary line. */
 std::string renderText(const LintResult &result);
 
-/** Render the machine-readable JSON report (schema version 2:
- *  adds the `flows` array of taint paths). */
+/** Render the machine-readable JSON report (schema version 3:
+ *  v2 added the `flows` array of taint paths; v3 adds the
+ *  `callGraph` link statistics and the `locksets` array carried
+ *  by concurrency findings). */
 std::string renderJson(const LintResult &result);
 
 /** One line per registered rule — token rules, the reserved
- *  bad-pragma rule, then the flow rules. */
+ *  bad-pragma rule, the flow rules, then the concurrency rules. */
 std::string listRulesText();
 
 } // namespace netchar::lint

@@ -235,6 +235,27 @@ recognizeHeader(const std::vector<Token> &toks, std::size_t i,
     return k;
 }
 
+/** The `::`-qualified spelling ending at the identifier `j`
+ *  (`std::chrono::now` for `...std :: chrono :: now`), or just the
+ *  identifier itself. Member access (`.`/`->`) yields "". */
+std::string
+qualifiedSpelling(const std::vector<Token> &toks, std::size_t j)
+{
+    if (j > 0 &&
+        (isPunct(toks[j - 1], ".") || isPunct(toks[j - 1], "->")))
+        return "";
+    std::string name = toks[j].text;
+    while (j >= 2 && isPunct(toks[j - 1], "::") &&
+           toks[j - 2].kind == TokenKind::Identifier) {
+        j -= 2;
+        name = toks[j].text + "::" + name;
+        if (j > 0 && (isPunct(toks[j - 1], ".") ||
+                      isPunct(toks[j - 1], "->")))
+            return "";
+    }
+    return name;
+}
+
 /** Collect every `callee(args)` inside [begin, end). */
 void
 collectCalls(const std::vector<Token> &toks, std::size_t begin,
@@ -250,6 +271,7 @@ collectCalls(const std::vector<Token> &toks, std::size_t begin,
             continue;
         CallSite call;
         call.callee = t.text;
+        call.qualified = qualifiedSpelling(toks, j);
         call.line = t.line;
         call.column = t.column;
         call.begin = j;
@@ -386,6 +408,23 @@ parseFile(const std::string &path, LexedFile lexed)
                 const std::size_t bodyClose =
                     matchBrace(toks, bodyOpen);
                 if (bodyClose != std::string::npos) {
+                    fn.qualified = qualifiedSpelling(toks, i);
+                    if (fn.qualified.empty())
+                        fn.qualified = fn.name;
+                    // Return type: the identifier directly before
+                    // the (possibly qualified) name, when there is
+                    // one (`bool Cache::save(...)` → "bool").
+                    std::size_t head = i;
+                    while (head >= 2 &&
+                           isPunct(toks[head - 1], "::") &&
+                           toks[head - 2].kind ==
+                               TokenKind::Identifier)
+                        head -= 2;
+                    if (head > 0 && toks[head - 1].kind ==
+                                        TokenKind::Identifier)
+                        fn.retType = toks[head - 1].text;
+                    fn.bodyBegin = bodyOpen;
+                    fn.bodyEnd = bodyClose;
                     parseBody(toks, bodyOpen, bodyClose, fn);
                     file.functions.push_back(std::move(fn));
                     i = bodyClose + 1;

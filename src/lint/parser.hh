@@ -42,6 +42,10 @@ using TokenRange = std::pair<std::size_t, std::size_t>;
 struct CallSite
 {
     std::string callee; ///< unqualified name (last :: component)
+    /** The written `::`-qualified spelling (`ns::f` for `ns::f()`),
+     *  equal to `callee` for bare calls, and empty for member calls
+     *  (`obj.method()` — the receiver type is unknown here). */
+    std::string qualified;
     int line = 0;
     int column = 0;
     std::size_t begin = 0;       ///< token index of the callee
@@ -75,8 +79,20 @@ struct Statement
 struct FunctionModel
 {
     std::string name; ///< unqualified (last :: component)
+    /** The written qualified name (`Executor::forEach` for an
+     *  out-of-class definition), equal to `name` when unqualified. */
+    std::string qualified;
+    /** Last identifier of the return type when it is a plain word
+     *  (`bool`, `RunResult`); empty for pointers/templates/ctors.
+     *  Used by the concurrency pass to spot error-carrying calls. */
+    std::string retType;
     int line = 0;
     int column = 0;
+    /** Token indices of the body braces: `{` at bodyBegin, matching
+     *  `}` at bodyEnd. The CFG builder (cfg.hh) re-walks this range
+     *  because stmts flattens control structure away. */
+    std::size_t bodyBegin = 0;
+    std::size_t bodyEnd = 0;
     std::vector<std::string> params; ///< "" for unnamed parameters
     std::vector<Statement> stmts;
 };

@@ -205,8 +205,9 @@ struct FnState
 class Engine
 {
   public:
-    explicit Engine(const std::vector<FileModel> &files)
-        : files_(files), graph_(files)
+    Engine(const std::vector<FileModel> &files,
+           const CallGraph &graph)
+        : files_(files), graph_(graph)
     {
         state_.resize(files.size());
         sanitizers_.resize(files.size());
@@ -331,8 +332,7 @@ class Engine
         for (const CallSite &call : calls) {
             if (call.begin < begin || call.end > end)
                 continue;
-            for (const FunctionRef def :
-                 graph_.definitionsOf(call.callee)) {
+            for (const FunctionRef def : graph_.resolve(call)) {
                 const FnState &ds = stateOf(def);
                 if (!ds.ret)
                     continue;
@@ -473,7 +473,7 @@ class Engine
                             continue;
                         }
                         for (const FunctionRef def :
-                             graph_.definitionsOf(call.callee)) {
+                             graph_.resolve(call)) {
                             const FunctionModel &dfn =
                                 files_[def.file]
                                     .functions[def.fn];
@@ -503,7 +503,7 @@ class Engine
     }
 
     const std::vector<FileModel> &files_;
-    CallGraph graph_;
+    const CallGraph &graph_;
     std::vector<std::vector<FnState>> state_;
     std::vector<std::vector<Sanitizer>> sanitizers_;
     std::vector<Finding> flows_;
@@ -556,7 +556,15 @@ flowRuleSummary(std::string_view rule)
 TaintAnalysis
 analyzeTaint(const std::vector<FileModel> &files)
 {
-    Engine engine(files);
+    const CallGraph graph(files);
+    return analyzeTaint(files, graph);
+}
+
+TaintAnalysis
+analyzeTaint(const std::vector<FileModel> &files,
+             const CallGraph &graph)
+{
+    Engine engine(files, graph);
     return engine.run();
 }
 

@@ -40,6 +40,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/callgraph.hh"
 #include "lint/parser.hh"
 #include "lint/rules.hh"
 
@@ -68,6 +69,11 @@ std::string_view flowRuleSummary(std::string_view rule);
 /** Run the taint pass. `files` must already be in sorted path
  *  order; the result is deterministic given that order. */
 TaintAnalysis analyzeTaint(const std::vector<FileModel> &files);
+
+/** Same, over a call graph the caller already built (the lint
+ *  driver shares one graph between taint and concurrency). */
+TaintAnalysis analyzeTaint(const std::vector<FileModel> &files,
+                           const CallGraph &graph);
 
 } // namespace netchar::lint
 

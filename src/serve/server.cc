@@ -737,6 +737,7 @@ Server::deliverResponse(Connection &conn, const std::string &frame)
         outbound += frame.substr(
             0, std::min<std::size_t>(fault.resetAfterBytes,
                                      frame.size()));
+        // netchar-lint: allow(flow-unchecked-error) -- the fault tears the frame on purpose; the socket closes either way
         sendAll(conn.fd, outbound);
         conn.open = false; // torn frame: the peer must retry
         return;

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * CFG builder tests: block and edge counts for every control shape
+ * the lockset pass depends on, plus the determinism contract —
+ * building the same function twice yields identical graphs, with
+ * blocks numbered in source order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/cfg.hh"
+#include "lint/lexer.hh"
+#include "lint/parser.hh"
+
+namespace
+{
+
+using netchar::lint::buildCfg;
+using netchar::lint::Cfg;
+using netchar::lint::FileModel;
+using netchar::lint::lex;
+using netchar::lint::parseFile;
+
+/** Parse `src` (one function definition) and build its CFG. */
+Cfg
+build(const std::string &src)
+{
+    FileModel fm = parseFile("src/core/fixture.cc", lex(src));
+    EXPECT_EQ(fm.functions.size(), 1u);
+    if (fm.functions.empty())
+        return {};
+    return buildCfg(fm, fm.functions[0]);
+}
+
+std::vector<std::size_t>
+succs(const Cfg &cfg, std::size_t block)
+{
+    return cfg.blocks[block].succs;
+}
+
+TEST(Cfg, EmptyBodyIsEntryToExit)
+{
+    const Cfg cfg = build("void f() {}\n");
+    EXPECT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.edgeCount(), 1u);
+    EXPECT_EQ(succs(cfg, Cfg::kEntry),
+              (std::vector<std::size_t>{Cfg::kExit}));
+    EXPECT_TRUE(cfg.blocks[Cfg::kEntry].stmts.empty());
+    EXPECT_TRUE(cfg.blocks[Cfg::kExit].reachable);
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    const Cfg cfg = build("int f() {\n"
+                          "    int a = 1;\n"
+                          "    a += 2;\n"
+                          "    return a;\n"
+                          "}\n");
+    EXPECT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.edgeCount(), 1u);
+    EXPECT_EQ(cfg.blocks[Cfg::kEntry].stmts.size(), 3u);
+    // Statements stay in source order.
+    EXPECT_EQ(cfg.blocks[Cfg::kEntry].stmts[0].line, 2);
+    EXPECT_EQ(cfg.blocks[Cfg::kEntry].stmts[2].line, 4);
+}
+
+TEST(Cfg, IfWithoutElseForksAndJoins)
+{
+    const Cfg cfg = build("void f(int x) { if (x) g(); h(); }\n");
+    // entry(cond), exit, then, join.
+    EXPECT_EQ(cfg.blocks.size(), 4u);
+    EXPECT_EQ(cfg.edgeCount(), 4u);
+    EXPECT_EQ(succs(cfg, 0), (std::vector<std::size_t>{2, 3}));
+    EXPECT_EQ(succs(cfg, 2), (std::vector<std::size_t>{3}));
+    EXPECT_EQ(succs(cfg, 3),
+              (std::vector<std::size_t>{Cfg::kExit}));
+}
+
+TEST(Cfg, NestedEarlyReturns)
+{
+    const Cfg cfg = build("int f(int x, int y) {\n"
+                          "    if (x) {\n"
+                          "        if (y)\n"
+                          "            return 1;\n"
+                          "        return 2;\n"
+                          "    }\n"
+                          "    return 3;\n"
+                          "}\n");
+    // entry, exit, outer-then, inner-then, inner-join, outer-join.
+    EXPECT_EQ(cfg.blocks.size(), 6u);
+    EXPECT_EQ(cfg.edgeCount(), 7u);
+    EXPECT_EQ(succs(cfg, 0), (std::vector<std::size_t>{2, 5}));
+    EXPECT_EQ(succs(cfg, 2), (std::vector<std::size_t>{3, 4}));
+    EXPECT_EQ(succs(cfg, 3),
+              (std::vector<std::size_t>{Cfg::kExit}));
+    EXPECT_EQ(succs(cfg, 4),
+              (std::vector<std::size_t>{Cfg::kExit}));
+    EXPECT_EQ(succs(cfg, 5),
+              (std::vector<std::size_t>{Cfg::kExit}));
+    for (const auto &b : cfg.blocks)
+        EXPECT_TRUE(b.reachable);
+}
+
+TEST(Cfg, WhileWithBreakAndContinue)
+{
+    const Cfg cfg = build("void f(int n) {\n"
+                          "    while (n) {\n"
+                          "        if (n == 1)\n"
+                          "            break;\n"
+                          "        if (n == 2)\n"
+                          "            continue;\n"
+                          "        --n;\n"
+                          "    }\n"
+                          "    g();\n"
+                          "}\n");
+    // entry, exit, head, body, break-then, join, continue-then,
+    // join, after.
+    EXPECT_EQ(cfg.blocks.size(), 9u);
+    EXPECT_EQ(cfg.edgeCount(), 11u);
+    EXPECT_EQ(succs(cfg, 2), (std::vector<std::size_t>{3, 8}));
+    // `break` edges to the block after the loop...
+    EXPECT_EQ(succs(cfg, 4), (std::vector<std::size_t>{8}));
+    // ...and `continue` (plus body fall-through) back to the head.
+    EXPECT_EQ(succs(cfg, 6), (std::vector<std::size_t>{2}));
+    EXPECT_EQ(succs(cfg, 7), (std::vector<std::size_t>{2}));
+}
+
+TEST(Cfg, DoWhilePlacesConditionAfterBody)
+{
+    const Cfg cfg =
+        build("void f(int n) { do { --n; } while (n); g(); }\n");
+    // entry, exit, body, cond, after.
+    EXPECT_EQ(cfg.blocks.size(), 5u);
+    EXPECT_EQ(cfg.edgeCount(), 5u);
+    // The body runs at least once: entry edges to the body, not
+    // the condition; the condition holds the back edge.
+    EXPECT_EQ(succs(cfg, 0), (std::vector<std::size_t>{2}));
+    EXPECT_EQ(succs(cfg, 2), (std::vector<std::size_t>{3}));
+    EXPECT_EQ(succs(cfg, 3), (std::vector<std::size_t>{2, 4}));
+    EXPECT_EQ(cfg.blocks[3].stmts.size(), 1u); // `while (n)`
+}
+
+TEST(Cfg, SwitchFallthroughAndBreak)
+{
+    const Cfg cfg = build("void f(int x) {\n"
+                          "    switch (x) {\n"
+                          "    case 0:\n"
+                          "        a();\n"
+                          "    case 1:\n"
+                          "        b();\n"
+                          "        break;\n"
+                          "    default:\n"
+                          "        c();\n"
+                          "    }\n"
+                          "    d();\n"
+                          "}\n");
+    // entry(head), exit, case0, case1, default, after.
+    EXPECT_EQ(cfg.blocks.size(), 6u);
+    EXPECT_EQ(cfg.edgeCount(), 7u);
+    EXPECT_EQ(succs(cfg, 0), (std::vector<std::size_t>{2, 3, 4}));
+    // case 0 falls through into case 1.
+    EXPECT_EQ(succs(cfg, 2), (std::vector<std::size_t>{3}));
+    // case 1 breaks to the block after the switch.
+    EXPECT_EQ(succs(cfg, 3), (std::vector<std::size_t>{5}));
+    EXPECT_EQ(succs(cfg, 4), (std::vector<std::size_t>{5}));
+}
+
+TEST(Cfg, SwitchWithoutDefaultMayFallPast)
+{
+    const Cfg cfg = build(
+        "void f(int x) { switch (x) { case 0: a(); break; } b(); }\n");
+    EXPECT_EQ(cfg.blocks.size(), 4u);
+    EXPECT_EQ(cfg.edgeCount(), 4u);
+    // No default: the head edges past the switch too.
+    EXPECT_EQ(succs(cfg, 0), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Cfg, ElseIfChain)
+{
+    const Cfg cfg = build("int f(int x) {\n"
+                          "    if (x == 0) return 0;\n"
+                          "    else if (x == 1) return 1;\n"
+                          "    else if (x == 2) return 2;\n"
+                          "    return 3;\n"
+                          "}\n");
+    EXPECT_EQ(cfg.blocks.size(), 10u);
+    EXPECT_EQ(cfg.edgeCount(), 12u);
+    for (const auto &b : cfg.blocks)
+        EXPECT_TRUE(b.reachable);
+}
+
+TEST(Cfg, DeadCodeAfterReturnIsUnreachable)
+{
+    const Cfg cfg = build("int f() { return 1; g(); }\n");
+    EXPECT_EQ(cfg.blocks.size(), 3u);
+    EXPECT_EQ(cfg.edgeCount(), 2u);
+    EXPECT_TRUE(cfg.blocks[0].reachable);
+    EXPECT_TRUE(cfg.blocks[1].reachable);
+    EXPECT_FALSE(cfg.blocks[2].reachable);
+}
+
+TEST(Cfg, LambdaBodyIsOpaque)
+{
+    // The lambda's `if`/`return` belong to its eventual caller,
+    // not this function's CFG.
+    const Cfg cfg = build("void f(int x) {\n"
+                          "    auto g = [&] { if (x) return; };\n"
+                          "    h();\n"
+                          "}\n");
+    EXPECT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.edgeCount(), 1u);
+    EXPECT_EQ(cfg.blocks[Cfg::kEntry].stmts.size(), 2u);
+}
+
+TEST(Cfg, TryCatchJoins)
+{
+    const Cfg cfg = build(
+        "void f() { try { a(); } catch (...) { b(); } c(); }\n");
+    // entry(try body), exit, handler, after.
+    EXPECT_EQ(cfg.blocks.size(), 4u);
+    EXPECT_EQ(cfg.edgeCount(), 4u);
+    EXPECT_EQ(succs(cfg, 0), (std::vector<std::size_t>{2, 3}));
+    EXPECT_EQ(succs(cfg, 2), (std::vector<std::size_t>{3}));
+}
+
+TEST(Cfg, BuildIsDeterministic)
+{
+    const std::string src = "int f(int n) {\n"
+                            "    int acc = 0;\n"
+                            "    for (int i = 0; i < n; ++i) {\n"
+                            "        if (i == 3)\n"
+                            "            continue;\n"
+                            "        acc += i;\n"
+                            "    }\n"
+                            "    switch (acc) {\n"
+                            "    case 0: return -1;\n"
+                            "    default: break;\n"
+                            "    }\n"
+                            "    return acc;\n"
+                            "}\n";
+    const Cfg a = build(src);
+    const Cfg b = build(src);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    EXPECT_EQ(a.edgeCount(), b.edgeCount());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        EXPECT_EQ(a.blocks[i].succs, b.blocks[i].succs);
+        EXPECT_EQ(a.blocks[i].reachable, b.blocks[i].reachable);
+        ASSERT_EQ(a.blocks[i].stmts.size(), b.blocks[i].stmts.size());
+        for (std::size_t s = 0; s < a.blocks[i].stmts.size(); ++s) {
+            EXPECT_EQ(a.blocks[i].stmts[s].begin,
+                      b.blocks[i].stmts[s].begin);
+            EXPECT_EQ(a.blocks[i].stmts[s].end,
+                      b.blocks[i].stmts[s].end);
+        }
+    }
+    // Successor lists are sorted and de-duplicated.
+    for (const auto &blk : a.blocks) {
+        for (std::size_t i = 1; i < blk.succs.size(); ++i)
+            EXPECT_LT(blk.succs[i - 1], blk.succs[i]);
+    }
+}
+
+} // namespace

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Lockset/escape analysis tests: at least one true positive per
+ * concurrency rule, a true negative per RAII guard type
+ * (lock_guard, scoped_lock, unique_lock), pragma suppression, and
+ * the determinism contract (byte-identical reports across buffer
+ * orders, locksets surfaced in the JSON schema-v3 report).
+ *
+ * Fixtures run through lintSources(), so token rules fire too
+ * (e.g. no-unguarded-static on the shared statics the race rule
+ * needs) — assertions therefore filter by rule name instead of
+ * counting totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace
+{
+
+using netchar::lint::Finding;
+using netchar::lint::LintOptions;
+using netchar::lint::LintResult;
+using netchar::lint::lintSources;
+using netchar::lint::renderJson;
+using netchar::lint::Severity;
+using netchar::lint::SourceBuffer;
+
+std::size_t
+countRule(const LintResult &r, std::string_view rule)
+{
+    std::size_t n = 0;
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+const Finding *
+findRule(const LintResult &r, std::string_view rule)
+{
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            return &f;
+    return nullptr;
+}
+
+TEST(RaceSharedWrite, ByRefCaptureWriteInTaskLambda)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void run(Executor &ex) {\n"
+          "    int shared = 0;\n"
+          "    ex.forEach(4, [&](std::size_t) { shared = 1; });\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(r, "race-shared-write"), 1u);
+    const Finding *f = findRule(r, "race-shared-write");
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_EQ(f->line, 3);
+    EXPECT_EQ(f->function, "run");
+    ASSERT_EQ(f->path.size(), 2u); // capture hop + write hop
+    EXPECT_NE(f->path[0].note.find("captured by reference"),
+              std::string::npos);
+}
+
+TEST(RaceSharedWrite, StaticWriteInEscapedFunction)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "static int counter_ = 0;\n"
+          "void helper() { counter_ += 1; }\n"
+          "void submit(Executor &ex) {\n"
+          "    ex.forEach(2, [&](std::size_t) { helper(); });\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(r, "race-shared-write"), 1u);
+    const Finding *f = findRule(r, "race-shared-write");
+    EXPECT_EQ(f->line, 2);
+    EXPECT_EQ(f->function, "helper");
+    // Hops: declaration, escape witness, write.
+    ASSERT_EQ(f->path.size(), 3u);
+    EXPECT_NE(f->path[1].note.find("submitted to the executor"),
+              std::string::npos);
+    EXPECT_GT(r.escapedFunctions, 0u);
+}
+
+TEST(RaceSharedWrite, LocalWritesAndMemberWritesAreNotRaces)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void run(Executor &ex, std::vector<int> &out) {\n"
+          "    ex.forEach(4, [&](std::size_t i) {\n"
+          "        int acc = 0;\n"
+          "        acc += 2;\n"
+          "        out[i] = acc;\n" // disjoint-index idiom
+          "    });\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "race-shared-write"), 0u);
+}
+
+TEST(RaceSharedWrite, LockGuardSanctionsTheWrite)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "static std::mutex mu_;\n"
+          "static int guarded_ = 0;\n"
+          "void helper() {\n"
+          "    std::lock_guard<std::mutex> g(mu_);\n"
+          "    guarded_ += 1;\n"
+          "}\n"
+          "void submit(Executor &ex) {\n"
+          "    ex.forEach(2, [&](std::size_t) { helper(); });\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "race-shared-write"), 0u);
+}
+
+TEST(RaceSharedWrite, ScopedLockSanctionsTheWrite)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "static std::mutex mu_;\n"
+          "static int guarded_ = 0;\n"
+          "void helper() {\n"
+          "    std::scoped_lock g(mu_);\n" // CTAD spelling
+          "    guarded_ += 1;\n"
+          "}\n"
+          "void submit(Executor &ex) {\n"
+          "    ex.forEach(2, [&](std::size_t) { helper(); });\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "race-shared-write"), 0u);
+}
+
+TEST(RaceSharedWrite, UniqueLockSanctionsTheWrite)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "static std::mutex mu_;\n"
+          "static int guarded_ = 0;\n"
+          "void helper() {\n"
+          "    std::unique_lock<std::mutex> g(mu_);\n"
+          "    guarded_ += 1;\n"
+          "    g.unlock();\n" // guard receiver: sanctioned
+          "}\n"
+          "void submit(Executor &ex) {\n"
+          "    ex.forEach(2, [&](std::size_t) { helper(); });\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "race-shared-write"), 0u);
+    // A guard's unlock is never an unlock-without-lock.
+    EXPECT_EQ(countRule(r, "guard-discipline"), 0u);
+    EXPECT_EQ(countRule(r, "lock-leak"), 0u);
+}
+
+TEST(RaceSharedWrite, GuardInsideTheLambdaSanctions)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void run(Executor &ex, std::mutex &mu) {\n"
+          "    int shared = 0;\n"
+          "    ex.forEach(4, [&](std::size_t) {\n"
+          "        std::lock_guard<std::mutex> g(mu);\n"
+          "        shared = 1;\n"
+          "    });\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "race-shared-write"), 0u);
+}
+
+TEST(RaceSharedWrite, AllowPragmaSuppresses)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void run(Executor &ex) {\n"
+          "    int shared = 0;\n"
+          "    ex.forEach(4, [&](std::size_t) {\n"
+          "        // netchar-lint: allow(race-shared-write) -- "
+          "task-disjoint by audit\n"
+          "        shared = 1;\n"
+          "    });\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "race-shared-write"), 0u);
+    EXPECT_GE(r.suppressedCount, 1u);
+}
+
+TEST(LockLeak, RawLockWithoutUnlockOnSomePath)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void leak(std::mutex &mu, bool c) {\n"
+          "    mu.lock();\n"
+          "    if (c)\n"
+          "        return;\n" // this path leaks
+          "    mu.unlock();\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(r, "lock-leak"), 1u);
+    const Finding *f = findRule(r, "lock-leak");
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_EQ(f->line, 2); // anchored at the lock site
+    ASSERT_EQ(f->path.size(), 2u);
+}
+
+TEST(LockLeak, BalancedLockUnlockIsClean)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void ok(std::mutex &mu, bool c) {\n"
+          "    mu.lock();\n"
+          "    if (c) {\n"
+          "        mu.unlock();\n"
+          "        return;\n"
+          "    }\n"
+          "    mu.unlock();\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "lock-leak"), 0u);
+    EXPECT_EQ(countRule(r, "guard-discipline"), 0u);
+}
+
+TEST(GuardDiscipline, DoubleLock)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void bad(std::mutex &mu) {\n"
+          "    mu.lock();\n"
+          "    mu.lock();\n"
+          "    mu.unlock();\n"
+          "}\n"}});
+    ASSERT_GE(countRule(r, "guard-discipline"), 1u);
+    const Finding *f = findRule(r, "guard-discipline");
+    EXPECT_EQ(f->line, 3);
+    EXPECT_NE(f->message.find("double-lock"), std::string::npos);
+    // The lockset at the second lock() is non-empty — surfaced in
+    // the JSON locksets array.
+    ASSERT_EQ(f->lockset.size(), 1u);
+    EXPECT_EQ(f->lockset[0], "mu");
+}
+
+TEST(GuardDiscipline, UnlockWithoutLock)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void bad(std::mutex &mu) { mu.unlock(); }\n"}});
+    ASSERT_EQ(countRule(r, "guard-discipline"), 1u);
+    EXPECT_NE(
+        findRule(r, "guard-discipline")->message.find("not held"),
+        std::string::npos);
+}
+
+TEST(AtomicMixedAccess, AtomicRefPlusPlainWrite)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "static long hits_ = 0;\n"
+          "long sample() {\n"
+          "    return std::atomic_ref<long>(hits_).load();\n"
+          "}\n"
+          "void bump() { hits_ += 1; }\n"}});
+    ASSERT_EQ(countRule(r, "atomic-mixed-access"), 1u);
+    const Finding *f = findRule(r, "atomic-mixed-access");
+    EXPECT_EQ(f->severity, Severity::Warning);
+    ASSERT_EQ(f->path.size(), 2u); // atomic site + plain write
+}
+
+TEST(AtomicMixedAccess, DeclaredAtomicIsClean)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "static std::atomic<long> hits_{0};\n"
+          "long sample() { return hits_.load(); }\n"
+          "void bump() { hits_.fetch_add(1); }\n"}});
+    EXPECT_EQ(countRule(r, "atomic-mixed-access"), 0u);
+}
+
+TEST(FlowUncheckedError, DiscardedBoolReturnInServe)
+{
+    const auto r = lintSources(
+        {{"src/serve/fixture.cc",
+          "bool save(int x) { return x > 0; }\n"
+          "void tick(int x) { save(x); }\n"}});
+    ASSERT_EQ(countRule(r, "flow-unchecked-error"), 1u);
+    const Finding *f = findRule(r, "flow-unchecked-error");
+    EXPECT_EQ(f->severity, Severity::Warning);
+    EXPECT_EQ(f->line, 2);
+}
+
+TEST(FlowUncheckedError, CheckedAndNonServeCallsAreClean)
+{
+    // Same code outside src/serve: out of the rule's scope.
+    const auto outside = lintSources(
+        {{"src/core/fixture.cc",
+          "bool save(int x) { return x > 0; }\n"
+          "void tick(int x) { save(x); }\n"}});
+    EXPECT_EQ(countRule(outside, "flow-unchecked-error"), 0u);
+    // Checked / consumed results are fine in serve code.
+    const auto checked = lintSources(
+        {{"src/serve/fixture.cc",
+          "bool save(int x) { return x > 0; }\n"
+          "void tick(int x) {\n"
+          "    if (!save(x))\n"
+          "        return;\n"
+          "    bool ok = save(x);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(checked, "flow-unchecked-error"), 0u);
+}
+
+TEST(FlowUncheckedError, ReceiverTypedMemberCalls)
+{
+    const auto r = lintSources(
+        {{"src/serve/fixture.cc",
+          "Journal journal_;\n"
+          "std::string buffer_;\n"
+          "bool Journal::append(int n) { return n > 0; }\n"
+          "void tick() {\n"
+          "    journal_.append(3);\n" // Journal::append is bool
+          "    buffer_.append(3);\n"  // std::string::append: not ours
+          "}\n"}});
+    ASSERT_EQ(countRule(r, "flow-unchecked-error"), 1u);
+    EXPECT_EQ(findRule(r, "flow-unchecked-error")->line, 5);
+}
+
+TEST(Concurrency, NoConcurrencyOptionDisablesThePass)
+{
+    LintOptions opts;
+    opts.concurrency = false;
+    opts.taint = false;
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void bad(std::mutex &mu) { mu.unlock(); }\n"}},
+        opts);
+    EXPECT_EQ(countRule(r, "guard-discipline"), 0u);
+}
+
+TEST(Concurrency, ReportIsByteIdenticalAcrossBufferOrder)
+{
+    const SourceBuffer a{"src/core/afix.cc",
+                         "void run(Executor &ex) {\n"
+                         "    int shared = 0;\n"
+                         "    ex.forEach(4, [&](std::size_t) { "
+                         "shared = 1; });\n"
+                         "}\n"};
+    const SourceBuffer b{"src/core/bfix.cc",
+                         "void bad(std::mutex &mu) { mu.lock(); }\n"};
+    const auto r1 = lintSources({a, b});
+    const auto r2 = lintSources({b, a});
+    EXPECT_EQ(renderJson(r1), renderJson(r2));
+    EXPECT_EQ(countRule(r1, "race-shared-write"), 1u);
+    EXPECT_EQ(countRule(r1, "lock-leak"), 1u);
+}
+
+TEST(Concurrency, JsonCarriesLocksetsAndCallGraphStats)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void bad(std::mutex &mu) {\n"
+          "    mu.lock();\n"
+          "    mu.lock();\n"
+          "    mu.unlock();\n"
+          "}\n"}});
+    const std::string json = renderJson(r);
+    EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"callGraph\""), std::string::npos);
+    EXPECT_NE(json.find("\"locksets\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"held\": [\"mu\"]"), std::string::npos);
+    EXPECT_NE(json.find("\"function\": \"bad\""),
+              std::string::npos);
+}
+
+} // namespace

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lexer.hh"
 #include "lint/lint.hh"
 
 namespace
@@ -519,7 +520,7 @@ TEST(Report, JsonSchema)
         "src/sim/fixture.cc",
         "auto t = std::chrono::steady_clock::now();\n");
     const std::string json = netchar::lint::renderJson(r);
-    EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"filesScanned\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"no-wallclock\""),
               std::string::npos);
@@ -677,6 +678,56 @@ TEST(RuleRegistry, NamesAndScopes)
     EXPECT_NE(rules.find("bad-pragma"), std::string::npos);
     EXPECT_NE(rules.find("flow-wallclock"), std::string::npos);
     EXPECT_NE(rules.find("flow-threadid"), std::string::npos);
+}
+
+TEST(Lexer, DigitSeparatorsAreOneToken)
+{
+    const auto lexed = netchar::lint::lex(
+        "int a = 1'000'000;\n"
+        "unsigned long long b = 0xDEAD'BEEFull;\n"
+        "int c = 0b1010'0101;\n");
+    std::vector<std::string> numbers;
+    for (const auto &t : lexed.tokens)
+        if (t.kind == netchar::lint::TokenKind::Number)
+            numbers.push_back(t.text);
+    ASSERT_EQ(numbers.size(), 3u);
+    EXPECT_EQ(numbers[0], "1'000'000");
+    EXPECT_EQ(numbers[1], "0xDEAD'BEEFull");
+    EXPECT_EQ(numbers[2], "0b1010'0101");
+}
+
+TEST(Lexer, HexFloatsAreOneToken)
+{
+    const auto lexed = netchar::lint::lex(
+        "double a = 0x1.8p-3;\n"
+        "double b = 0X1.FP+2;\n"
+        "double c = 0x1p4;\n");
+    std::vector<std::string> numbers;
+    for (const auto &t : lexed.tokens)
+        if (t.kind == netchar::lint::TokenKind::Number)
+            numbers.push_back(t.text);
+    ASSERT_EQ(numbers.size(), 3u);
+    EXPECT_EQ(numbers[0], "0x1.8p-3");
+    EXPECT_EQ(numbers[1], "0X1.FP+2");
+    EXPECT_EQ(numbers[2], "0x1p4");
+}
+
+TEST(Lexer, BareQuoteAfterDigitOpensCharLiteral)
+{
+    // `f(1,'a')` must not swallow `,'a'` into the number: the
+    // separator rule requires an alphanumeric after the quote.
+    const auto lexed = netchar::lint::lex("f(1, 'a');\nint x = 1;'b';\n");
+    std::vector<std::pair<netchar::lint::TokenKind, std::string>> got;
+    for (const auto &t : lexed.tokens)
+        if (t.kind == netchar::lint::TokenKind::Number ||
+            t.kind == netchar::lint::TokenKind::CharLit)
+            got.emplace_back(t.kind, t.text);
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0].first, netchar::lint::TokenKind::Number);
+    EXPECT_EQ(got[0].second, "1");
+    EXPECT_EQ(got[1].first, netchar::lint::TokenKind::CharLit);
+    EXPECT_EQ(got[2].first, netchar::lint::TokenKind::Number);
+    EXPECT_EQ(got[3].first, netchar::lint::TokenKind::CharLit);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
  *
  *   netchar_lint --check <path>... [--json] [--sarif FILE]
  *                [--taint|--no-taint]
+ *                [--concurrency|--no-concurrency]
  *   netchar_lint --list-rules
  *
  * Exit codes: 0 clean tree, 1 unsuppressed findings, 2 usage or I/O
@@ -33,12 +34,15 @@ usage()
         stderr,
         "usage: netchar_lint --check <path>... [--json] "
         "[--sarif FILE] [--taint|--no-taint]\n"
+        "                    [--concurrency|--no-concurrency]\n"
         "       netchar_lint --list-rules\n"
         "  --check <path>...  lint files/directories (recursive)\n"
         "  --json             machine-readable report on stdout\n"
         "  --sarif FILE       also write a SARIF 2.1.0 report\n"
         "  --taint            run the taint pass (default)\n"
-        "  --no-taint         token rules only\n"
+        "  --no-taint         skip the taint pass\n"
+        "  --concurrency      run the CFG/lockset pass (default)\n"
+        "  --no-concurrency   skip the CFG/lockset pass\n"
         "  --list-rules       print the rule set and exit\n"
         "exit codes: 0 clean, 1 findings, 2 usage/I-O error\n"
         "suppression: // netchar-lint: allow(<rule>) -- <reason>\n"
@@ -68,6 +72,10 @@ main(int argc, char **argv)
             opts.taint = true;
         else if (arg == "--no-taint")
             opts.taint = false;
+        else if (arg == "--concurrency")
+            opts.concurrency = true;
+        else if (arg == "--no-concurrency")
+            opts.concurrency = false;
         else if (arg == "--sarif") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
