@@ -5,24 +5,22 @@
 namespace netchar::lint
 {
 
-namespace
-{
-
-/** True when qualified name `def` ends with the `::` components of
- *  `call` (`a::ns::f` matches call spelling `ns::f` and `f`). */
 bool
-suffixMatches(const std::string &def, const std::string &call)
+qualifiedSuffixMatches(const std::string &def,
+                       const std::string &call)
 {
     if (def == call)
         return true;
-    if (def.size() <= call.size())
+    // The suffix must be preceded by a full `::` separator, so any
+    // shorter definition — including one exactly one character
+    // longer than the call, where the old `<=` guard let the
+    // separator position underflow — cannot match.
+    if (def.size() < call.size() + 2)
         return false;
     return def.compare(def.size() - call.size(), call.size(),
                        call) == 0 &&
            def.compare(def.size() - call.size() - 2, 2, "::") == 0;
 }
-
-} // namespace
 
 CallGraph::CallGraph(const std::vector<FileModel> &files)
 {
@@ -76,7 +74,7 @@ CallGraph::resolve(const CallSite &call) const
         defQualified_.at(call.callee);
     std::vector<FunctionRef> out;
     for (std::size_t i = 0; i < all.size(); ++i)
-        if (suffixMatches(quals[i], call.qualified))
+        if (qualifiedSuffixMatches(quals[i], call.qualified))
             out.push_back(all[i]);
     // Definitions written inside `namespace ns { ... }` carry no
     // `ns::` in their spelling, so a qualified call may match none

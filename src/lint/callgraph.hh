@@ -28,6 +28,15 @@
 namespace netchar::lint
 {
 
+/**
+ * True when qualified name `def` equals `call` or ends with the
+ * `::` components of `call` (`a::ns::f` matches call spellings
+ * `ns::f` and `f`, but `XParser::parse` does not match
+ * `Parser::parse`: the suffix must sit behind a `::` boundary).
+ */
+bool qualifiedSuffixMatches(const std::string &def,
+                            const std::string &call);
+
 /** Index of one function: (file index, function index). */
 struct FunctionRef
 {

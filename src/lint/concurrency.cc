@@ -887,7 +887,11 @@ class Engine
                          const LockState &s, const LockEvent &ev,
                          const std::map<std::string, Site> &held)
     {
-        if (ev.kind == LockEvent::Kind::RawLock) {
+        // `lk.lock()` on a unique_lock that may already hold the
+        // mutex throws std::system_error at runtime, so the guard
+        // receiver form is a double-lock exactly like a raw one.
+        if (ev.kind == LockEvent::Kind::RawLock ||
+            ev.kind == LockEvent::Kind::GuardRelock) {
             for (const std::string &r : ev.resources)
                 if (s.may.count(r) != 0) {
                     std::vector<FlowHop> hops;
@@ -1207,13 +1211,8 @@ class Engine
                     for (const FunctionRef &d :
                          graph_.definitionsOf(callee)) {
                         const FunctionModel &def = fnOf(d);
-                        if (def.qualified == want ||
-                            (def.qualified.size() >
-                                 want.size() &&
-                             def.qualified.compare(
-                                 def.qualified.size() -
-                                     want.size(),
-                                 want.size(), want) == 0)) {
+                        if (qualifiedSuffixMatches(def.qualified,
+                                                   want)) {
                             target = &def;
                             break;
                         }

@@ -236,6 +236,35 @@ TEST(GuardDiscipline, DoubleLock)
     EXPECT_EQ(f->lockset[0], "mu");
 }
 
+TEST(GuardDiscipline, GuardRelockWhileHeldIsDoubleLock)
+{
+    // unique_lock::lock() while the mutex may already be held
+    // throws std::system_error at runtime — same defect as a raw
+    // double-lock, spelled through the guard receiver.
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void bad(std::mutex &mu) {\n"
+          "    std::unique_lock<std::mutex> lk(mu);\n"
+          "    lk.lock();\n"
+          "}\n"}});
+    ASSERT_GE(countRule(r, "guard-discipline"), 1u);
+    const Finding *f = findRule(r, "guard-discipline");
+    EXPECT_EQ(f->line, 3);
+    EXPECT_NE(f->message.find("double-lock"), std::string::npos);
+}
+
+TEST(GuardDiscipline, GuardRelockAfterUnlockIsClean)
+{
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void ok(std::mutex &mu) {\n"
+          "    std::unique_lock<std::mutex> lk(mu);\n"
+          "    lk.unlock();\n"
+          "    lk.lock();\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "guard-discipline"), 0u);
+}
+
 TEST(GuardDiscipline, UnlockWithoutLock)
 {
     const auto r = lintSources(
@@ -317,6 +346,21 @@ TEST(FlowUncheckedError, ReceiverTypedMemberCalls)
           "}\n"}});
     ASSERT_EQ(countRule(r, "flow-unchecked-error"), 1u);
     EXPECT_EQ(findRule(r, "flow-unchecked-error")->line, 5);
+}
+
+TEST(FlowUncheckedError, MemberSuffixRequiresScopeBoundary)
+{
+    // declType(parser_) = Parser, so the wanted qualified name is
+    // Parser::parse; the only definition, XParser::parse, is a
+    // textual suffix match but not a `::`-boundary match, so the
+    // rule must stay silent instead of borrowing XParser's return
+    // type.
+    const auto r = lintSources(
+        {{"src/serve/fixture.cc",
+          "Parser parser_;\n"
+          "bool XParser::parse(int n) { return n > 0; }\n"
+          "void tick() { parser_.parse(3); }\n"}});
+    EXPECT_EQ(countRule(r, "flow-unchecked-error"), 0u);
 }
 
 TEST(Concurrency, NoConcurrencyOptionDisablesThePass)

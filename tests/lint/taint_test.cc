@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/callgraph.hh"
 #include "lint/lint.hh"
 #include "lint/sarif.hh"
 
@@ -430,6 +431,37 @@ TEST(Taint, ReportsAreIndependentOfInputOrder)
               netchar::lint::renderJson(rev));
     EXPECT_EQ(netchar::lint::renderSarif(fwd),
               netchar::lint::renderSarif(rev));
+}
+
+TEST(CallGraph, QualifiedSuffixMatchRequiresScopeBoundary)
+{
+    using netchar::lint::qualifiedSuffixMatches;
+    EXPECT_TRUE(qualifiedSuffixMatches("ns::f", "ns::f"));
+    EXPECT_TRUE(qualifiedSuffixMatches("a::ns::f", "ns::f"));
+    EXPECT_TRUE(qualifiedSuffixMatches("a::ns::f", "f"));
+    // One character longer than the call spelling: used to
+    // underflow the separator position and throw out_of_range.
+    EXPECT_FALSE(
+        qualifiedSuffixMatches("XParser::parse", "Parser::parse"));
+    // Same-length and shorter definitions can never match.
+    EXPECT_FALSE(
+        qualifiedSuffixMatches("Parser::parsf", "Parser::parse"));
+    EXPECT_FALSE(qualifiedSuffixMatches("f", "ns::f"));
+    // A textual suffix without a `::` boundary is not a match.
+    EXPECT_FALSE(qualifiedSuffixMatches("ns::sf", "f"));
+}
+
+TEST(CallGraph, OneCharLongerDefinitionDoesNotCrash)
+{
+    // Regression: linking the qualified call `Parser::parse()`
+    // against the definition `XParser::parse` (exactly one char
+    // longer) aborted the linter with std::out_of_range.
+    const auto r = lintSources(
+        {{"bench/fx.cc",
+          "bool Parser::parse(int n) { return n > 0; }\n"
+          "bool XParser::parse(int n) { return n < 0; }\n"
+          "void tick() { Parser::parse(3); }\n"}});
+    EXPECT_TRUE(r.findings.empty());
 }
 
 } // namespace
