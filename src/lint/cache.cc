@@ -1,0 +1,694 @@
+#include "lint/cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "stats/hash.hh"
+
+namespace netchar::lint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Format version of the serialized entries. Bump on any layout
+ *  change — it feeds the cache version tag, so old caches wipe. */
+constexpr int kFormatVersion = 1;
+
+/**
+ * Escape a string into one whitespace-free field. The leading '~'
+ * marks the field as a string (so an empty string is "~", never an
+ * empty field), and the escapes keep the line-and-space record
+ * structure unambiguous for any source text.
+ */
+std::string
+esc(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 1);
+    out.push_back('~');
+    for (const char c : s) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case ' ':
+            out += "\\s";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+bool
+unesc(const std::string &field, std::string &out)
+{
+    if (field.empty() || field.front() != '~')
+        return false;
+    out.clear();
+    out.reserve(field.size() - 1);
+    for (std::size_t i = 1; i < field.size(); ++i) {
+        const char c = field[i];
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (++i >= field.size())
+            return false;
+        switch (field[i]) {
+        case '\\':
+            out.push_back('\\');
+            break;
+        case 'n':
+            out.push_back('\n');
+            break;
+        case 'r':
+            out.push_back('\r');
+            break;
+        case 's':
+            out.push_back(' ');
+            break;
+        case 't':
+            out.push_back('\t');
+            break;
+        default:
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Sequential whitespace-separated field reader. Any failure is
+ *  sticky: the caller checks `ok` once at the end and treats a
+ *  false as a cache miss. */
+struct In
+{
+    explicit In(const std::string &body) : is(body) {}
+
+    std::istringstream is;
+    bool ok = true;
+
+    bool word(std::string &w)
+    {
+        if (!ok || !(is >> w))
+            return ok = false;
+        return true;
+    }
+
+    bool str(std::string &s)
+    {
+        std::string w;
+        if (!word(w))
+            return false;
+        return ok = unesc(w, s);
+    }
+
+    bool num(long long &v)
+    {
+        if (!ok || !(is >> v))
+            return ok = false;
+        return true;
+    }
+
+    bool size(std::size_t &v)
+    {
+        long long n = 0;
+        if (!num(n) || n < 0)
+            return ok = false;
+        v = static_cast<std::size_t>(n);
+        return true;
+    }
+
+    bool intv(int &v)
+    {
+        long long n = 0;
+        if (!num(n))
+            return false;
+        v = static_cast<int>(n);
+        return true;
+    }
+
+    bool tag(const char *t)
+    {
+        std::string w;
+        if (!word(w))
+            return false;
+        return ok = (w == t);
+    }
+};
+
+void
+writeFinding(std::ostream &out, const Finding &f)
+{
+    out << "fi " << esc(f.file) << ' ' << f.line << ' ' << f.column
+        << ' ' << esc(f.rule) << ' ' << static_cast<int>(f.severity)
+        << ' ' << esc(f.message) << ' ' << esc(f.function) << ' '
+        << f.lockset.size();
+    for (const std::string &r : f.lockset)
+        out << ' ' << esc(r);
+    out << ' ' << f.path.size() << '\n';
+    for (const FlowHop &h : f.path)
+        out << "ho " << esc(h.file) << ' ' << h.line << ' '
+            << h.column << ' ' << esc(h.note) << '\n';
+}
+
+bool
+readFinding(In &in, Finding &f)
+{
+    int sev = 0;
+    std::size_t nlock = 0;
+    std::size_t nhops = 0;
+    if (!in.tag("fi") || !in.str(f.file) || !in.intv(f.line) ||
+        !in.intv(f.column) || !in.str(f.rule) || !in.intv(sev) ||
+        !in.str(f.message) || !in.str(f.function) ||
+        !in.size(nlock))
+        return false;
+    if (sev < 0 || sev > 1)
+        return in.ok = false;
+    f.severity = static_cast<Severity>(sev);
+    for (std::size_t i = 0; i < nlock && in.ok; ++i) {
+        std::string r;
+        if (in.str(r))
+            f.lockset.push_back(std::move(r));
+    }
+    if (!in.size(nhops))
+        return false;
+    for (std::size_t i = 0; i < nhops && in.ok; ++i) {
+        FlowHop h;
+        if (in.tag("ho") && in.str(h.file) && in.intv(h.line) &&
+            in.intv(h.column) && in.str(h.note))
+            f.path.push_back(std::move(h));
+    }
+    return in.ok;
+}
+
+bool
+writeRawFile(const std::string &path, const std::string &body)
+{
+    // tmp+rename: a crash mid-write leaves the old entry (or none),
+    // never a torn one.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << body;
+        if (!out.flush())
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+readRawFile(const std::string &path, std::string &body)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    body = buf.str();
+    return true;
+}
+
+} // namespace
+
+std::string
+lintCacheVersionTag()
+{
+    return "netchar-lint-cache " + std::to_string(kFormatVersion) +
+           " schema 4 rules " + contentHashHex(listRulesText());
+}
+
+std::string
+serializeUnit(const FileUnit &unit)
+{
+    std::ostringstream out;
+    out << "netchar-lint-unit " << kFormatVersion << '\n';
+    out << "path " << esc(unit.model.path) << '\n';
+    const LexedFile &lx = unit.model.lexed;
+    out << "tokens " << lx.tokens.size() << '\n';
+    for (const Token &t : lx.tokens)
+        out << "t " << static_cast<int>(t.kind) << ' ' << t.line
+            << ' ' << t.column << ' ' << esc(t.text) << '\n';
+    out << "pragmas " << lx.pragmas.size() << '\n';
+    for (const Pragma &p : lx.pragmas) {
+        out << "p " << p.line << ' ' << p.endLine << ' '
+            << (p.flow ? 1 : 0) << ' ' << (p.malformed ? 1 : 0)
+            << ' ' << esc(p.reason) << ' ' << esc(p.error) << ' '
+            << p.rules.size();
+        for (const std::string &r : p.rules)
+            out << ' ' << esc(r);
+        out << '\n';
+    }
+    out << "functions " << unit.model.functions.size() << '\n';
+    for (const FunctionModel &fn : unit.model.functions) {
+        out << "fn " << esc(fn.name) << ' ' << esc(fn.qualified)
+            << ' ' << esc(fn.retType) << ' ' << fn.line << ' '
+            << fn.column << ' ' << fn.bodyBegin << ' ' << fn.bodyEnd
+            << ' ' << fn.params.size();
+        for (const std::string &p : fn.params)
+            out << ' ' << esc(p);
+        out << ' ' << fn.stmts.size() << '\n';
+        for (const Statement &st : fn.stmts) {
+            out << "st " << static_cast<int>(st.kind) << ' '
+                << esc(st.target) << ' ' << esc(st.base) << ' '
+                << st.line << ' ' << st.column << ' '
+                << st.expr.first << ' ' << st.expr.second << ' '
+                << st.calls.size() << '\n';
+            for (const CallSite &c : st.calls) {
+                out << "ca " << esc(c.callee) << ' '
+                    << esc(c.qualified) << ' ' << c.line << ' '
+                    << c.column << ' ' << c.begin << ' ' << c.end
+                    << ' ' << c.args.size();
+                for (const TokenRange &a : c.args)
+                    out << ' ' << a.first << ' ' << a.second;
+                out << '\n';
+            }
+        }
+    }
+    out << "findings " << unit.findings.size() << '\n';
+    for (const Finding &f : unit.findings)
+        writeFinding(out, f);
+    out << "suppressed " << unit.suppressed << '\n';
+    out << "end\n";
+    return out.str();
+}
+
+bool
+parseUnit(const std::string &body, FileUnit &out)
+{
+    In in(body);
+    long long version = 0;
+    if (!in.tag("netchar-lint-unit") || !in.num(version) ||
+        version != kFormatVersion)
+        return false;
+    if (!in.tag("path") || !in.str(out.model.path))
+        return false;
+
+    std::size_t ntokens = 0;
+    if (!in.tag("tokens") || !in.size(ntokens))
+        return false;
+    for (std::size_t i = 0; i < ntokens && in.ok; ++i) {
+        Token t;
+        int kind = 0;
+        if (!in.tag("t") || !in.intv(kind) || !in.intv(t.line) ||
+            !in.intv(t.column) || !in.str(t.text))
+            break;
+        if (kind < 0 || kind > 4)
+            return in.ok = false;
+        t.kind = static_cast<TokenKind>(kind);
+        out.model.lexed.tokens.push_back(std::move(t));
+    }
+
+    std::size_t npragmas = 0;
+    if (!in.tag("pragmas") || !in.size(npragmas))
+        return false;
+    for (std::size_t i = 0; i < npragmas && in.ok; ++i) {
+        Pragma p;
+        int flow = 0;
+        int malformed = 0;
+        std::size_t nrules = 0;
+        if (!in.tag("p") || !in.intv(p.line) ||
+            !in.intv(p.endLine) || !in.intv(flow) ||
+            !in.intv(malformed) || !in.str(p.reason) ||
+            !in.str(p.error) || !in.size(nrules))
+            break;
+        p.flow = flow != 0;
+        p.malformed = malformed != 0;
+        for (std::size_t j = 0; j < nrules && in.ok; ++j) {
+            std::string r;
+            if (in.str(r))
+                p.rules.push_back(std::move(r));
+        }
+        out.model.lexed.pragmas.push_back(std::move(p));
+    }
+
+    std::size_t nfunctions = 0;
+    if (!in.tag("functions") || !in.size(nfunctions))
+        return false;
+    for (std::size_t i = 0; i < nfunctions && in.ok; ++i) {
+        FunctionModel fn;
+        std::size_t nparams = 0;
+        std::size_t nstmts = 0;
+        long long bodyBegin = 0;
+        long long bodyEnd = 0;
+        if (!in.tag("fn") || !in.str(fn.name) ||
+            !in.str(fn.qualified) || !in.str(fn.retType) ||
+            !in.intv(fn.line) || !in.intv(fn.column) ||
+            !in.num(bodyBegin) || !in.num(bodyEnd) ||
+            !in.size(nparams))
+            break;
+        fn.bodyBegin = static_cast<std::size_t>(bodyBegin);
+        fn.bodyEnd = static_cast<std::size_t>(bodyEnd);
+        for (std::size_t j = 0; j < nparams && in.ok; ++j) {
+            std::string p;
+            if (in.str(p))
+                fn.params.push_back(std::move(p));
+        }
+        if (!in.size(nstmts))
+            break;
+        for (std::size_t j = 0; j < nstmts && in.ok; ++j) {
+            Statement st;
+            int kind = 0;
+            std::size_t ncalls = 0;
+            long long e0 = 0;
+            long long e1 = 0;
+            if (!in.tag("st") || !in.intv(kind) ||
+                !in.str(st.target) || !in.str(st.base) ||
+                !in.intv(st.line) || !in.intv(st.column) ||
+                !in.num(e0) || !in.num(e1) || !in.size(ncalls))
+                break;
+            if (kind < 0 || kind > 3)
+                return in.ok = false;
+            st.kind = static_cast<Statement::Kind>(kind);
+            st.expr = {static_cast<std::size_t>(e0),
+                       static_cast<std::size_t>(e1)};
+            for (std::size_t k = 0; k < ncalls && in.ok; ++k) {
+                CallSite c;
+                std::size_t nargs = 0;
+                long long begin = 0;
+                long long end = 0;
+                if (!in.tag("ca") || !in.str(c.callee) ||
+                    !in.str(c.qualified) || !in.intv(c.line) ||
+                    !in.intv(c.column) || !in.num(begin) ||
+                    !in.num(end) || !in.size(nargs))
+                    break;
+                c.begin = static_cast<std::size_t>(begin);
+                c.end = static_cast<std::size_t>(end);
+                for (std::size_t m = 0; m < nargs && in.ok; ++m) {
+                    long long a0 = 0;
+                    long long a1 = 0;
+                    if (in.num(a0) && in.num(a1))
+                        c.args.push_back(
+                            {static_cast<std::size_t>(a0),
+                             static_cast<std::size_t>(a1)});
+                }
+                st.calls.push_back(std::move(c));
+            }
+            fn.stmts.push_back(std::move(st));
+        }
+        out.model.functions.push_back(std::move(fn));
+    }
+
+    std::size_t nfindings = 0;
+    if (!in.tag("findings") || !in.size(nfindings))
+        return false;
+    for (std::size_t i = 0; i < nfindings && in.ok; ++i) {
+        Finding f;
+        if (readFinding(in, f))
+            out.findings.push_back(std::move(f));
+    }
+
+    if (!in.tag("suppressed") || !in.size(out.suppressed))
+        return false;
+    return in.tag("end") && in.ok;
+}
+
+std::string
+serializeReport(const LintResult &result)
+{
+    std::ostringstream out;
+    out << "netchar-lint-report " << kFormatVersion << '\n';
+    out << "counts " << result.suppressedCount << ' '
+        << result.filesScanned << ' ' << result.callSites << ' '
+        << result.unresolvedCalls << ' ' << result.escapedFunctions
+        << '\n';
+    out << "summaries " << result.summaries.functions << ' '
+        << result.summaries.sccs << ' '
+        << result.summaries.largestScc << ' '
+        << result.summaries.fixpointPasses << ' '
+        << result.summaries.returnTaints << ' '
+        << result.summaries.paramReturnFlows << ' '
+        << result.summaries.paramSinkFlows << ' '
+        << result.summaries.lockEffects << '\n';
+    out << "findings " << result.findings.size() << '\n';
+    for (const Finding &f : result.findings)
+        writeFinding(out, f);
+    out << "end\n";
+    return out.str();
+}
+
+bool
+parseReport(const std::string &body, LintResult &out)
+{
+    In in(body);
+    long long version = 0;
+    if (!in.tag("netchar-lint-report") || !in.num(version) ||
+        version != kFormatVersion)
+        return false;
+    if (!in.tag("counts") || !in.size(out.suppressedCount) ||
+        !in.size(out.filesScanned) || !in.size(out.callSites) ||
+        !in.size(out.unresolvedCalls) ||
+        !in.size(out.escapedFunctions))
+        return false;
+    if (!in.tag("summaries") || !in.size(out.summaries.functions) ||
+        !in.size(out.summaries.sccs) ||
+        !in.size(out.summaries.largestScc) ||
+        !in.size(out.summaries.fixpointPasses) ||
+        !in.size(out.summaries.returnTaints) ||
+        !in.size(out.summaries.paramReturnFlows) ||
+        !in.size(out.summaries.paramSinkFlows) ||
+        !in.size(out.summaries.lockEffects))
+        return false;
+    std::size_t nfindings = 0;
+    if (!in.tag("findings") || !in.size(nfindings))
+        return false;
+    for (std::size_t i = 0; i < nfindings && in.ok; ++i) {
+        Finding f;
+        if (readFinding(in, f))
+            out.findings.push_back(std::move(f));
+    }
+    return in.tag("end") && in.ok;
+}
+
+LintCache::LintCache(std::string dir, std::string versionTag)
+    : dir_(std::move(dir)), tag_(std::move(versionTag))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return;
+    std::string existing;
+    readRawFile(dir_ + "/VERSION", existing);
+    if (existing != tag_) {
+        wipe();
+        if (!writeRawFile(dir_ + "/VERSION", tag_))
+            return;
+    }
+    valid_ = true;
+    loadIndex();
+}
+
+std::string
+LintCache::unitKey(const std::string &path,
+                   std::string_view content) const
+{
+    std::string key;
+    key.reserve(tag_.size() + path.size() + content.size() + 32);
+    key += tag_;
+    key += '\n';
+    key += std::to_string(path.size());
+    key += ':';
+    key += path;
+    key += '\n';
+    key += content;
+    return contentHashHex(key);
+}
+
+std::string
+LintCache::reportKey(
+    const std::map<std::string, std::string> &unitKeys,
+    const LintOptions &opts) const
+{
+    std::string key = tag_;
+    key += "\nopts ";
+    key += opts.taint ? 'T' : 't';
+    key += opts.concurrency ? 'C' : 'c';
+    for (const auto &[path, unit] : unitKeys) {
+        key += '\n';
+        key += unit;
+        key += ' ';
+        key += path;
+    }
+    return contentHashHex(key);
+}
+
+bool
+LintCache::loadUnit(const std::string &key, FileUnit &out)
+{
+    std::string body;
+    if (!valid_ || !readEntry(key, ".unit", body) ||
+        !parseUnit(body, out)) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    return true;
+}
+
+void
+LintCache::storeUnit(const std::string &path,
+                     const std::string &key, const FileUnit &unit)
+{
+    if (!valid_)
+        return;
+    const auto it = index_.find(path);
+    if (it != index_.end() && it->second != key) {
+        removeEntry(it->second, ".unit");
+        ++invalidations_;
+    }
+    if (writeEntry(key, ".unit", serializeUnit(unit))) {
+        if (it == index_.end() || it->second != key) {
+            index_[path] = key;
+            indexDirty_ = true;
+        }
+    }
+}
+
+bool
+LintCache::loadReport(const std::string &key, LintResult &out)
+{
+    std::string body;
+    if (!valid_ || !readEntry(key, ".report", body) ||
+        !parseReport(body, out))
+        return false;
+    ++reportHits_;
+    return true;
+}
+
+void
+LintCache::storeReport(const std::string &key,
+                       const LintResult &result)
+{
+    if (!valid_)
+        return;
+    if (!reportIndex_.empty() && reportIndex_ != key) {
+        removeEntry(reportIndex_, ".report");
+        ++invalidations_;
+    }
+    if (writeEntry(key, ".report", serializeReport(result))) {
+        if (reportIndex_ != key) {
+            reportIndex_ = key;
+            indexDirty_ = true;
+        }
+    }
+}
+
+void
+LintCache::flush()
+{
+    if (!valid_ || !indexDirty_)
+        return;
+    std::ostringstream out;
+    out << "netchar-lint-index " << kFormatVersion << '\n';
+    if (!reportIndex_.empty())
+        out << "report " << reportIndex_ << '\n';
+    for (const auto &[path, key] : index_)
+        out << "u " << esc(path) << ' ' << key << '\n';
+    if (writeRawFile(dir_ + "/index.txt", out.str()))
+        indexDirty_ = false;
+}
+
+std::string
+LintCache::entryPath(const std::string &key,
+                     const char *suffix) const
+{
+    return dir_ + "/" + key + suffix;
+}
+
+bool
+LintCache::writeEntry(const std::string &key, const char *suffix,
+                      const std::string &body)
+{
+    return writeRawFile(entryPath(key, suffix), body);
+}
+
+bool
+LintCache::readEntry(const std::string &key, const char *suffix,
+                     std::string &body) const
+{
+    return readRawFile(entryPath(key, suffix), body);
+}
+
+void
+LintCache::removeEntry(const std::string &key, const char *suffix)
+{
+    std::error_code ec;
+    fs::remove(entryPath(key, suffix), ec);
+}
+
+void
+LintCache::wipe()
+{
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec), end;
+    if (ec)
+        return;
+    std::vector<fs::path> stale;
+    for (; it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        const std::string ext = it->path().extension().string();
+        const std::string name = it->path().filename().string();
+        if (ext == ".unit" || ext == ".report" ||
+            name == "index.txt")
+            stale.push_back(it->path());
+    }
+    for (const fs::path &p : stale) {
+        if (p.filename().string() != "index.txt")
+            ++invalidations_;
+        fs::remove(p, ec);
+    }
+}
+
+void
+LintCache::loadIndex()
+{
+    std::string body;
+    if (!readRawFile(dir_ + "/index.txt", body))
+        return;
+    In in(body);
+    long long version = 0;
+    if (!in.tag("netchar-lint-index") || !in.num(version) ||
+        version != kFormatVersion)
+        return;
+    std::string word;
+    while (in.word(word)) {
+        if (word == "report") {
+            if (!in.word(reportIndex_))
+                break;
+        } else if (word == "u") {
+            std::string path;
+            std::string key;
+            if (!in.str(path) || !in.word(key))
+                break;
+            index_[path] = key;
+        } else {
+            break;
+        }
+    }
+}
+
+} // namespace netchar::lint

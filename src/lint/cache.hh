@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Incremental analysis cache for netchar-lint (--cache DIR).
+ *
+ * Two levels, both content-addressed with the shared stats/hash
+ * helpers so keys are bit-stable across hosts and build modes:
+ *
+ *  unit level    one entry per source file, keyed by a hash of
+ *                (cache version tag, path, file content). The entry
+ *                holds the serialized FileUnit — the declaration
+ *                model plus the pragma-filtered token findings — so
+ *                a warm run skips lexing, token rules and parsing
+ *                for every unchanged file and re-analyzes only
+ *                changed files; the cross-file phase (summaries,
+ *                taint, concurrency) then re-runs over the full
+ *                model set, which safely covers every reverse
+ *                call-graph dependent of a changed file.
+ *  report level  one entry for the whole run, keyed by a hash of
+ *                every (path, unit key) pair plus the analysis
+ *                options. On a hit the complete LintResult is
+ *                restored and no analysis runs at all — this is
+ *                what makes a fully-warm run an order of magnitude
+ *                cheaper than a cold one.
+ *
+ * The version tag folds in the serialization schema version and a
+ * hash of the full rule list, so upgrading the linter (new rules,
+ * changed summaries, changed JSON schema) invalidates every entry
+ * at once: the VERSION file is compared on open and the cache is
+ * wiped on mismatch. Corrupt or truncated entries parse as misses,
+ * never as wrong results. The cache never changes report bytes —
+ * cold and warm runs are byte-identical by construction, because
+ * entries are keyed on everything the analysis depends on.
+ *
+ * Writes are tmp+rename, so a crash mid-store leaves either the
+ * old entry or the new one, never a torn file (the same journaling
+ * discipline as the serve-layer result cache).
+ */
+
+#ifndef NETCHAR_LINT_CACHE_HH
+#define NETCHAR_LINT_CACHE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "lint/lint.hh"
+
+namespace netchar::lint
+{
+
+/** The cache schema/version tag: serialization format version plus
+ *  a content hash of the registered rule list. Any change to either
+ *  wipes existing caches on first open. */
+std::string lintCacheVersionTag();
+
+/**
+ * One on-disk cache directory. Open is cheap (reads VERSION and the
+ * small index); all I/O failures degrade to cache misses — the
+ * linter's output never depends on whether the cache is usable.
+ */
+class LintCache
+{
+  public:
+    /** Opens (creating if needed) `dir`; wipes it first when its
+     *  VERSION does not match `versionTag`. */
+    LintCache(std::string dir, std::string versionTag);
+
+    /** False when the directory could not be created or written;
+     *  every load then misses and every store is a no-op. */
+    bool valid() const
+    {
+        return valid_;
+    }
+
+    /** Content-addressed key of one source file's unit entry. */
+    std::string unitKey(const std::string &path,
+                        std::string_view content) const;
+
+    /** Key of the whole-run report entry: every (path, unit key)
+     *  pair plus the analysis options. Parallelism (--jobs) is
+     *  deliberately excluded — reports are byte-identical at any
+     *  job count, so runs at different widths share the entry. */
+    std::string
+    reportKey(const std::map<std::string, std::string> &unitKeys,
+              const LintOptions &opts) const;
+
+    /** Load one unit entry. True (and `out` filled) on a hit;
+     *  counts hit or miss either way. */
+    bool loadUnit(const std::string &key, FileUnit &out);
+
+    /** Store one unit entry under `key` for `path`, retiring (and
+     *  counting as invalidated) any entry a previous content of
+     *  `path` left behind. */
+    void storeUnit(const std::string &path, const std::string &key,
+                   const FileUnit &unit);
+
+    /** Load the report entry. True (and `out` filled) on a hit;
+     *  counts reportHits on success only. */
+    bool loadReport(const std::string &key, LintResult &out);
+
+    /** Store the report entry, retiring the previous one. */
+    void storeReport(const std::string &key,
+                     const LintResult &result);
+
+    /** Persist the path→key index. Call once after the last store;
+     *  a skipped flush costs future invalidation accounting, never
+     *  correctness. */
+    void flush();
+
+    /** Unit entries served from disk this run. */
+    std::size_t hits() const
+    {
+        return hits_;
+    }
+
+    /** Unit lookups that found no (usable) entry. */
+    std::size_t misses() const
+    {
+        return misses_;
+    }
+
+    /** Entries retired because their file's content changed, plus
+     *  entries wiped by a version-tag mismatch. */
+    std::size_t invalidations() const
+    {
+        return invalidations_;
+    }
+
+    /** 1 when the whole report was served from disk. */
+    std::size_t reportHits() const
+    {
+        return reportHits_;
+    }
+
+  private:
+    std::string entryPath(const std::string &key,
+                          const char *suffix) const;
+    bool writeEntry(const std::string &key, const char *suffix,
+                    const std::string &body);
+    bool readEntry(const std::string &key, const char *suffix,
+                   std::string &body) const;
+    void removeEntry(const std::string &key, const char *suffix);
+    void wipe();
+    void loadIndex();
+
+    std::string dir_;
+    std::string tag_;
+    bool valid_ = false;
+    /** Normalized source path → unit key of its stored entry. */
+    std::map<std::string, std::string> index_;
+    /** Key of the stored report entry ("" when none). */
+    std::string reportIndex_;
+    bool indexDirty_ = false;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t invalidations_ = 0;
+    std::size_t reportHits_ = 0;
+};
+
+/** Serialize one FileUnit to the versioned cache text format.
+ *  Exposed for tests; stability across runs is what makes unit
+ *  entries shareable. */
+std::string serializeUnit(const FileUnit &unit);
+
+/** Parse a serialized FileUnit. False on any malformation (the
+ *  caller treats that as a cache miss). */
+bool parseUnit(const std::string &body, FileUnit &out);
+
+/** Serialize one LintResult to the cache text format. */
+std::string serializeReport(const LintResult &result);
+
+/** Parse a serialized LintResult. False on any malformation. */
+bool parseReport(const std::string &body, LintResult &out);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_CACHE_HH

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "lint/cfg.hh"
+#include "lint/summary.hh"
 
 namespace netchar::lint
 {
@@ -201,12 +202,16 @@ struct LockEvent
         GuardRelock,  ///< guard receiver `.lock()`
         RawLock,
         RawUnlock,
+        CallEffect, ///< callee with a net lock effect (summary.hh)
     };
     Kind kind = Kind::RawLock;
     std::vector<std::string> resources;
     std::size_t token = 0; ///< ordering within the statement
     int line = 0;
     int column = 0;
+    /** CallEffect only: the callee's net effects and spelling. */
+    const LockEffects *effects = nullptr;
+    std::string callee;
 };
 
 struct WriteSite
@@ -279,6 +284,32 @@ struct LockState
                 rawMay.erase(r);
             }
             break;
+        case LockEvent::Kind::CallEffect:
+            // A callee with a net lock effect acts like an inlined
+            // raw lock/unlock sequence: releases first (a wrapper
+            // that swaps locks releases before re-acquiring), then
+            // acquisitions — which join the raw-may set so a lock
+            // leaked through a helper is still caught at this
+            // function's exit.
+            for (const std::string &r : ev.effects->mustRelease) {
+                must.erase(r);
+                may.erase(r);
+                rawMay.erase(r);
+            }
+            for (const std::string &r : ev.effects->mayRelease)
+                if (ev.effects->mustRelease.count(r) == 0)
+                    must.erase(r);
+            for (const std::string &r : ev.effects->mustAcquire) {
+                must.insert(r);
+                may.insert(r);
+                rawMay.insert(r);
+            }
+            for (const std::string &r : ev.effects->mayAcquire)
+                if (ev.effects->mustAcquire.count(r) == 0) {
+                    may.insert(r);
+                    rawMay.insert(r);
+                }
+            break;
         }
     }
 };
@@ -303,8 +334,8 @@ class Engine
 {
   public:
     Engine(const std::vector<FileModel> &files,
-           const CallGraph &graph)
-        : files_(files), graph_(graph)
+           const CallGraph &graph, const SummarySet *sums)
+        : files_(files), graph_(graph), sums_(sums)
     {
     }
 
@@ -313,6 +344,7 @@ class Engine
         collectDeclTypes();
         collectStatics();
         computeEscapeSet();
+        collectLockPairing();
         for (std::size_t fi = 0; fi < files_.size(); ++fi)
             for (std::size_t gi = 0;
                  gi < files_[fi].functions.size(); ++gi)
@@ -325,8 +357,14 @@ class Engine
   private:
     const std::vector<FileModel> &files_;
     const CallGraph &graph_;
+    const SummarySet *sums_;
     ConcurrencyAnalysis out_;
     std::set<std::string> emitted_;
+    /** Per resource: functions that syntactically raw-lock /
+     *  raw-unlock it (from the interprocedural summaries) — the
+     *  basis for pairing wrapper acquire()/release() helpers. */
+    std::map<std::string, std::set<FunctionRef>> rawLockers_;
+    std::map<std::string, std::set<FunctionRef>> rawUnlockers_;
 
     /** name → last type-word of its declaration, over all files
      *  (later files win; files arrive sorted, so this is
@@ -566,6 +604,46 @@ class Engine
         }
     }
 
+    // -- interprocedural pairing (summary-backed) ---------------
+
+    void collectLockPairing()
+    {
+        if (sums_ == nullptr)
+            return;
+        for (std::size_t fi = 0; fi < files_.size(); ++fi)
+            for (std::size_t gi = 0;
+                 gi < files_[fi].functions.size(); ++gi) {
+                const FunctionRef ref{fi, gi};
+                const LockEffects &e = sums_->of(ref).locks;
+                for (const std::string &r : e.localLocks)
+                    rawLockers_[r].insert(ref);
+                for (const std::string &r : e.localUnlocks)
+                    rawUnlockers_[r].insert(ref);
+            }
+    }
+
+    /** True when `ref` looks like one half of a cross-function
+     *  lock protocol for `r`: some *other* function supplies the
+     *  counterpart operation, and `ref` has callers that can pair
+     *  them. Local-looking imbalances in such helpers are reported
+     *  at the (root) callers instead, via the call effects. */
+    bool pairedElsewhere(
+        const std::map<std::string, std::set<FunctionRef>> &table,
+        const std::string &r, FunctionRef ref) const
+    {
+        if (sums_ == nullptr)
+            return false;
+        const auto it = table.find(r);
+        if (it == table.end())
+            return false;
+        bool other = false;
+        for (const FunctionRef &cand : it->second)
+            other |= !(cand == ref);
+        if (!other)
+            return false;
+        return !graph_.callersOf(fnOf(ref).name).empty();
+    }
+
     // -- per-function lockset analysis --------------------------
 
     /** Extract lock events and plain writes from the statement
@@ -754,6 +832,53 @@ class Engine
                 extractFromStmt(toks, st.begin, st.end, guardVars,
                                 events[b], writes[b], ref.file);
 
+        // Calls whose callee has a net lock effect (per the
+        // interprocedural summaries) become events too, so a mutex
+        // locked in acquire() and released in release() is tracked
+        // through the function that pairs them.
+        if (sums_ != nullptr) {
+            for (const Statement &stmt : fn.stmts)
+                for (const CallSite &call : stmt.calls) {
+                    const LockEffects *eff = nullptr;
+                    for (const FunctionRef def :
+                         graph_.resolve(call)) {
+                        const LockEffects &e =
+                            sums_->of(def).locks;
+                        if (e.hasNetEffect()) {
+                            eff = &e;
+                            break;
+                        }
+                    }
+                    if (eff == nullptr)
+                        continue;
+                    for (std::size_t b = 0;
+                         b < cfg.blocks.size(); ++b)
+                        for (const CfgStmt &st :
+                             cfg.blocks[b].stmts)
+                            if (call.begin >= st.begin &&
+                                call.begin < st.end) {
+                                LockEvent ev;
+                                ev.kind =
+                                    LockEvent::Kind::CallEffect;
+                                ev.token = call.begin;
+                                ev.line = call.line;
+                                ev.column = call.column;
+                                ev.effects = eff;
+                                ev.callee = call.callee;
+                                events[b].push_back(
+                                    std::move(ev));
+                                b = cfg.blocks.size() - 1;
+                                break;
+                            }
+                }
+            for (auto &evs : events)
+                std::stable_sort(
+                    evs.begin(), evs.end(),
+                    [](const LockEvent &a, const LockEvent &b) {
+                        return a.token < b.token;
+                    });
+        }
+
         // Forward fixpoint over (must, may).
         std::vector<std::vector<std::size_t>> preds(
             cfg.blocks.size());
@@ -793,6 +918,13 @@ class Engine
             escHop = &it->second;
         std::map<std::string, Site> firstRawLock;
         std::map<std::string, Site> firstHeldAt;
+        struct CallIntro
+        {
+            Site site;
+            std::string callee;
+            const LockEffects *effects = nullptr;
+        };
+        std::map<std::string, CallIntro> callIntro;
         for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
             if (!in[b].reached || !cfg.blocks[b].reachable)
                 continue;
@@ -833,7 +965,8 @@ class Engine
                 for (const LockEvent &ev : events[b]) {
                     if (ev.token < st.begin || ev.token >= st.end)
                         continue;
-                    checkDiscipline(file, fn, s, ev, firstHeldAt);
+                    checkDiscipline(ref, file, fn, s, ev,
+                                    firstHeldAt);
                     s.apply(ev);
                     if (ev.kind == LockEvent::Kind::RawLock)
                         for (const std::string &r : ev.resources)
@@ -845,31 +978,98 @@ class Engine
                         for (const std::string &r : ev.resources)
                             firstHeldAt.try_emplace(
                                 r, Site{ev.line, ev.column});
+                    if (ev.kind == LockEvent::Kind::CallEffect) {
+                        for (const std::string &r :
+                             ev.effects->mayAcquire) {
+                            callIntro.try_emplace(
+                                r, CallIntro{Site{ev.line,
+                                                  ev.column},
+                                             ev.callee,
+                                             ev.effects});
+                            firstHeldAt.try_emplace(
+                                r, Site{ev.line, ev.column});
+                        }
+                        for (const std::string &r :
+                             ev.effects->mustAcquire) {
+                            callIntro.try_emplace(
+                                r, CallIntro{Site{ev.line,
+                                                  ev.column},
+                                             ev.callee,
+                                             ev.effects});
+                            firstHeldAt.try_emplace(
+                                r, Site{ev.line, ev.column});
+                        }
+                    }
                 }
             }
         }
 
-        // Leak: a raw lock still (possibly) held at the exit.
+        // Leak: a raw lock still (possibly) held at the exit —
+        // acquired here, or left behind by a callee with a net
+        // acquire effect.
         const LockState &exitIn = in[Cfg::kExit];
         if (exitIn.reached)
             for (const std::string &r : exitIn.rawMay) {
                 const auto site = firstRawLock.find(r);
-                if (site == firstRawLock.end())
+                if (site != firstRawLock.end()) {
+                    // A helper whose unlock half lives in another
+                    // function is not a local leak: the callers
+                    // that fail to pair it are reported instead.
+                    if (pairedElsewhere(rawUnlockers_, r, ref))
+                        continue;
+                    std::vector<FlowHop> hops;
+                    hops.push_back({file.path, site->second.line,
+                                    site->second.column,
+                                    "raw lock acquired here"});
+                    hops.push_back(
+                        {file.path,
+                         toks[fn.bodyEnd].line,
+                         toks[fn.bodyEnd].column,
+                         "a path reaches the function exit without "
+                         "unlocking"});
+                    emit("lock-leak", file, site->second.line,
+                         site->second.column,
+                         "'" + r +
+                             ".lock()' is not matched by an unlock "
+                             "on every path (use lock_guard/"
+                             "scoped_lock/unique_lock)",
+                         std::move(hops), fn.qualified,
+                         exitIn.must);
+                    continue;
+                }
+                // Cross-function: a callee left the lock held and
+                // no path here releases it. Reported only at root
+                // callers, so a leak surfaces once, not at every
+                // wrapper along the chain.
+                const auto intro = callIntro.find(r);
+                if (intro == callIntro.end())
+                    continue;
+                if (!graph_.callersOf(fn.name).empty())
                     continue;
                 std::vector<FlowHop> hops;
-                hops.push_back({file.path, site->second.line,
-                                site->second.column,
-                                "raw lock acquired here"});
+                if (const auto chain =
+                        intro->second.effects->acquireChain.find(
+                            r);
+                    chain !=
+                    intro->second.effects->acquireChain.end())
+                    hops = chain->second;
+                hops.push_back({file.path, intro->second.site.line,
+                                intro->second.site.column,
+                                "call to '" +
+                                    intro->second.callee +
+                                    "()' leaves '" + r +
+                                    "' locked"});
                 hops.push_back(
                     {file.path,
                      toks[fn.bodyEnd].line,
                      toks[fn.bodyEnd].column,
                      "a path reaches the function exit without "
                      "unlocking"});
-                emit("lock-leak", file, site->second.line,
-                     site->second.column,
-                     "'" + r +
-                         ".lock()' is not matched by an unlock on "
+                emit("lock-leak", file, intro->second.site.line,
+                     intro->second.site.column,
+                     "'" + r + ".lock()' acquired by call to '" +
+                         intro->second.callee +
+                         "()' is not matched by an unlock on "
                          "every path (use lock_guard/scoped_lock/"
                          "unique_lock)",
                      std::move(hops), fn.qualified, exitIn.must);
@@ -882,11 +1082,37 @@ class Engine
             scanDiscardedErrors(ref, cfg);
     }
 
-    void checkDiscipline(const FileModel &file,
+    void checkDiscipline(FunctionRef ref, const FileModel &file,
                          const FunctionModel &fn,
                          const LockState &s, const LockEvent &ev,
                          const std::map<std::string, Site> &held)
     {
+        // A callee that acquires a lock already (possibly) held is
+        // a double-lock, same as a raw .lock() here.
+        if (ev.kind == LockEvent::Kind::CallEffect) {
+            for (const std::string &r : ev.effects->mustAcquire)
+                if (s.may.count(r) != 0) {
+                    std::vector<FlowHop> hops;
+                    if (const auto it = held.find(r);
+                        it != held.end())
+                        hops.push_back({file.path,
+                                        it->second.line,
+                                        it->second.column,
+                                        "'" + r +
+                                            "' first locked here"});
+                    hops.push_back({file.path, ev.line, ev.column,
+                                    "call to '" + ev.callee +
+                                        "()' locks it again"});
+                    emit("guard-discipline", file, ev.line,
+                         ev.column,
+                         "double-lock of '" + r + "': call to '" +
+                             ev.callee +
+                             "()' acquires a lock already held "
+                             "on some path",
+                         std::move(hops), fn.qualified, s.must);
+                }
+            return;
+        }
         // `lk.lock()` on a unique_lock that may already hold the
         // mutex throws std::system_error at runtime, so the guard
         // receiver form is a double-lock exactly like a raw one.
@@ -917,6 +1143,11 @@ class Engine
         if (ev.kind == LockEvent::Kind::RawUnlock)
             for (const std::string &r : ev.resources)
                 if (s.must.count(r) == 0) {
+                    // The release half of a cross-function lock
+                    // protocol: the lock half lives elsewhere and
+                    // the callers pair them.
+                    if (pairedElsewhere(rawLockers_, r, ref))
+                        continue;
                     std::vector<FlowHop> hops;
                     hops.push_back({file.path, ev.line, ev.column,
                                     "unlocked on a path where it "
@@ -1324,7 +1555,15 @@ ConcurrencyAnalysis
 analyzeConcurrency(const std::vector<FileModel> &files,
                    const CallGraph &graph)
 {
-    return Engine(files, graph).run();
+    return Engine(files, graph, nullptr).run();
+}
+
+ConcurrencyAnalysis
+analyzeConcurrency(const std::vector<FileModel> &files,
+                   const CallGraph &graph,
+                   const SummarySet &summaries)
+{
+    return Engine(files, graph, &summaries).run();
 }
 
 } // namespace netchar::lint

@@ -60,6 +60,7 @@
 #include "lint/callgraph.hh"
 #include "lint/parser.hh"
 #include "lint/rules.hh"
+#include "lint/summary.hh"
 
 namespace netchar::lint
 {
@@ -95,6 +96,16 @@ Severity concurrencyRuleSeverity(std::string_view rule);
 ConcurrencyAnalysis
 analyzeConcurrency(const std::vector<FileModel> &files,
                    const CallGraph &graph);
+
+/** Same, with interprocedural lock-effect summaries (summary.hh):
+ *  calls to functions with a net lock effect become lockset events,
+ *  so a mutex locked in `acquire()` and released in `release()` is
+ *  tracked through the callers that pair them, and a lock leaked
+ *  through a helper is reported at the root caller. */
+ConcurrencyAnalysis
+analyzeConcurrency(const std::vector<FileModel> &files,
+                   const CallGraph &graph,
+                   const SummarySet &summaries);
 
 } // namespace netchar::lint
 

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Parallel, incrementally-cached lint driver.
+ *
+ * The analysis layers below (lint.hh) are deliberately split into a
+ * per-file phase (analyzeFileUnit — a pure function of path and
+ * content) and a cross-file phase (assembleUnits). This driver
+ * exploits that split twice:
+ *
+ *  --jobs N   fans the per-file phase out over a core::Executor.
+ *             Each task writes only its own unit slot and the
+ *             cross-file phase consumes the slots in sorted-path
+ *             order, so the report is byte-identical at any job
+ *             count (ctest-enforced, same bar as lint.concurrency).
+ *  --cache D  consults the two-level content-addressed cache
+ *             (cache.hh): unchanged files load their FileUnit from
+ *             disk instead of being re-analyzed, and a fully
+ *             unchanged tree short-circuits through the report-
+ *             level entry without running any analysis at all.
+ *
+ * This is the only lint layer allowed to link netchar_core: the
+ * analysis code audits the executor, so it must not depend on it
+ * (CMake enforces the split — netchar_lint_core links only
+ * netchar_stats, the driver library links both).
+ */
+
+#ifndef NETCHAR_LINT_DRIVER_HH
+#define NETCHAR_LINT_DRIVER_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace netchar::lint
+{
+
+/** Knobs of one driver run, wrapping the analysis options. */
+struct DriverOptions
+{
+    LintOptions lint;
+    /** Per-file analysis parallelism; 0 picks one job per hardware
+     *  thread, 1 (the default) is a serial loop. Never affects
+     *  report bytes. */
+    unsigned jobs = 1;
+    /** Incremental cache directory (--cache); empty disables
+     *  caching. Created on first use, wiped when its version tag
+     *  does not match this binary's. */
+    std::string cacheDir;
+};
+
+/**
+ * Lint files and directory trees: discover (sorted, de-duplicated,
+ * lexically normalized), analyze per file (parallel, cached),
+ * assemble the cross-file report. Equivalent to lintPaths() byte
+ * for byte; `stats` (optional) receives per-phase timings and the
+ * cache counters.
+ */
+LintResult runLint(const std::vector<std::string> &paths,
+                   std::vector<std::string> &errors,
+                   const DriverOptions &opts,
+                   LintStats *stats = nullptr);
+
+} // namespace netchar::lint
+
+#endif // NETCHAR_LINT_DRIVER_HH

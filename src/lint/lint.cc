@@ -1,6 +1,7 @@
 #include "lint/lint.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -41,6 +42,13 @@ isSkippedDir(const fs::path &p)
     return name.empty() || name.front() == '.' ||
            name == "build" || name == "_deps" ||
            name.rfind("build-", 0) == 0;
+}
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
 }
 
 /** Path-wise ordering of flow hops, the final sort tie-break: two
@@ -92,7 +100,7 @@ sortFindings(std::vector<Finding> &findings)
  */
 void
 applyPragmas(const std::string &path, const LexedFile &lexed,
-             std::vector<Finding> &found, LintResult &result)
+             std::vector<Finding> &found, FileUnit &unit)
 {
     struct Suppression
     {
@@ -111,7 +119,7 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
             f.rule = "bad-pragma";
             f.severity = Severity::Error;
             f.message = pragma.error;
-            result.findings.push_back(std::move(f));
+            unit.findings.push_back(std::move(f));
             continue;
         }
         for (const std::string &rule : pragma.rules) {
@@ -126,7 +134,7 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
                     f.message = "allow-flow() names unknown flow "
                                 "rule '" +
                                 rule + "'";
-                    result.findings.push_back(std::move(f));
+                    unit.findings.push_back(std::move(f));
                 }
                 continue;
             }
@@ -140,7 +148,7 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
                 f.severity = Severity::Error;
                 f.message =
                     "allow() names unknown rule '" + rule + "'";
-                result.findings.push_back(std::move(f));
+                unit.findings.push_back(std::move(f));
                 continue;
             }
             active.push_back({pragma.line, pragma.endLine, rule});
@@ -156,9 +164,9 @@ applyPragmas(const std::string &path, const LexedFile &lexed,
                 break;
             }
         if (suppressed)
-            ++result.suppressedCount;
+            ++unit.suppressed;
         else
-            result.findings.push_back(std::move(f));
+            unit.findings.push_back(std::move(f));
     }
 }
 
@@ -171,6 +179,79 @@ LintResult::hasError() const
         if (f.severity == Severity::Error)
             return true;
     return false;
+}
+
+FileUnit
+analyzeFileUnit(const std::string &path, std::string_view content)
+{
+    using clock = std::chrono::steady_clock;
+    FileUnit unit;
+    const clock::time_point t0 = clock::now();
+    LexedFile lexed = lex(content);
+    const clock::time_point t1 = clock::now();
+    std::vector<Finding> found;
+    for (const auto &rule : allRules())
+        if (rule->appliesTo(path))
+            rule->check(path, lexed, found);
+    applyPragmas(path, lexed, found, unit);
+    const clock::time_point t2 = clock::now();
+    unit.model = parseFile(path, std::move(lexed));
+    const clock::time_point t3 = clock::now();
+    unit.lexSeconds = secondsBetween(t0, t1);
+    unit.rulesSeconds = secondsBetween(t1, t2);
+    unit.parseSeconds = secondsBetween(t2, t3);
+    return unit;
+}
+
+LintResult
+assembleUnits(std::vector<FileUnit> units, const LintOptions &opts,
+              AssembleTimes *times)
+{
+    using clock = std::chrono::steady_clock;
+    LintResult result;
+    result.filesScanned = units.size();
+    for (FileUnit &unit : units) {
+        for (Finding &f : unit.findings)
+            result.findings.push_back(std::move(f));
+        result.suppressedCount += unit.suppressed;
+    }
+
+    const bool crossFile = opts.taint || opts.concurrency;
+    if (crossFile) {
+        std::vector<FileModel> models;
+        models.reserve(units.size());
+        for (FileUnit &unit : units)
+            models.push_back(std::move(unit.model));
+        const clock::time_point t0 = clock::now();
+        // One call graph and one summary set feed both cross-file
+        // passes; their statistics surface in the schema-v4 report
+        // either way.
+        const CallGraph graph(models);
+        const SummarySet sums = computeSummaries(models, graph);
+        result.callSites = graph.stats().callSites;
+        result.unresolvedCalls = graph.stats().unresolvedCalls;
+        result.summaries = sums.stats();
+        if (opts.taint) {
+            TaintAnalysis taint = analyzeTaint(models, graph, sums);
+            for (Finding &f : taint.flows)
+                result.findings.push_back(std::move(f));
+            result.suppressedCount += taint.suppressed;
+        }
+        if (opts.concurrency) {
+            ConcurrencyAnalysis conc =
+                analyzeConcurrency(models, graph, sums);
+            for (Finding &f : conc.findings)
+                result.findings.push_back(std::move(f));
+            result.suppressedCount += conc.suppressed;
+            result.escapedFunctions = conc.escapedFunctions;
+        }
+        if (times != nullptr)
+            times->summarySeconds +=
+                secondsBetween(t0, clock::now());
+    }
+
+    sortFindings(result.findings);
+    return result;
 }
 
 LintResult
@@ -194,52 +275,16 @@ lintSources(std::vector<SourceBuffer> sources,
                   return a.path < b.path;
               });
 
-    LintResult result;
-    const bool crossFile = opts.taint || opts.concurrency;
-    std::vector<FileModel> models;
-    if (crossFile)
-        models.reserve(sources.size());
-    for (const SourceBuffer &src : sources) {
-        LexedFile lexed = lex(src.content);
-        std::vector<Finding> found;
-        for (const auto &rule : allRules())
-            if (rule->appliesTo(src.path))
-                rule->check(src.path, lexed, found);
-        applyPragmas(src.path, lexed, found, result);
-        ++result.filesScanned;
-        if (crossFile)
-            models.push_back(parseFile(src.path, std::move(lexed)));
-    }
-
-    if (crossFile) {
-        // One call graph feeds both cross-file passes; its link
-        // statistics surface in the schema-v3 report either way.
-        const CallGraph graph(models);
-        result.callSites = graph.stats().callSites;
-        result.unresolvedCalls = graph.stats().unresolvedCalls;
-        if (opts.taint) {
-            TaintAnalysis taint = analyzeTaint(models, graph);
-            for (Finding &f : taint.flows)
-                result.findings.push_back(std::move(f));
-            result.suppressedCount += taint.suppressed;
-        }
-        if (opts.concurrency) {
-            ConcurrencyAnalysis conc =
-                analyzeConcurrency(models, graph);
-            for (Finding &f : conc.findings)
-                result.findings.push_back(std::move(f));
-            result.suppressedCount += conc.suppressed;
-            result.escapedFunctions = conc.escapedFunctions;
-        }
-    }
-
-    sortFindings(result.findings);
-    return result;
+    std::vector<FileUnit> units;
+    units.reserve(sources.size());
+    for (const SourceBuffer &src : sources)
+        units.push_back(analyzeFileUnit(src.path, src.content));
+    return assembleUnits(std::move(units), opts);
 }
 
-LintResult
-lintPaths(const std::vector<std::string> &paths,
-          std::vector<std::string> &errors, const LintOptions &opts)
+std::vector<std::string>
+discoverFiles(const std::vector<std::string> &paths,
+              std::vector<std::string> &errors)
 {
     std::vector<std::string> files;
     for (const std::string &p : paths) {
@@ -250,7 +295,8 @@ lintPaths(const std::vector<std::string> &paths,
             continue;
         }
         if (fs::is_regular_file(st)) {
-            files.push_back(fs::path(p).generic_string());
+            files.push_back(
+                fs::path(p).lexically_normal().generic_string());
             continue;
         }
         if (!fs::is_directory(st)) {
@@ -273,16 +319,27 @@ lintPaths(const std::vector<std::string> &paths,
                 continue;
             }
             if (it->is_regular_file() && isSourceFile(it->path()))
-                files.push_back(it->path().generic_string());
+                files.push_back(it->path()
+                                    .lexically_normal()
+                                    .generic_string());
         }
     }
 
     // Lexicographic order, never enumeration order: reports must be
-    // byte-identical across filesystems and repeated runs.
+    // byte-identical across filesystems, repeated runs, and
+    // repeated or overlapping path arguments.
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()),
                 files.end());
+    return files;
+}
 
+LintResult
+lintPaths(const std::vector<std::string> &paths,
+          std::vector<std::string> &errors, const LintOptions &opts)
+{
+    const std::vector<std::string> files =
+        discoverFiles(paths, errors);
     std::vector<SourceBuffer> sources;
     sources.reserve(files.size());
     for (const std::string &file : files) {
@@ -327,7 +384,7 @@ renderText(const LintResult &result)
 }
 
 std::string
-renderJson(const LintResult &result)
+renderJson(const LintResult &result, const LintStats *stats)
 {
     std::ostringstream out;
     std::size_t nerror = 0;
@@ -338,7 +395,7 @@ renderJson(const LintResult &result)
         else
             ++nwarning;
     }
-    out << "{\n  \"version\": 3,\n  \"filesScanned\": "
+    out << "{\n  \"version\": 4,\n  \"filesScanned\": "
         << result.filesScanned
         << ",\n  \"suppressed\": " << result.suppressedCount
         << ",\n  \"counts\": {\"error\": " << nerror
@@ -347,7 +404,33 @@ renderJson(const LintResult &result)
         << result.callSites
         << ", \"unresolvedCalls\": " << result.unresolvedCalls
         << ", \"escapedFunctions\": " << result.escapedFunctions
-        << "},\n  \"findings\": [";
+        << "},\n  \"summaries\": {\"functions\": "
+        << result.summaries.functions
+        << ", \"sccs\": " << result.summaries.sccs
+        << ", \"largestScc\": " << result.summaries.largestScc
+        << ", \"fixpointPasses\": "
+        << result.summaries.fixpointPasses
+        << ", \"returnTaints\": " << result.summaries.returnTaints
+        << ", \"paramReturnFlows\": "
+        << result.summaries.paramReturnFlows
+        << ", \"paramSinkFlows\": "
+        << result.summaries.paramSinkFlows
+        << ", \"lockEffects\": " << result.summaries.lockEffects
+        << "}";
+    if (stats != nullptr)
+        out << ",\n  \"stats\": {\"lexSeconds\": "
+            << stats->lexSeconds
+            << ", \"parseSeconds\": " << stats->parseSeconds
+            << ", \"rulesSeconds\": " << stats->rulesSeconds
+            << ", \"summarySeconds\": " << stats->summarySeconds
+            << ", \"filesAnalyzed\": " << stats->filesAnalyzed
+            << ", \"cacheHits\": " << stats->cacheHits
+            << ", \"cacheMisses\": " << stats->cacheMisses
+            << ", \"cacheInvalidations\": "
+            << stats->cacheInvalidations
+            << ", \"reportCacheHits\": " << stats->reportCacheHits
+            << "}";
+    out << ",\n  \"findings\": [";
     bool first = true;
     for (const Finding &f : result.findings) {
         out << (first ? "\n" : ",\n")
@@ -401,6 +484,23 @@ renderJson(const LintResult &result)
         first = false;
     }
     out << (first ? "]\n}\n" : "\n  ]\n}\n");
+    return out.str();
+}
+
+std::string
+renderStatsText(const LintStats &stats)
+{
+    std::ostringstream out;
+    out << "netchar-lint stats:\n"
+        << "  lex       " << stats.lexSeconds << "s\n"
+        << "  parse     " << stats.parseSeconds << "s\n"
+        << "  rules     " << stats.rulesSeconds << "s\n"
+        << "  summaries " << stats.summarySeconds << "s\n"
+        << "  files analyzed: " << stats.filesAnalyzed << '\n'
+        << "  cache: " << stats.cacheHits << " hit(s), "
+        << stats.cacheMisses << " miss(es), "
+        << stats.cacheInvalidations << " invalidation(s), "
+        << stats.reportCacheHits << " report hit(s)\n";
     return out.str();
 }
 

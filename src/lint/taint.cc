@@ -1,13 +1,10 @@
 #include "lint/taint.hh"
 
-#include <algorithm>
-#include <deque>
-#include <map>
-#include <optional>
 #include <set>
 #include <sstream>
 
 #include "lint/callgraph.hh"
+#include "lint/summary.hh"
 
 namespace netchar::lint
 {
@@ -15,503 +12,17 @@ namespace netchar::lint
 namespace
 {
 
-bool
-isPunct(const Token &t, std::string_view text)
+/** Dedup key of one flow: rule plus the full hop path. */
+std::string
+flowKey(const SinkEvent &ev)
 {
-    return t.kind == TokenKind::Punct && t.text == text;
+    std::ostringstream key;
+    key << ev.rule;
+    for (const FlowHop &h : ev.path)
+        key << '|' << h.file << ':' << h.line << ':' << h.column
+            << ':' << h.note;
+    return key.str();
 }
-
-bool
-idIn(const Token &t, const std::vector<std::string_view> &set)
-{
-    if (t.kind != TokenKind::Identifier)
-        return false;
-    for (const std::string_view s : set)
-        if (t.text == s)
-            return true;
-    return false;
-}
-
-/** The serialization surface. A tainted argument to any of these is
- *  a flow finding: csv/json text helpers, the export entry points,
- *  the trace exporters — everything a --ledger/--stats/--trace-out
- *  stream is written from — and the serve-layer wire/cache builders
- *  (okResponse and friends, requestLine, sweepBodyJson): anything
- *  nondeterministic reaching those would be transmitted to clients
- *  or pinned into the content-addressed result cache. */
-constexpr std::string_view kSinkNames[] = {
-    "csvField",         "jsonEscape",       "chromeTraceJson",
-    "traceCsv",         "suiteStatsCsv",    "suiteStatsJson",
-    "failureLedgerCsv", "failureLedgerJson", "metricsCsv",
-    "topdownCsv",       "runResultJson",    "suiteJson",
-    "okResponse",       "okCachedResponse", "errorResponse",
-    "jsonString",       "requestLine",      "sweepBodyJson",
-    "errorCodeResponse", "journalRecord",
-};
-
-bool
-isSinkName(std::string_view name)
-{
-    for (const std::string_view s : kSinkNames)
-        if (name == s)
-            return true;
-    return false;
-}
-
-/** Run-ledger fields sanctioned to carry host wall time (the two
- *  justified sites from the PR-4 pragma review): assignments into
- *  them are sanitized, the taint stops there. */
-constexpr std::string_view kLedgerFieldWhitelist[] = {
-    "wallSeconds",
-};
-
-bool
-isWhitelistedField(std::string_view name)
-{
-    for (const std::string_view s : kLedgerFieldWhitelist)
-        if (name == s)
-            return true;
-    return false;
-}
-
-/** Token rule whose allow() pragma also sanitizes the flow rule's
- *  source site (one written exception serves both layers). */
-std::string_view
-tokenRuleAlias(std::string_view flowRule)
-{
-    if (flowRule == "flow-wallclock")
-        return "no-wallclock";
-    if (flowRule == "flow-rng")
-        return "no-ambient-rng";
-    if (flowRule == "flow-ptr")
-        return "no-pointer-hash";
-    return {};
-}
-
-/** A taint mark: which flow rule, and the path that produced it. */
-struct Taint
-{
-    std::string rule;
-    std::vector<FlowHop> path;
-};
-
-/** One nondeterminism source occurrence inside a token range. */
-struct SourceHit
-{
-    std::size_t tok = 0;
-    std::string_view rule;
-    std::string what; ///< human-readable source description
-};
-
-/** Integral-destination check for reinterpret_cast<...>: mirrors
- *  the no-pointer-hash token rule via the shared target table. */
-bool
-laundersPointer(const std::vector<Token> &toks, std::size_t open)
-{
-    int depth = 0;
-    bool integral = false;
-    const std::size_t limit = std::min(toks.size(), open + 64);
-    for (std::size_t j = open; j < limit; ++j) {
-        if (isPunct(toks[j], "<"))
-            ++depth;
-        else if (isPunct(toks[j], ">"))
-            --depth;
-        else if (isPunct(toks[j], ">>"))
-            depth -= 2;
-        else if (isPunct(toks[j], "*"))
-            return false;
-        else if (idIn(toks[j], pointerLaunderTargets()))
-            integral = true;
-        if (depth <= 0 && j > open)
-            break;
-    }
-    return integral;
-}
-
-/** All nondeterminism sources inside [begin, end). */
-std::vector<SourceHit>
-scanSources(const std::vector<Token> &toks, std::size_t begin,
-            std::size_t end)
-{
-    std::vector<SourceHit> hits;
-    const auto next = [&](std::size_t j) -> const Token * {
-        return j + 1 < end ? &toks[j + 1] : nullptr;
-    };
-    for (std::size_t j = begin; j < end && j < toks.size(); ++j) {
-        const Token &t = toks[j];
-        if (t.kind != TokenKind::Identifier)
-            continue;
-        const Token *n = next(j);
-        if (idIn(t, clockTypeNames())) {
-            hits.push_back(
-                {j, "flow-wallclock", "host clock '" + t.text + "'"});
-            continue;
-        }
-        if (idIn(t, hostTimeCallNames()) && n && isPunct(*n, "(")) {
-            hits.push_back({j, "flow-wallclock",
-                            "host time function '" + t.text + "()'"});
-            continue;
-        }
-        if (t.text == "random_device" ||
-            t.text == "default_random_engine") {
-            hits.push_back(
-                {j, "flow-rng", "ambient RNG '" + t.text + "'"});
-            continue;
-        }
-        if ((t.text == "rand" || t.text == "srand" ||
-             t.text == "rand_r" || t.text == "drand48") &&
-            n && isPunct(*n, "(")) {
-            hits.push_back(
-                {j, "flow-rng", "ambient RNG '" + t.text + "()'"});
-            continue;
-        }
-        if ((t.text == "getenv" || t.text == "secure_getenv") && n &&
-            isPunct(*n, "(")) {
-            hits.push_back({j, "flow-env",
-                            "environment read '" + t.text + "()'"});
-            continue;
-        }
-        if (t.text == "reinterpret_cast" && n && isPunct(*n, "<") &&
-            laundersPointer(toks, j + 1)) {
-            hits.push_back({j, "flow-ptr",
-                            "pointer-to-integer cast "
-                            "'reinterpret_cast'"});
-            continue;
-        }
-        if (t.text == "get_id" && n && isPunct(*n, "(")) {
-            hits.push_back(
-                {j, "flow-threadid", "thread id 'get_id()'"});
-            continue;
-        }
-        if (t.text == "thread" && n && isPunct(*n, "::") &&
-            j + 2 < end && toks[j + 2].kind ==
-                TokenKind::Identifier &&
-            toks[j + 2].text == "id") {
-            hits.push_back(
-                {j, "flow-threadid", "thread id 'thread::id'"});
-            continue;
-        }
-    }
-    return hits;
-}
-
-/** Per-function taint state: named locals/params and the return. */
-struct FnState
-{
-    std::map<std::string, Taint> vars;
-    std::optional<Taint> ret;
-};
-
-class Engine
-{
-  public:
-    Engine(const std::vector<FileModel> &files,
-           const CallGraph &graph)
-        : files_(files), graph_(graph)
-    {
-        state_.resize(files.size());
-        sanitizers_.resize(files.size());
-        for (std::size_t fi = 0; fi < files.size(); ++fi) {
-            state_[fi].resize(files[fi].functions.size());
-            collectSanitizers(fi);
-        }
-    }
-
-    TaintAnalysis run()
-    {
-        for (std::size_t fi = 0; fi < files_.size(); ++fi)
-            for (std::size_t gi = 0;
-                 gi < files_[fi].functions.size(); ++gi)
-                enqueue({fi, gi});
-        while (!queue_.empty()) {
-            const FunctionRef ref = queue_.front();
-            queue_.pop_front();
-            queued_.erase(ref);
-            processFunction(ref);
-        }
-        TaintAnalysis out;
-        out.flows = std::move(flows_);
-        out.suppressed = suppressedKeys_.size();
-        return out;
-    }
-
-  private:
-    /** One sanitizer pragma's coverage span for one flow rule. */
-    struct Sanitizer
-    {
-        int line;
-        int endLine;
-        std::string rule;
-    };
-
-    void collectSanitizers(std::size_t fi)
-    {
-        for (const Pragma &p : files_[fi].lexed.pragmas) {
-            if (p.malformed)
-                continue;
-            for (const std::string &rule : p.rules) {
-                if (p.flow) {
-                    if (isFlowRuleName(rule))
-                        sanitizers_[fi].push_back(
-                            {p.line, p.endLine, rule});
-                    continue;
-                }
-                // An allow(<token-rule>) on the source site also
-                // sanitizes the corresponding flow rule there.
-                for (const std::string_view fr : flowRuleNames())
-                    if (tokenRuleAlias(fr) == rule)
-                        sanitizers_[fi].push_back(
-                            {p.line, p.endLine, std::string(fr)});
-            }
-        }
-    }
-
-    bool sanitizedAt(std::size_t fi, int line,
-                     std::string_view rule) const
-    {
-        for (const Sanitizer &s : sanitizers_[fi])
-            if (s.rule == rule && line >= s.line &&
-                line <= s.endLine + 1)
-                return true;
-        return false;
-    }
-
-    void enqueue(FunctionRef ref)
-    {
-        if (queued_.insert(ref).second)
-            queue_.push_back(ref);
-    }
-
-    FnState &stateOf(FunctionRef ref)
-    {
-        return state_[ref.file][ref.fn];
-    }
-
-    /**
-     * Taint of the expression [begin, end): the earliest (by token
-     * position) of a direct source, a tainted variable mention, or
-     * a call whose return is tainted. Sanitized sources don't count.
-     */
-    std::optional<Taint>
-    exprTaint(FunctionRef ref, const FnState &st, std::size_t begin,
-              std::size_t end, const std::vector<CallSite> &calls)
-    {
-        const FileModel &file = files_[ref.file];
-        const auto &toks = file.lexed.tokens;
-        std::optional<Taint> best;
-        std::size_t bestPos = 0;
-
-        const auto consider = [&](std::size_t pos, Taint t) {
-            if (!best || pos < bestPos) {
-                best = std::move(t);
-                bestPos = pos;
-            }
-        };
-
-        for (const SourceHit &hit : scanSources(toks, begin, end)) {
-            const int line = toks[hit.tok].line;
-            if (sanitizedAt(ref.file, line, hit.rule))
-                continue;
-            Taint t;
-            t.rule = std::string(hit.rule);
-            t.path.push_back({file.path, line,
-                              toks[hit.tok].column,
-                              "source: " + hit.what});
-            consider(hit.tok, std::move(t));
-        }
-
-        for (std::size_t j = begin; j < end && j < toks.size();
-             ++j) {
-            if (toks[j].kind != TokenKind::Identifier)
-                continue;
-            const auto it = st.vars.find(toks[j].text);
-            if (it != st.vars.end())
-                consider(j, it->second);
-        }
-
-        for (const CallSite &call : calls) {
-            if (call.begin < begin || call.end > end)
-                continue;
-            for (const FunctionRef def : graph_.resolve(call)) {
-                const FnState &ds = stateOf(def);
-                if (!ds.ret)
-                    continue;
-                Taint t = *ds.ret;
-                t.path.push_back({file.path, call.line, call.column,
-                                  "tainted value returned by '" +
-                                      call.callee + "()'"});
-                consider(call.begin, std::move(t));
-                break; // one matching definition is enough
-            }
-        }
-        return best;
-    }
-
-    void emitFlow(FunctionRef ref, const CallSite &call,
-                  std::size_t argIndex, Taint taint)
-    {
-        const FileModel &file = files_[ref.file];
-        taint.path.push_back(
-            {file.path, call.line, call.column,
-             "sink: argument " + std::to_string(argIndex + 1) +
-                 " of '" + call.callee + "()'"});
-
-        std::ostringstream key;
-        key << taint.rule;
-        for (const FlowHop &h : taint.path)
-            key << '|' << h.file << ':' << h.line << ':' << h.column
-                << ':' << h.note;
-
-        if (sanitizedAt(ref.file, call.line, taint.rule)) {
-            suppressedKeys_.insert(key.str());
-            return;
-        }
-        if (!flowKeys_.insert(key.str()).second)
-            return;
-
-        Finding f;
-        f.file = file.path;
-        f.line = call.line;
-        f.column = call.column;
-        f.rule = taint.rule;
-        f.severity = Severity::Error;
-        f.message = taint.path.front().note +
-                    " reaches serialization sink '" + call.callee +
-                    "()' through " +
-                    std::to_string(taint.path.size()) +
-                    " hop(s); break the flow or add an allow-flow(" +
-                    taint.rule + ") pragma with a reason";
-        f.path = std::move(taint.path);
-        flows_.push_back(std::move(f));
-    }
-
-    void processFunction(FunctionRef ref)
-    {
-        const FunctionModel &fn =
-            files_[ref.file].functions[ref.fn];
-        const FileModel &file = files_[ref.file];
-        FnState &st = stateOf(ref);
-
-        bool changed = true;
-        int guard = 0;
-        while (changed && guard++ < 64) {
-            changed = false;
-            for (const Statement &stmt : fn.stmts) {
-                if ((stmt.kind == Statement::Kind::Decl ||
-                     stmt.kind == Statement::Kind::Assign) &&
-                    !stmt.target.empty() &&
-                    !isWhitelistedField(stmt.target)) {
-                    const bool wantTarget =
-                        st.vars.find(stmt.target) == st.vars.end();
-                    const bool wantBase =
-                        !stmt.base.empty() &&
-                        st.vars.find(stmt.base) == st.vars.end();
-                    if (wantTarget || wantBase) {
-                        auto taint = exprTaint(
-                            ref, st, stmt.expr.first,
-                            stmt.expr.second, stmt.calls);
-                        if (taint &&
-                            !sanitizedAt(ref.file, stmt.line,
-                                         taint->rule)) {
-                            FlowHop hop{file.path, stmt.line,
-                                        stmt.column,
-                                        "'" + stmt.target +
-                                            "' assigned from "
-                                            "tainted expression"};
-                            if (wantTarget) {
-                                Taint t = *taint;
-                                t.path.push_back(hop);
-                                st.vars.emplace(stmt.target,
-                                                std::move(t));
-                                changed = true;
-                            }
-                            if (wantBase) {
-                                Taint t = *taint;
-                                hop.note = "member of '" +
-                                           stmt.base +
-                                           "' assigned from "
-                                           "tainted expression";
-                                t.path.push_back(hop);
-                                st.vars.emplace(stmt.base,
-                                                std::move(t));
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-
-                if (stmt.kind == Statement::Kind::Return &&
-                    !st.ret) {
-                    auto taint =
-                        exprTaint(ref, st, stmt.expr.first,
-                                  stmt.expr.second, stmt.calls);
-                    if (taint &&
-                        !sanitizedAt(ref.file, stmt.line,
-                                     taint->rule)) {
-                        taint->path.push_back(
-                            {file.path, stmt.line, stmt.column,
-                             "returned from '" + fn.name + "()'"});
-                        st.ret = std::move(*taint);
-                        changed = true;
-                        for (const FunctionRef caller :
-                             graph_.callersOf(fn.name))
-                            enqueue(caller);
-                    }
-                }
-
-                for (const CallSite &call : stmt.calls) {
-                    for (std::size_t ai = 0;
-                         ai < call.args.size(); ++ai) {
-                        auto taint = exprTaint(
-                            ref, st, call.args[ai].first,
-                            call.args[ai].second, stmt.calls);
-                        if (!taint)
-                            continue;
-                        if (isSinkName(call.callee)) {
-                            emitFlow(ref, call, ai,
-                                     std::move(*taint));
-                            continue;
-                        }
-                        for (const FunctionRef def :
-                             graph_.resolve(call)) {
-                            const FunctionModel &dfn =
-                                files_[def.file]
-                                    .functions[def.fn];
-                            if (ai >= dfn.params.size() ||
-                                dfn.params[ai].empty())
-                                continue;
-                            FnState &ds = stateOf(def);
-                            if (ds.vars.find(dfn.params[ai]) !=
-                                ds.vars.end())
-                                continue;
-                            Taint t = *taint;
-                            t.path.push_back(
-                                {file.path, call.line, call.column,
-                                 "argument " +
-                                     std::to_string(ai + 1) +
-                                     " of '" + call.callee +
-                                     "()' taints parameter '" +
-                                     dfn.params[ai] + "'"});
-                            ds.vars.emplace(dfn.params[ai],
-                                            std::move(t));
-                            enqueue(def);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    const std::vector<FileModel> &files_;
-    const CallGraph &graph_;
-    std::vector<std::vector<FnState>> state_;
-    std::vector<std::vector<Sanitizer>> sanitizers_;
-    std::vector<Finding> flows_;
-    std::set<std::string> flowKeys_;
-    std::set<std::string> suppressedKeys_;
-    std::deque<FunctionRef> queue_;
-    std::set<FunctionRef> queued_;
-};
 
 } // namespace
 
@@ -564,8 +75,60 @@ TaintAnalysis
 analyzeTaint(const std::vector<FileModel> &files,
              const CallGraph &graph)
 {
-    Engine engine(files, graph);
-    return engine.run();
+    const SummarySet sums = computeSummaries(files, graph);
+    return analyzeTaint(files, graph, sums);
+}
+
+TaintAnalysis
+analyzeTaint(const std::vector<FileModel> &files,
+             const CallGraph &graph, const SummarySet &sums)
+{
+    // Sanitizer spans per file path, for the any-hop suppression
+    // check (lint.hh: an allow-flow pragma on any hop of the path
+    // silences the flow).
+    std::map<std::string, std::vector<FlowSanitizer>> sanitizers;
+    for (const FileModel &file : files)
+        sanitizers.emplace(file.path,
+                           collectFlowSanitizers(file.lexed));
+
+    TaintAnalysis out;
+    std::set<std::string> flowKeys;
+    std::set<std::string> suppressedKeys;
+    forEachConcreteFlow(
+        files, graph, sums, [&](SinkEvent ev) {
+            std::string key = flowKey(ev);
+            bool sanitized = false;
+            for (const FlowHop &h : ev.path) {
+                const auto it = sanitizers.find(h.file);
+                if (it != sanitizers.end() &&
+                    flowSanitizedAt(it->second, h.line, ev.rule)) {
+                    sanitized = true;
+                    break;
+                }
+            }
+            if (sanitized) {
+                suppressedKeys.insert(std::move(key));
+                return;
+            }
+            if (!flowKeys.insert(std::move(key)).second)
+                return;
+            Finding f;
+            f.file = ev.sinkFile;
+            f.line = ev.sinkLine;
+            f.column = ev.sinkColumn;
+            f.rule = ev.rule;
+            f.severity = Severity::Error;
+            f.message =
+                ev.path.front().note +
+                " reaches serialization sink '" + ev.sinkCallee +
+                "()' through " + std::to_string(ev.path.size()) +
+                " hop(s); break the flow or add an allow-flow(" +
+                ev.rule + ") pragma with a reason";
+            f.path = std::move(ev.path);
+            out.flows.push_back(std::move(f));
+        });
+    out.suppressed = suppressedKeys.size();
+    return out;
 }
 
 } // namespace netchar::lint

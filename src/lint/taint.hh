@@ -43,6 +43,7 @@
 #include "lint/callgraph.hh"
 #include "lint/parser.hh"
 #include "lint/rules.hh"
+#include "lint/summary.hh"
 
 namespace netchar::lint
 {
@@ -74,6 +75,13 @@ TaintAnalysis analyzeTaint(const std::vector<FileModel> &files);
  *  driver shares one graph between taint and concurrency). */
 TaintAnalysis analyzeTaint(const std::vector<FileModel> &files,
                            const CallGraph &graph);
+
+/** Same, over interprocedural summaries the caller already
+ *  computed (summary.hh) — the driver shares one SummarySet
+ *  between the taint and concurrency passes. */
+TaintAnalysis analyzeTaint(const std::vector<FileModel> &files,
+                           const CallGraph &graph,
+                           const SummarySet &summaries);
 
 } // namespace netchar::lint
 

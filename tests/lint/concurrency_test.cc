@@ -402,7 +402,7 @@ TEST(Concurrency, JsonCarriesLocksetsAndCallGraphStats)
           "    mu.unlock();\n"
           "}\n"}});
     const std::string json = renderJson(r);
-    EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"callGraph\""), std::string::npos);
     EXPECT_NE(json.find("\"locksets\": ["), std::string::npos);
     EXPECT_NE(json.find("\"held\": [\"mu\"]"), std::string::npos);

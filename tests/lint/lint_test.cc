@@ -520,7 +520,7 @@ TEST(Report, JsonSchema)
         "src/sim/fixture.cc",
         "auto t = std::chrono::steady_clock::now();\n");
     const std::string json = netchar::lint::renderJson(r);
-    EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"filesScanned\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"no-wallclock\""),
               std::string::npos);

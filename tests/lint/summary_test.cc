@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Interprocedural summary tests (summary.hh): taint transfer and
+ * lock effects computed bottom-up over call-graph SCCs.
+ *
+ * The recursion fixtures are the important ones: a self-recursive
+ * function and a mutually-recursive pair exercise the SCC fixpoint
+ * (termination plus soundness — taint that flows through a cycle's
+ * base case is still reported, lock disciplines that pair up across
+ * the cycle stay clean). The cross-function fixtures pin the two
+ * classes of finding that are invisible without summaries: a taint
+ * chain laundered through a helper for each of several callers, and
+ * a lock acquired inside an acquire() helper that a root caller
+ * never releases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.hh"
+#include "lint/lint.hh"
+#include "lint/summary.hh"
+
+namespace
+{
+
+using netchar::lint::FileModel;
+using netchar::lint::Finding;
+using netchar::lint::FlowHop;
+using netchar::lint::LintResult;
+using netchar::lint::lintSources;
+using netchar::lint::renderJson;
+using netchar::lint::SourceBuffer;
+
+std::vector<Finding>
+flowsOf(const LintResult &r)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : r.findings)
+        if (!f.path.empty())
+            out.push_back(f);
+    return out;
+}
+
+std::size_t
+countRule(const LintResult &r, std::string_view rule)
+{
+    std::size_t n = 0;
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+const Finding *
+findRule(const LintResult &r, std::string_view rule)
+{
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            return &f;
+    return nullptr;
+}
+
+bool
+anyHopMentions(const Finding &f, std::string_view needle)
+{
+    for (const FlowHop &h : f.path)
+        if (h.note.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------
+// taint through recursion
+// ---------------------------------------------------------------
+
+TEST(Summary, TaintThroughMutualRecursionCycle)
+{
+    // pingf/pongf form a 2-cycle; the taint escapes through the
+    // cycle's base case (`return n` in pongf), so the param→return
+    // summary of both members must reach the fixpoint and the
+    // caller's clock value must be reported at the sink.
+    const auto r = lintSources(
+        {{"bench/cycle.cc",
+          "double pingf(int n) {\n"
+          "  return pongf(n);\n"
+          "}\n"
+          "double pongf(int n) {\n"
+          "  if (n > 1)\n"
+          "    return pingf(n - 1);\n"
+          "  return n;\n"
+          "}\n"
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now()\n"
+          "               .time_since_epoch().count();\n"
+          "  double v = pingf(t);\n"
+          "  row += csvField(v);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_GE(flows.size(), 1u);
+    EXPECT_EQ(flows[0].rule, "flow-wallclock");
+    // The composed path names the entry point of the callee chain
+    // (the cycle's interior is summarized, not unrolled).
+    EXPECT_TRUE(anyHopMentions(flows[0], "pingf"));
+    // The cycle registered as one SCC of size 2 and took at least
+    // one extra fixpoint pass to converge.
+    EXPECT_EQ(r.summaries.largestScc, 2u);
+    EXPECT_GE(r.summaries.fixpointPasses, 1u);
+    EXPECT_GE(r.summaries.paramReturnFlows, 2u);
+}
+
+TEST(Summary, TaintThroughSelfRecursionTerminates)
+{
+    const auto r = lintSources(
+        {{"bench/spin.cc",
+          "double spinf(double x) {\n"
+          "  if (x > 0)\n"
+          "    return spinf(x - 1);\n"
+          "  return x;\n"
+          "}\n"
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now()\n"
+          "               .time_since_epoch().count();\n"
+          "  row += csvField(spinf(t));\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_GE(flows.size(), 1u);
+    EXPECT_EQ(flows[0].rule, "flow-wallclock");
+    EXPECT_TRUE(anyHopMentions(flows[0], "spinf"));
+    EXPECT_EQ(r.summaries.largestScc, 1u);
+}
+
+TEST(Summary, BaselessCycleTerminatesAndStaysConservative)
+{
+    // A pure 2-cycle with no base case: the fixpoint must terminate,
+    // and the token-level transfer deliberately over-approximates —
+    // a parameter used in a return expression taints the return, so
+    // exactly one (conservative) flow is reported rather than none.
+    const auto r = lintSources(
+        {{"bench/loop.cc",
+          "double foreverA(int n) {\n"
+          "  return foreverB(n);\n"
+          "}\n"
+          "double foreverB(int n) {\n"
+          "  return foreverA(n);\n"
+          "}\n"
+          "void emit() {\n"
+          "  auto t = std::chrono::steady_clock::now()\n"
+          "               .time_since_epoch().count();\n"
+          "  row += csvField(foreverA(t));\n"
+          "}\n"}});
+    EXPECT_EQ(flowsOf(r).size(), 1u);
+    EXPECT_EQ(r.summaries.largestScc, 2u);
+}
+
+// ---------------------------------------------------------------
+// cross-function taint (previously invisible)
+// ---------------------------------------------------------------
+
+TEST(Summary, TwoCallersLaunderThroughOneHelper)
+{
+    // One identity helper, two callers with different sources: the
+    // per-caller summary composition must report BOTH flows, each
+    // with its own source — a whole-program first-writer-wins pass
+    // collapses them to one.
+    const auto r = lintSources(
+        {{"bench/helper.cc",
+          "double shape(double v) {\n"
+          "  return v;\n"
+          "}\n"},
+         {"bench/one.cc",
+          "void emitOne() {\n"
+          "  auto t = std::chrono::steady_clock::now()\n"
+          "               .time_since_epoch().count();\n"
+          "  double a = shape(t);\n"
+          "  row += csvField(a);\n"
+          "}\n"},
+         {"bench/two.cc",
+          "void emitTwo() {\n"
+          "  int s = rand();\n"
+          "  double b = shape(s);\n"
+          "  row += csvField(b);\n"
+          "}\n"}});
+    const auto flows = flowsOf(r);
+    ASSERT_EQ(flows.size(), 2u);
+    // Sorted by sink file: one.cc (wallclock) before two.cc (rng).
+    EXPECT_EQ(flows[0].rule, "flow-wallclock");
+    EXPECT_EQ(flows[0].file, "bench/one.cc");
+    EXPECT_EQ(flows[1].rule, "flow-rng");
+    EXPECT_EQ(flows[1].file, "bench/two.cc");
+    EXPECT_TRUE(anyHopMentions(flows[0], "shape"));
+    EXPECT_TRUE(anyHopMentions(flows[1], "shape"));
+    // The helper's hops land in the helper's file.
+    EXPECT_TRUE([&] {
+        for (const FlowHop &h : flows[0].path)
+            if (h.file == "bench/helper.cc")
+                return true;
+        return false;
+    }());
+}
+
+// ---------------------------------------------------------------
+// lock effects through recursion and helpers
+// ---------------------------------------------------------------
+
+TEST(Summary, LockPairedAcrossMutualRecursionIsClean)
+{
+    // stepA acquires, stepB releases, and the two recurse into each
+    // other: the SCC fixpoint must converge (not oscillate) and the
+    // pairing must silence both the would-be leak in stepA and the
+    // would-be unlock-without-lock in stepB.
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void stepA(std::mutex &mu, int n) {\n"
+          "    mu.lock();\n"
+          "    stepB(mu, n);\n"
+          "}\n"
+          "void stepB(std::mutex &mu, int n) {\n"
+          "    if (n)\n"
+          "        stepA(mu, n - 1);\n"
+          "    mu.unlock();\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "lock-leak"), 0u);
+    EXPECT_EQ(countRule(r, "guard-discipline"), 0u);
+    EXPECT_EQ(r.summaries.largestScc, 2u);
+}
+
+TEST(Summary, AcquireReleaseHelpersPairInCaller)
+{
+    // The helper pair on its own must not be flagged (each half has
+    // its counterpart elsewhere), and a balanced caller is clean.
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void acquire(std::mutex &mu) {\n"
+          "    mu.lock();\n"
+          "}\n"
+          "void release(std::mutex &mu) {\n"
+          "    mu.unlock();\n"
+          "}\n"
+          "void balanced(std::mutex &mu) {\n"
+          "    acquire(mu);\n"
+          "    release(mu);\n"
+          "}\n"}});
+    EXPECT_EQ(countRule(r, "lock-leak"), 0u);
+    EXPECT_EQ(countRule(r, "guard-discipline"), 0u);
+    EXPECT_GE(r.summaries.lockEffects, 2u);
+}
+
+TEST(Summary, LockLeakThroughHelperReportedAtRootCaller)
+{
+    // leaky() calls the acquire() helper and never releases: the
+    // leak must surface at the root caller with the acquire chain
+    // in the hops — invisible without interprocedural summaries.
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void acquire(std::mutex &mu) {\n"
+          "    mu.lock();\n"
+          "}\n"
+          "void release(std::mutex &mu) {\n"
+          "    mu.unlock();\n"
+          "}\n"
+          "void leaky(std::mutex &mu) {\n"
+          "    acquire(mu);\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(r, "lock-leak"), 1u);
+    const Finding *f = findRule(r, "lock-leak");
+    EXPECT_EQ(f->function, "leaky");
+    EXPECT_NE(f->message.find("acquired by call to 'acquire()'"),
+              std::string::npos);
+    EXPECT_TRUE([&] {
+        for (const FlowHop &h : f->path)
+            if (h.note.find("raw lock acquired here") !=
+                std::string::npos)
+                return true;
+        return false;
+    }());
+}
+
+TEST(Summary, DoubleLockThroughHelperCall)
+{
+    // No release() helper here: with no caller its raw unlock would
+    // be its own (correct) unlock-not-held finding and muddy the
+    // count. acquire()'s raw lock pairs with twice()'s raw unlock.
+    const auto r = lintSources(
+        {{"src/core/fixture.cc",
+          "void acquire(std::mutex &mu) {\n"
+          "    mu.lock();\n"
+          "}\n"
+          "void twice(std::mutex &mu) {\n"
+          "    mu.lock();\n"
+          "    acquire(mu);\n"
+          "    mu.unlock();\n"
+          "}\n"}});
+    ASSERT_EQ(countRule(r, "guard-discipline"), 1u);
+    const Finding *f = findRule(r, "guard-discipline");
+    EXPECT_EQ(f->function, "twice");
+    EXPECT_NE(f->message.find("double-lock"), std::string::npos);
+    EXPECT_NE(f->message.find("acquire"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// determinism and report schema
+// ---------------------------------------------------------------
+
+TEST(Summary, ReportByteIdenticalAcrossBufferOrder)
+{
+    const std::vector<SourceBuffer> fixtures = {
+        {"bench/helper.cc",
+         "double shape(double v) {\n  return v;\n}\n"},
+        {"bench/one.cc",
+         "void emitOne() {\n"
+         "  auto t = std::chrono::steady_clock::now()\n"
+         "               .time_since_epoch().count();\n"
+         "  row += csvField(shape(t));\n"
+         "}\n"},
+        {"bench/cycle.cc",
+         "double pingf(int n) {\n"
+         "  return pongf(n);\n"
+         "}\n"
+         "double pongf(int n) {\n"
+         "  if (n > 1)\n"
+         "    return pingf(n - 1);\n"
+         "  return n;\n"
+         "}\n"},
+    };
+    std::vector<SourceBuffer> reversed(fixtures.rbegin(),
+                                       fixtures.rend());
+    const std::string a = renderJson(lintSources(fixtures));
+    const std::string b = renderJson(lintSources(reversed));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Summary, JsonCarriesSummariesObject)
+{
+    const auto r = lintSources(
+        {{"bench/helper.cc",
+          "double shape(double v) {\n  return v;\n}\n"}});
+    const std::string json = renderJson(r);
+    EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"summaries\": {\"functions\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"paramReturnFlows\": 1"),
+              std::string::npos);
+    // Stats are opt-in: never present in the plain rendering.
+    EXPECT_EQ(json.find("\"stats\""), std::string::npos);
+}
+
+} // namespace

@@ -5,22 +5,28 @@
  * src/lint/taint.hh for the flow-aware taint pass).
  *
  *   netchar_lint --check <path>... [--json] [--sarif FILE]
+ *                [--jobs N] [--cache DIR] [--stats]
  *                [--taint|--no-taint]
  *                [--concurrency|--no-concurrency]
  *   netchar_lint --list-rules
  *
  * Exit codes: 0 clean tree, 1 unsuppressed findings, 2 usage or I/O
  * error. The report is deterministic: sorted findings, byte-identical
- * across repeated runs, independent of directory enumeration order.
+ * across repeated runs, independent of directory enumeration order,
+ * of --jobs, and of whether the --cache was cold or warm. (--stats
+ * adds wall-clock timings, which are inherently nondeterministic —
+ * leave it off when comparing report bytes.)
  *
  * docs/CLI.md documents the tool; keep it in sync with usage().
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "lint/driver.hh"
 #include "lint/lint.hh"
 #include "lint/sarif.hh"
 
@@ -33,12 +39,20 @@ usage()
     std::fprintf(
         stderr,
         "usage: netchar_lint --check <path>... [--json] "
-        "[--sarif FILE] [--taint|--no-taint]\n"
-        "                    [--concurrency|--no-concurrency]\n"
+        "[--sarif FILE] [--jobs N] [--cache DIR]\n"
+        "                    [--stats] [--taint|--no-taint] "
+        "[--concurrency|--no-concurrency]\n"
         "       netchar_lint --list-rules\n"
         "  --check <path>...  lint files/directories (recursive)\n"
         "  --json             machine-readable report on stdout\n"
         "  --sarif FILE       also write a SARIF 2.1.0 report\n"
+        "  --jobs N           analyze files on N threads (0 = one\n"
+        "                     per hardware thread; default 1);\n"
+        "                     never changes report bytes\n"
+        "  --cache DIR        incremental analysis cache: warm runs\n"
+        "                     re-analyze only changed files\n"
+        "  --stats            append per-phase timings and cache\n"
+        "                     counters to the report\n"
         "  --taint            run the taint pass (default)\n"
         "  --no-taint         skip the taint pass\n"
         "  --concurrency      run the CFG/lockset pass (default)\n"
@@ -58,8 +72,9 @@ main(int argc, char **argv)
 {
     bool check = false;
     bool json = false;
+    bool stats = false;
     std::string sarifPath;
-    netchar::lint::LintOptions opts;
+    netchar::lint::DriverOptions opts;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -68,15 +83,42 @@ main(int argc, char **argv)
             check = true;
         else if (arg == "--json")
             json = true;
+        else if (arg == "--stats")
+            stats = true;
         else if (arg == "--taint")
-            opts.taint = true;
+            opts.lint.taint = true;
         else if (arg == "--no-taint")
-            opts.taint = false;
+            opts.lint.taint = false;
         else if (arg == "--concurrency")
-            opts.concurrency = true;
+            opts.lint.concurrency = true;
         else if (arg == "--no-concurrency")
-            opts.concurrency = false;
-        else if (arg == "--sarif") {
+            opts.lint.concurrency = false;
+        else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "netchar_lint: --jobs needs a count\n");
+                return usage();
+            }
+            char *rest = nullptr;
+            const long n = std::strtol(argv[++i], &rest, 10);
+            if (rest == nullptr || *rest != '\0' || n < 0) {
+                std::fprintf(
+                    stderr,
+                    "netchar_lint: --jobs needs a non-negative "
+                    "integer, got '%s'\n",
+                    argv[i]);
+                return usage();
+            }
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--cache") {
+            if (i + 1 >= argc) {
+                std::fprintf(
+                    stderr,
+                    "netchar_lint: --cache needs a directory\n");
+                return usage();
+            }
+            opts.cacheDir = argv[++i];
+        } else if (arg == "--sarif") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
                              "netchar_lint: --sarif needs a file\n");
@@ -99,8 +141,9 @@ main(int argc, char **argv)
         return usage();
 
     std::vector<std::string> errors;
+    netchar::lint::LintStats lintStats;
     const netchar::lint::LintResult result =
-        netchar::lint::lintPaths(paths, errors, opts);
+        netchar::lint::runLint(paths, errors, opts, &lintStats);
     for (const std::string &e : errors)
         std::fprintf(stderr, "netchar_lint: %s\n", e.c_str());
     if (!errors.empty())
@@ -117,8 +160,18 @@ main(int argc, char **argv)
         }
     }
 
-    std::fputs(json ? netchar::lint::renderJson(result).c_str()
-                    : netchar::lint::renderText(result).c_str(),
-               stdout);
+    if (json) {
+        std::fputs(netchar::lint::renderJson(
+                       result, stats ? &lintStats : nullptr)
+                       .c_str(),
+                   stdout);
+    } else {
+        std::fputs(netchar::lint::renderText(result).c_str(),
+                   stdout);
+        if (stats)
+            std::fputs(
+                netchar::lint::renderStatsText(lintStats).c_str(),
+                stdout);
+    }
     return result.findings.empty() ? 0 : 1;
 }
